@@ -1,0 +1,70 @@
+// Figure 1: the fraction of hosts unique to each campaign's scan, per /8,
+// on a day where both campaigns scanned — the dataset-discrepancy /
+// blacklisting analysis of §4.1.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/discrepancy.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::bench::num;
+
+void report() {
+  sm::bench::print_banner("Figure 1",
+                          "hosts unique to each scan, per /8 network");
+  const auto disc =
+      sm::analysis::compute_scan_discrepancy(context().world.archive);
+  if (!disc) {
+    std::puts("no dual-campaign scan pair found");
+    return;
+  }
+  std::printf("compared scans: umich #%zu vs rapid7 #%zu\n",
+              disc->umich_scan, disc->rapid7_scan);
+  std::printf("umich hosts %llu (%llu unique), rapid7 hosts %llu (%llu unique)\n",
+              static_cast<unsigned long long>(disc->umich_total_hosts),
+              static_cast<unsigned long long>(disc->umich_only_hosts),
+              static_cast<unsigned long long>(disc->rapid7_total_hosts),
+              static_cast<unsigned long long>(disc->rapid7_only_hosts));
+  std::printf(
+      "paper shape: Rapid7 scans ~20%% smaller; missing hosts spread across\n"
+      "the IP space, driven by per-campaign BGP-prefix blacklists\n\n");
+  sm::util::TextTable table(
+      {"/8 network", "umich hosts", "u-unique", "rapid7 hosts", "r-unique"});
+  for (const auto& row : disc->per_slash8) {
+    table.add_row({std::to_string(row.first_octet) + ".0.0.0/8",
+                   std::to_string(row.umich_hosts),
+                   num(row.umich_unique_fraction, 3),
+                   std::to_string(row.rapid7_hosts),
+                   num(row.rapid7_unique_fraction, 3)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  sm::bench::Comparison cmp;
+  cmp.add("rapid7/umich host ratio", "~0.8",
+          num(static_cast<double>(disc->rapid7_total_hosts) /
+                  static_cast<double>(disc->umich_total_hosts),
+              2));
+  cmp.print();
+}
+
+void BM_ScanDiscrepancy(benchmark::State& state) {
+  const auto& archive = context().world.archive;
+  for (auto _ : state) {
+    auto result = sm::analysis::compute_scan_discrepancy(archive);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ScanDiscrepancy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 2: the number of invalid and valid certificates per scan over
+// time, for both campaigns — invalid counts grow over the study.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/longevity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::bench::num;
+
+void report() {
+  sm::bench::print_banner("Figure 2",
+                          "invalid/valid certificates per scan over time");
+  const auto series =
+      sm::analysis::compute_scan_series(context().world.archive);
+  sm::util::TextTable table(
+      {"scan date", "campaign", "invalid", "valid", "invalid %"});
+  const std::size_t step = std::max<std::size_t>(1, series.size() / 16);
+  for (std::size_t i = 0; i < series.size(); i += step) {
+    const auto& row = series[i];
+    table.add_row({sm::util::format_date(row.date),
+                   to_string(row.campaign), std::to_string(row.invalid),
+                   std::to_string(row.valid),
+                   sm::util::percent(row.invalid_fraction())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  // Growth: average invalid count in the first vs last quarter of scans.
+  const std::size_t quarter = std::max<std::size_t>(1, series.size() / 4);
+  double early = 0, late = 0, min_frac = 1, max_frac = 0, frac_sum = 0;
+  for (std::size_t i = 0; i < quarter; ++i) {
+    early += static_cast<double>(series[i].invalid);
+  }
+  for (std::size_t i = series.size() - quarter; i < series.size(); ++i) {
+    late += static_cast<double>(series[i].invalid);
+  }
+  for (const auto& row : series) {
+    const double frac = row.invalid_fraction();
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+    frac_sum += frac;
+  }
+  sm::bench::Comparison cmp;
+  cmp.add("invalid count grows over study", "yes",
+          late > early ? "yes" : "no");
+  cmp.add("late/early invalid-count ratio", "> 1", num(late / early, 2));
+  cmp.add("per-scan invalid fraction mean", "65.0%",
+          sm::util::percent(frac_sum / static_cast<double>(series.size())));
+  cmp.add("per-scan invalid fraction range", "59.6% - 73.7%",
+          sm::util::percent(min_frac) + " - " + sm::util::percent(max_frac));
+  cmp.print();
+}
+
+void BM_ScanSeries(benchmark::State& state) {
+  const auto& archive = context().world.archive;
+  for (auto _ : state) {
+    auto series = sm::analysis::compute_scan_series(archive);
+    benchmark::DoNotOptimize(series);
+  }
+}
+BENCHMARK(BM_ScanSeries);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 3: the CDF of validity periods for valid vs invalid certificates.
+// Paper: valid median 1.1y / p90 3.1y; invalid median 20y / p90 25y, 5.38%
+// negative, tail beyond a million days.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/longevity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::bench::num;
+
+void report() {
+  sm::bench::print_banner("Figure 3", "CDF of certificate validity periods");
+  const auto vp =
+      sm::analysis::compute_validity_periods(context().world.archive);
+
+  sm::bench::Comparison cmp;
+  cmp.add("valid median (years)", 1.1, vp.valid_days.median() / 365.0);
+  cmp.add("valid p90 (years)", 3.1, vp.valid_days.percentile(0.9) / 365.0);
+  cmp.add("invalid median (years)", 20.0, vp.invalid_days.median() / 365.0);
+  cmp.add("invalid p90 (years)", 25.0,
+          vp.invalid_days.percentile(0.9) / 365.0);
+  cmp.add("invalid negative-period fraction", "5.38%",
+          sm::util::percent(vp.invalid_negative_fraction));
+  cmp.add("invalid tail beyond 300k days", "exists (1M+ days)",
+          vp.invalid_days.max() > 300000 ? "exists (" +
+              num(vp.invalid_days.max(), 0) + " days)" : "absent");
+  cmp.print();
+
+  std::puts("invalid validity-period CDF (days):");
+  sm::bench::print_curve("days", "F(x)", vp.invalid_days.curve(10));
+  std::puts("valid validity-period CDF (days):");
+  sm::bench::print_curve("days", "F(x)", vp.valid_days.curve(10));
+}
+
+void BM_ValidityPeriods(benchmark::State& state) {
+  const auto& archive = context().world.archive;
+  for (auto _ : state) {
+    auto vp = sm::analysis::compute_validity_periods(archive);
+    benchmark::DoNotOptimize(vp);
+  }
+}
+BENCHMARK(BM_ValidityPeriods);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

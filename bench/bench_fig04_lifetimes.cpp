@@ -1,0 +1,58 @@
+// Figure 4: the CDF of certificate lifetimes (first to last scan observed).
+// Paper: valid median 274 days; invalid median one day — ~60% of invalid
+// certificates appear in a single scan.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/longevity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner("Figure 4", "CDF of certificate lifetimes");
+  const auto lifetimes = sm::analysis::compute_lifetimes(context().index);
+
+  sm::bench::Comparison cmp;
+  cmp.add("valid median lifetime (days)", 274.0,
+          lifetimes.valid_days.median(), 0);
+  cmp.add("invalid median lifetime (days)", 1.0,
+          lifetimes.invalid_days.median(), 0);
+  cmp.add("invalid single-scan fraction", "~60%",
+          sm::util::percent(lifetimes.invalid_single_scan_fraction));
+  cmp.print();
+
+  std::puts("invalid lifetime CDF (days):");
+  sm::bench::print_curve("days", "F(x)", lifetimes.invalid_days.curve(10));
+  std::puts("valid lifetime CDF (days):");
+  sm::bench::print_curve("days", "F(x)", lifetimes.valid_days.curve(10));
+}
+
+void BM_Lifetimes(benchmark::State& state) {
+  for (auto _ : state) {
+    auto lifetimes = sm::analysis::compute_lifetimes(context().index);
+    benchmark::DoNotOptimize(lifetimes);
+  }
+}
+BENCHMARK(BM_Lifetimes);
+
+void BM_DatasetIndexBuild(benchmark::State& state) {
+  const auto& world = context().world;
+  for (auto _ : state) {
+    sm::analysis::DatasetIndex index(world.archive, world.routing);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_DatasetIndexBuild);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

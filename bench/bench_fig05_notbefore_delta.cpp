@@ -1,0 +1,51 @@
+// Figure 5: for ephemeral invalid certificates (seen in exactly one scan),
+// the difference between the first-advertised date and the NotBefore date.
+// Paper: bimodal — ~70% under four days (fresh reissues), ~20% over 1000
+// days (stuck factory clocks); 30% same-day; 2.9% negative.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/longevity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner(
+      "Figure 5", "first-advertised minus NotBefore, ephemeral invalid certs");
+  const auto deltas = sm::analysis::compute_notbefore_deltas(context().index);
+
+  sm::bench::Comparison cmp;
+  cmp.add("same-day fraction", "~30%",
+          sm::util::percent(deltas.same_day_fraction));
+  cmp.add("under 4 days", "~70%",
+          sm::util::percent(deltas.under_four_days_fraction));
+  cmp.add("over 1000 days (stuck clocks)", "~20%",
+          sm::util::percent(deltas.over_thousand_days_fraction));
+  cmp.add("negative (clock ahead)", "2.9%",
+          sm::util::percent(deltas.negative_fraction));
+  cmp.print();
+
+  std::puts("delta CDF (days, non-negative part):");
+  sm::bench::print_curve("days", "F(x)", deltas.positive_days.curve(12));
+}
+
+void BM_NotBeforeDeltas(benchmark::State& state) {
+  for (auto _ : state) {
+    auto deltas = sm::analysis::compute_notbefore_deltas(context().index);
+    benchmark::DoNotOptimize(deltas);
+  }
+}
+BENCHMARK(BM_NotBeforeDeltas);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6: the fraction of public keys needed to cover a fraction of
+// certificates. Paper: invalid certificates share keys far more than valid
+// ones — over 47% of invalid certs share a key; one Lancom key alone spans
+// 6.5% of all invalid certificates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/diversity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner("Figure 6",
+                          "fraction of public keys covering certificates");
+  const auto kd =
+      sm::analysis::compute_key_diversity(context().world.archive);
+
+  sm::bench::Comparison cmp;
+  cmp.add("invalid certs sharing a key", "> 47%",
+          sm::util::percent(kd.invalid_shared_fraction));
+  cmp.add("valid certs sharing a key (reissue reuse)", "lower than invalid",
+          sm::util::percent(kd.valid_shared_fraction));
+  cmp.add("top shared key's share of invalid (Lancom)", "6.5%",
+          sm::util::percent(kd.top_invalid_key_share));
+  cmp.add("top shared key cert count", "4,586,469 (scaled)",
+          std::to_string(kd.top_invalid_key_certs));
+  cmp.print();
+
+  std::puts("invalid coverage curve (x = frac of keys, y = frac of certs):");
+  sm::bench::print_curve("keys", "certs", kd.invalid_curve, 10);
+  std::puts("valid coverage curve:");
+  sm::bench::print_curve("keys", "certs", kd.valid_curve, 10);
+}
+
+void BM_KeyDiversity(benchmark::State& state) {
+  const auto& archive = context().world.archive;
+  for (auto _ : state) {
+    auto kd = sm::analysis::compute_key_diversity(archive);
+    benchmark::DoNotOptimize(kd);
+  }
+}
+BENCHMARK(BM_KeyDiversity);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10: the CDF of linked-group sizes, overall and per linking field.
+// Paper: groups reach 413 certificates; public-key groups are the largest
+// population; CRL groups are almost all pairs; SAN groups average larger
+// than Common Name groups.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "linking/linker.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::bench::num;
+using sm::linking::Feature;
+
+void report() {
+  sm::bench::print_banner("Figure 10", "sizes of linked certificate groups");
+  const auto& linked = context().linked;
+
+  std::map<Feature, std::vector<double>> sizes_by_feature;
+  std::vector<double> all_sizes;
+  for (const auto& group : linked.groups) {
+    sizes_by_feature[group.feature].push_back(
+        static_cast<double>(group.certs.size()));
+    all_sizes.push_back(static_cast<double>(group.certs.size()));
+  }
+
+  sm::util::TextTable table(
+      {"field", "groups", "mean size", "median", "max", "pairs %"});
+  double cn_mean = 0, san_mean = 0;
+  for (const auto& [feature, sizes] : sizes_by_feature) {
+    const sm::util::EmpiricalCdf cdf(sizes);
+    const double pairs = cdf.at(2.0);
+    if (feature == Feature::kCommonName) cn_mean = cdf.mean();
+    if (feature == Feature::kSan) san_mean = cdf.mean();
+    table.add_row({to_string(feature), std::to_string(sizes.size()),
+                   num(cdf.mean(), 2), num(cdf.median(), 0),
+                   num(cdf.max(), 0), sm::util::percent(pairs)});
+  }
+  const sm::util::EmpiricalCdf all_cdf(all_sizes);
+  table.add_row({"All", std::to_string(all_sizes.size()),
+                 num(all_cdf.mean(), 2), num(all_cdf.median(), 0),
+                 num(all_cdf.max(), 0), sm::util::percent(all_cdf.at(2.0))});
+  std::fputs(table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  sm::bench::Comparison cmp;
+  cmp.add("largest group (certs)", "413 (scaled)", num(all_cdf.max(), 0));
+  cmp.add("groups larger than 2", "62%",
+          sm::util::percent(1.0 - all_cdf.at(2.0)));
+  if (san_mean > 0 && cn_mean > 0) {
+    cmp.add("SAN mean group size > CN mean (5.10 vs 2.60)", "yes",
+            san_mean > cn_mean
+                ? "yes (" + num(san_mean, 2) + " vs " + num(cn_mean, 2) + ")"
+                : "no (" + num(san_mean, 2) + " vs " + num(cn_mean, 2) + ")");
+  }
+  cmp.print();
+
+  std::puts("group-size CDF (all fields):");
+  sm::bench::print_curve("size", "F(x)", all_cdf.curve(10));
+}
+
+void BM_IterativeLinking(benchmark::State& state) {
+  const auto& linker = context().linker;
+  for (auto _ : state) {
+    auto result = linker.link_iteratively();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IterativeLinking);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Micro-benchmarks of the substrate primitives every higher layer leans on:
+// hashing, bignum division, RSA sign/verify, DER build/parse, base64/PEM,
+// longest-prefix-match routing, and the scan-order permutation.
+#include <benchmark/benchmark.h>
+
+#include "bignum/biguint.h"
+#include "crypto/rsa.h"
+#include "net/route_table.h"
+#include "pki/lint.h"
+#include "scan/permutation.h"
+#include "util/md5.h"
+#include "util/prng.h"
+#include "util/sha1.h"
+#include "util/sha256.h"
+#include "x509/builder.h"
+#include "x509/pem.h"
+
+namespace {
+
+using namespace sm;
+
+// --- hashing -----------------------------------------------------------------
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    auto digest = util::Sha256::digest(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha1(benchmark::State& state) {
+  util::Bytes data(4096, 0x5a);
+  for (auto _ : state) {
+    auto digest = util::Sha1::digest(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Sha1);
+
+void BM_Md5(benchmark::State& state) {
+  util::Bytes data(4096, 0x5a);
+  for (auto _ : state) {
+    auto digest = util::Md5::digest(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Md5);
+
+// --- bignum / RSA ------------------------------------------------------------
+
+void BM_BigUintDivmod(benchmark::State& state) {
+  util::Rng rng(1);
+  util::Bytes num_bytes(static_cast<std::size_t>(state.range(0)) / 8);
+  util::Bytes den_bytes(num_bytes.size() / 2);
+  for (auto& b : num_bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& b : den_bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  den_bytes[0] |= 0x80;
+  const auto num = bignum::BigUint::from_bytes(num_bytes);
+  const auto den = bignum::BigUint::from_bytes(den_bytes);
+  for (auto _ : state) {
+    auto result = bignum::BigUint::divmod(num, den);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BigUintDivmod)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_RsaSign(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto key = crypto::generate_rsa_keypair(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const util::Bytes message = util::to_bytes("tbs bytes");
+  for (auto _ : state) {
+    auto signature = crypto::rsa_sign_sha256(key, message);
+    benchmark::DoNotOptimize(signature);
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024);
+
+void BM_RsaVerify(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto key = crypto::generate_rsa_keypair(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const util::Bytes message = util::to_bytes("tbs bytes");
+  const util::Bytes signature = crypto::rsa_sign_sha256(key, message);
+  for (auto _ : state) {
+    bool ok = crypto::rsa_verify_sha256(key.pub, message, signature);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024);
+
+void BM_RsaKeygen512(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    auto key = crypto::generate_rsa_keypair(512, rng);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_RsaKeygen512);
+
+// --- X.509 / PEM ----------------------------------------------------------------
+
+x509::Certificate build_sample_cert() {
+  util::Rng rng(5);
+  const auto key =
+      crypto::generate_keypair(crypto::SigScheme::kSimSha256, rng);
+  return x509::CertificateBuilder()
+      .set_serial(bignum::BigUint(42))
+      .set_issuer(x509::Name::with_common_name("micro bench ca"))
+      .set_subject(x509::Name::with_common_name("device.local"))
+      .set_validity(0, util::make_date(2033, 1, 1))
+      .set_public_key(key.pub)
+      .set_subject_alt_names({{x509::GeneralName::Kind::kDns, "device.local"}})
+      .sign(key);
+}
+
+void BM_BuildAndSignCert(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto key =
+      crypto::generate_keypair(crypto::SigScheme::kSimSha256, rng);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    auto cert = x509::CertificateBuilder()
+                    .set_serial(bignum::BigUint(++serial))
+                    .set_issuer(x509::Name::with_common_name("ca"))
+                    .set_subject(x509::Name::with_common_name("leaf"))
+                    .set_validity(0, 1000000)
+                    .set_public_key(key.pub)
+                    .sign(key);
+    benchmark::DoNotOptimize(cert);
+  }
+}
+BENCHMARK(BM_BuildAndSignCert);
+
+void BM_PemRoundTrip(benchmark::State& state) {
+  const auto cert = build_sample_cert();
+  for (auto _ : state) {
+    const std::string pem = x509::to_pem(cert);
+    auto back = x509::certificates_from_pem(pem);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_PemRoundTrip);
+
+void BM_LintCertificate(benchmark::State& state) {
+  const auto cert = build_sample_cert();
+  for (auto _ : state) {
+    auto findings = pki::lint_certificate(cert);
+    benchmark::DoNotOptimize(findings);
+  }
+}
+BENCHMARK(BM_LintCertificate);
+
+// --- net / scan ---------------------------------------------------------------
+
+void BM_RouteLookup(benchmark::State& state) {
+  net::RouteTable table;
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    table.announce(net::Prefix(net::Ipv4Address(
+                                   static_cast<std::uint32_t>(rng())),
+                               8 + static_cast<unsigned>(rng.below(17))),
+                   static_cast<net::Asn>(i));
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 1;
+    auto asn = table.lookup(net::Ipv4Address(probe));
+    benchmark::DoNotOptimize(asn);
+  }
+}
+BENCHMARK(BM_RouteLookup);
+
+void BM_PermutationInverse(benchmark::State& state) {
+  const scan::AddressPermutation perm(99);
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    x = perm.inverse(x + 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_PermutationInverse);
+
+void BM_Base64Encode(benchmark::State& state) {
+  util::Bytes data(4096, 0xab);
+  for (auto _ : state) {
+    auto text = x509::base64_encode(data);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Base64Encode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

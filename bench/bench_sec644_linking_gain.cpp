@@ -1,0 +1,86 @@
+// §6.4.4: how linking changes the view of the certificate population.
+// Paper: the single-scan fraction drops from 61% to 50.7%, and the mean
+// lifetime grows from 95.4 to 132.3 days, once reissued certificates are
+// merged into device entities. We also report the ground-truth
+// precision/recall the paper could not compute.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "linking/linker.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::bench::num;
+
+void report() {
+  sm::bench::print_banner("Section 6.4.4",
+                          "linked vs original certificate population");
+  const auto gain = context().linker.compare_with_original(context().linked);
+  const auto truth = context().linker.score_against_truth(context().linked);
+
+  sm::bench::Comparison cmp;
+  cmp.add("linking-eligible invalid certs", "69.5M (scaled)",
+          std::to_string(gain.eligible_certs));
+  cmp.add("certs linked into groups", "27.4M = 39.4%",
+          std::to_string(context().linked.linked_certs) + " = " +
+              sm::util::percent(
+                  static_cast<double>(context().linked.linked_certs) /
+                  static_cast<double>(gain.eligible_certs)));
+  cmp.add("groups formed", "2.98M (scaled)",
+          std::to_string(context().linked.groups.size()));
+  cmp.add("single-scan fraction before", "61%",
+          sm::util::percent(gain.single_scan_fraction_before));
+  cmp.add("single-scan fraction after", "50.7%",
+          sm::util::percent(gain.single_scan_fraction_after));
+  cmp.add("mean lifetime before (days)", 95.4,
+          gain.mean_lifetime_before_days);
+  cmp.add("mean lifetime after (days)", 132.3, gain.mean_lifetime_after_days);
+  cmp.add("mean lifetime grows", "yes",
+          gain.mean_lifetime_after_days > gain.mean_lifetime_before_days
+              ? "yes"
+              : "no");
+  cmp.print();
+
+  std::puts("ground truth (unavailable to the paper):");
+  sm::bench::Comparison truth_cmp;
+  truth_cmp.add("linking precision (pairwise)", "unknown",
+                num(truth.precision(), 4));
+  truth_cmp.add("linking recall (pairwise)", "unknown",
+                num(truth.recall(), 4));
+  truth_cmp.add("pairs linked", "-", std::to_string(truth.linked_pairs));
+  truth_cmp.add("true pairs available", "-",
+                std::to_string(truth.possible_pairs));
+  truth_cmp.print();
+}
+
+void BM_CompareWithOriginal(benchmark::State& state) {
+  const auto& linker = context().linker;
+  const auto& linked = context().linked;
+  for (auto _ : state) {
+    auto gain = linker.compare_with_original(linked);
+    benchmark::DoNotOptimize(gain);
+  }
+}
+BENCHMARK(BM_CompareWithOriginal);
+
+void BM_TruthScoring(benchmark::State& state) {
+  const auto& linker = context().linker;
+  const auto& linked = context().linked;
+  for (auto _ : state) {
+    auto truth = linker.score_against_truth(linked);
+    benchmark::DoNotOptimize(truth);
+  }
+}
+BENCHMARK(BM_TruthScoring);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

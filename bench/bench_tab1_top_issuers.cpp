@@ -1,0 +1,76 @@
+// Table 1: the top five issuers of valid and invalid certificates, plus
+// §5.3's signing-key diversity. Paper: valid issuers are the familiar CAs
+// (Go Daddy, RapidSSL, ...); invalid issuers are device vendors
+// (www.lancom-systems.de), private IPs (192.168.1.1), and the empty string.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/diversity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner("Table 1", "top issuers of valid/invalid certs");
+  const auto id =
+      sm::analysis::compute_issuer_diversity(context().world.archive);
+
+  std::puts("top issuers of valid certificates:");
+  sm::util::TextTable valid_table({"issuer", "certs"});
+  for (const auto& row : id.top_valid) {
+    valid_table.add_row({row.issuer, std::to_string(row.certs)});
+  }
+  std::fputs(valid_table.str().c_str(), stdout);
+
+  std::puts("\ntop issuers of invalid certificates:");
+  sm::util::TextTable invalid_table({"issuer", "certs"});
+  for (const auto& row : id.top_invalid) {
+    invalid_table.add_row({row.issuer, std::to_string(row.certs)});
+  }
+  std::fputs(invalid_table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  sm::bench::Comparison cmp;
+  cmp.add("top invalid issuer", "www.lancom-systems.de",
+          id.top_invalid.empty() ? "n/a" : id.top_invalid[0].issuer);
+  bool has_empty = false, has_private_ip = false;
+  for (const auto& row : id.top_invalid) {
+    if (row.issuer == "(Empty string)") has_empty = true;
+    if (row.issuer.rfind("192.168.", 0) == 0) has_private_ip = true;
+  }
+  cmp.add("empty-string issuer in top 5", "yes", has_empty ? "yes" : "no");
+  cmp.add("192.168.x issuer in top 5", "yes", has_private_ip ? "yes" : "no");
+  cmp.add("signing keys spanning half of valid certs", "5",
+          std::to_string(id.valid_keys_for_half));
+  cmp.add("distinct valid parent keys", "1,477 (scaled)",
+          std::to_string(id.valid_parent_keys));
+  cmp.add("distinct invalid parent keys (AKI-bearing)", "1.7M (scaled)",
+          std::to_string(id.invalid_parent_keys));
+  cmp.add("top-5 parent keys' share of AKI-bearing invalid", "37%",
+          sm::util::percent(id.invalid_top5_key_share));
+  cmp.add("invalid certs issued by private-IP names",
+          "3.35M of 70.6M = 4.7%",
+          sm::util::percent(id.invalid_private_ip_issuer_fraction));
+  cmp.print();
+}
+
+void BM_IssuerDiversity(benchmark::State& state) {
+  const auto& archive = context().world.archive;
+  for (auto _ : state) {
+    auto id = sm::analysis::compute_issuer_diversity(archive);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_IssuerDiversity);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 2: the breakdown of certificate origin by CAIDA-style AS type.
+// Paper: 94.1% of invalid certificates come from transit/access networks;
+// valid certificates split between transit/access (46.6%) and content
+// (42.9%) networks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/diversity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner("Table 2", "AS-type breakdown of cert origin");
+  const auto breakdown = sm::analysis::compute_as_type_breakdown(
+      context().index, context().world.as_db);
+
+  const auto share = [&](sm::net::AsType type, bool valid) {
+    const auto it = breakdown.shares.find(type);
+    if (it == breakdown.shares.end()) return 0.0;
+    return valid ? it->second.first : it->second.second;
+  };
+
+  sm::util::TextTable table(
+      {"AS type", "% of valid (paper)", "% of valid", "% of invalid (paper)",
+       "% of invalid"});
+  table.add_row({"Transit/Access", "46.6%",
+                 sm::util::percent(share(sm::net::AsType::kTransitAccess, true)),
+                 "94.1%",
+                 sm::util::percent(share(sm::net::AsType::kTransitAccess, false))});
+  table.add_row({"Content", "42.9%",
+                 sm::util::percent(share(sm::net::AsType::kContent, true)),
+                 "4.7%",
+                 sm::util::percent(share(sm::net::AsType::kContent, false))});
+  table.add_row({"Enterprise", "7.8%",
+                 sm::util::percent(share(sm::net::AsType::kEnterprise, true)),
+                 "1.5%",
+                 sm::util::percent(share(sm::net::AsType::kEnterprise, false))});
+  table.add_row({"Unknown", "2.6%",
+                 sm::util::percent(share(sm::net::AsType::kUnknown, true)),
+                 "1.7%",
+                 sm::util::percent(share(sm::net::AsType::kUnknown, false))});
+  std::fputs(table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  sm::bench::Comparison cmp;
+  cmp.add("invalid overwhelmingly transit/access", "94.1%",
+          sm::util::percent(share(sm::net::AsType::kTransitAccess, false)));
+  cmp.add("content networks mostly valid", "yes",
+          share(sm::net::AsType::kContent, true) >
+                  share(sm::net::AsType::kContent, false)
+              ? "yes"
+              : "no");
+  cmp.print();
+}
+
+void BM_AsTypeBreakdown(benchmark::State& state) {
+  for (auto _ : state) {
+    auto breakdown = sm::analysis::compute_as_type_breakdown(
+        context().index, context().world.as_db);
+    benchmark::DoNotOptimize(breakdown);
+  }
+}
+BENCHMARK(BM_AsTypeBreakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

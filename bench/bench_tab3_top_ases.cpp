@@ -1,0 +1,73 @@
+// Table 3: the top ASes hosting valid and invalid certificates. Paper: all
+// top valid hosters are US hosting companies (GoDaddy, Unified Layer,
+// Amazon, SoftLayer); top invalid hosters are end-user access ISPs with
+// Germany heavily represented (Deutsche Telekom, Vodafone, Telefonica) plus
+// Comcast and Korea Telecom.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/diversity.h"
+#include "bench/common.h"
+
+namespace {
+
+using sm::bench::context;
+
+void report() {
+  sm::bench::print_banner("Table 3", "top ASes hosting valid/invalid certs");
+  const auto top = sm::analysis::compute_top_ases(context().index,
+                                                  context().world.as_db);
+
+  std::puts("top ASes hosting valid certificates (paper: GoDaddy, Unified");
+  std::puts("Layer, Amazon x2, SoftLayer — all USA):");
+  sm::util::TextTable valid_table({"AS", "certs"});
+  for (const auto& row : top.valid) {
+    valid_table.add_row({row.label, std::to_string(row.certs)});
+  }
+  std::fputs(valid_table.str().c_str(), stdout);
+
+  std::puts("\ntop ASes hosting invalid certificates (paper: Deutsche");
+  std::puts("Telekom, Comcast, Vodafone, Telefonica Germany, Korea Telecom):");
+  sm::util::TextTable invalid_table({"AS", "certs"});
+  for (const auto& row : top.invalid) {
+    invalid_table.add_row({row.label, std::to_string(row.certs)});
+  }
+  std::fputs(invalid_table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  sm::bench::Comparison cmp;
+  cmp.add("top invalid AS", "#3320 Deutsche Telekom AG (DEU)",
+          top.invalid.empty() ? "n/a" : top.invalid[0].label);
+  int german = 0;
+  for (const auto& row : top.invalid) {
+    const auto* info = context().world.as_db.find(row.asn);
+    if (info && info->country == "DEU") ++german;
+  }
+  cmp.add("German ISPs among top-5 invalid", "3", std::to_string(german));
+  bool all_valid_usa = !top.valid.empty();
+  for (const auto& row : top.valid) {
+    const auto* info = context().world.as_db.find(row.asn);
+    if (!info || info->country != "USA") all_valid_usa = false;
+  }
+  cmp.add("all top-5 valid ASes in USA", "yes", all_valid_usa ? "yes" : "no");
+  cmp.print();
+}
+
+void BM_TopAses(benchmark::State& state) {
+  for (auto _ : state) {
+    auto top = sm::analysis::compute_top_ases(context().index,
+                                              context().world.as_db);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopAses);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

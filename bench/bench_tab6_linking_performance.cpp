@@ -1,0 +1,123 @@
+// Table 6: per-field linking performance — certificates linked, uniquely
+// linked, and IP-//24-/AS-level consistency. Paper's key shapes: Public Key
+// links the most certificates with 98% AS-level but only 41.9% IP-level
+// consistency (German-ISP churn); Common Name and SAN behave similarly;
+// Not Before / Not After link certificates with consistency too weak to
+// use, and together with IN+SN are excluded from the final linker.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "linking/linker.h"
+
+namespace {
+
+using sm::bench::context;
+using sm::linking::Feature;
+
+struct PaperRow {
+  const char* linked;
+  const char* ip;
+  const char* as_level;
+};
+
+PaperRow paper_row(Feature feature) {
+  switch (feature) {
+    case Feature::kPublicKey:
+      return {"23.3M", "41.9%", "98.0%"};
+    case Feature::kNotBefore:
+      return {"16.3M", "53.5%", "63.0%"};
+    case Feature::kCommonName:
+      return {"8.6M", "51.1%", "96.6%"};
+    case Feature::kNotAfter:
+      return {"6.2M", "51.2%", "58.2%"};
+    case Feature::kIssuerSerial:
+      return {"4.2M", "48.2%", "89.3%"};
+    case Feature::kSan:
+      return {"2.5M", "52.2%", "97.5%"};
+    case Feature::kCrl:
+      return {"389K", "85.8%", "95.2%"};
+    case Feature::kAia:
+      return {"377K", "85.7%", "95.1%"};
+    case Feature::kOcsp:
+      return {"3.4K", "52.2%", "97.5%"};
+    case Feature::kOid:
+      return {"593", "83.9%", "92.6%"};
+  }
+  return {"-", "-", "-"};
+}
+
+void report() {
+  sm::bench::print_banner("Table 6", "per-field linking performance");
+  const auto results = context().linker.evaluate_all_fields();
+
+  sm::util::TextTable table({"field", "linked (paper)", "linked",
+                             "uniq linked", "IP", "/24", "AS",
+                             "AS (paper)"});
+  for (const auto& result : results) {
+    const PaperRow paper = paper_row(result.feature);
+    table.add_row({to_string(result.feature), paper.linked,
+                   std::to_string(result.total_linked),
+                   std::to_string(result.uniquely_linked),
+                   sm::util::percent(result.consistency.ip),
+                   sm::util::percent(result.consistency.slash24),
+                   sm::util::percent(result.consistency.as_level),
+                   paper.as_level});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  const auto find = [&](Feature feature) -> const sm::linking::FieldResult& {
+    for (const auto& result : results) {
+      if (result.feature == feature) return result;
+    }
+    throw std::logic_error("missing field");
+  };
+  sm::bench::Comparison cmp;
+  cmp.add("Public Key links the most certs", "yes",
+          find(Feature::kPublicKey).total_linked >=
+                  find(Feature::kCommonName).total_linked
+              ? "yes"
+              : "no");
+  cmp.add("PK AS-consistency >> IP-consistency (98.0 vs 41.9)", "yes",
+          find(Feature::kPublicKey).consistency.as_level >
+                  find(Feature::kPublicKey).consistency.ip + 0.2
+              ? "yes"
+              : "no");
+  cmp.add("/24 slightly above IP everywhere", "yes",
+          find(Feature::kPublicKey).consistency.slash24 >=
+                  find(Feature::kPublicKey).consistency.ip
+              ? "yes"
+              : "no");
+  cmp.add("NB/NA excluded from final linker", "yes", "yes (by construction)");
+  cmp.print();
+}
+
+void BM_EvaluateAllFields(benchmark::State& state) {
+  const auto& linker = context().linker;
+  for (auto _ : state) {
+    auto results = linker.evaluate_all_fields();
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_EvaluateAllFields);
+
+void BM_LinkPublicKeyField(benchmark::State& state) {
+  const auto& linker = context().linker;
+  for (auto _ : state) {
+    auto result =
+        linker.link_field(Feature::kPublicKey, linker.eligible());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LinkPublicKeyField);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

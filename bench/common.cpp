@@ -1,0 +1,68 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+namespace sm::bench {
+
+Context::Context()
+    : world(simworld::World(simworld::WorldConfig::paper()).run()),
+      index(world.archive, world.routing),
+      linker(index),
+      linked(linker.link_iteratively()) {}
+
+const Context& context() {
+  static const Context ctx;
+  return ctx;
+}
+
+void print_banner(const std::string& experiment, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), title.c_str());
+  std::printf(
+      "(simulated world: %zu devices + %zu websites, %zu scans; shapes are\n"
+      " the reproduction target, not absolute counts)\n\n",
+      context().world.true_device_count, context().world.true_website_count,
+      context().world.archive.scans().size());
+}
+
+Comparison::Comparison()
+    : table_({"metric", "paper", "measured"}) {}
+
+void Comparison::add(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  table_.add_row({metric, paper, measured});
+}
+
+void Comparison::add(const std::string& metric, double paper, double measured,
+                     int precision) {
+  table_.add_row({metric, num(paper, precision), num(measured, precision)});
+}
+
+void Comparison::print() const {
+  std::fputs(table_.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+void print_curve(const std::string& x_label, const std::string& y_label,
+                 const std::vector<std::pair<double, double>>& points,
+                 std::size_t max_rows) {
+  util::TextTable table({x_label, y_label});
+  const std::size_t step =
+      points.empty() ? 1 : std::max<std::size_t>(1, points.size() / max_rows);
+  for (std::size_t i = 0; i < points.size(); i += step) {
+    table.add_row({num(points[i].first, 2), num(points[i].second, 3)});
+  }
+  if (!points.empty() && (points.size() - 1) % step != 0) {
+    table.add_row(
+        {num(points.back().first, 2), num(points.back().second, 3)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+std::string num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace sm::bench

@@ -1,0 +1,65 @@
+// Shared context for the bench binaries: one lazily-built paper-scale
+// world plus the derived indices, linker and tracker every experiment
+// needs, and small printing helpers for the paper-vs-measured tables.
+//
+// Every bench binary follows the same structure:
+//   1. print the reproduction of its table/figure (paper vs measured);
+//   2. run google-benchmark timings of the kernels that computed it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "simworld/world.h"
+#include "tracking/tracker.h"
+#include "util/stats.h"
+
+namespace sm::bench {
+
+/// The world and all derived state shared by a bench binary.
+struct Context {
+  simworld::WorldResult world;
+  analysis::DatasetIndex index;
+  linking::Linker linker;
+  linking::IterativeResult linked;
+
+  Context();
+};
+
+/// The process-wide context (built on first use; ~2 s).
+const Context& context();
+
+/// Prints the experiment banner.
+void print_banner(const std::string& experiment, const std::string& title);
+
+/// A two-column "paper vs measured" row helper.
+class Comparison {
+ public:
+  Comparison();
+
+  /// Adds one metric row. `paper` and `measured` are preformatted values.
+  void add(const std::string& metric, const std::string& paper,
+           const std::string& measured);
+
+  /// Numeric convenience (formats with the given precision).
+  void add(const std::string& metric, double paper, double measured,
+           int precision = 1);
+
+  /// Prints the table to stdout.
+  void print() const;
+
+ private:
+  util::TextTable table_;
+};
+
+/// Prints an (x, y) curve as aligned columns, subsampled to `max_rows`.
+void print_curve(const std::string& x_label, const std::string& y_label,
+                 const std::vector<std::pair<double, double>>& points,
+                 std::size_t max_rows = 12);
+
+/// Formats a double with `precision` decimals.
+std::string num(double value, int precision = 1);
+
+}  // namespace sm::bench

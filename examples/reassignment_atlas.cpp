@@ -1,0 +1,61 @@
+// Reassignment atlas: infer every ISP's IP reassignment policy purely from
+// the invalid certificates its subscribers serve (§7.4), and print an
+// atlas sorted from fully-static to fully-dynamic networks.
+//
+//   ./examples/reassignment_atlas
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "simworld/world.h"
+#include "tracking/tracker.h"
+
+int main() {
+  using namespace sm;
+
+  std::puts("simulating and scanning (paper-scale world)...");
+  const simworld::WorldResult world =
+      simworld::World(simworld::WorldConfig::paper()).run();
+  const analysis::DatasetIndex index(world.archive, world.routing);
+  const linking::Linker linker(index);
+  const linking::IterativeResult linked = linker.link_iteratively();
+  const tracking::DeviceTracker tracker(index, linker, linked, world.as_db);
+  const tracking::ReassignmentStats stats = tracker.reassignment();
+
+  std::vector<tracking::AsReassignment> atlas = stats.per_as;
+  std::sort(atlas.begin(), atlas.end(),
+            [](const auto& a, const auto& b) {
+              return a.static_fraction() > b.static_fraction();
+            });
+
+  std::printf("\nIP reassignment atlas (%zu ASes with >= 10 tracked "
+              "devices)\n\n",
+              atlas.size());
+  std::printf("%-46s %8s %8s %14s\n", "autonomous system", "devices",
+              "static", "chg every scan");
+  std::printf("%.*s\n", 78,
+              "------------------------------------------------------------"
+              "------------------");
+  for (const auto& as_stats : atlas) {
+    std::printf("%-46s %8u %8s %14s\n",
+                world.as_db.label(as_stats.asn).c_str(),
+                as_stats.tracked_devices,
+                util::percent(as_stats.static_fraction()).c_str(),
+                util::percent(as_stats.always_changing_fraction()).c_str());
+  }
+
+  std::printf("\n%llu of %zu ASes assign static addresses to >= 90%% of "
+              "their devices\n(paper: 56.3%% of 4,467 ASes)\n",
+              static_cast<unsigned long long>(stats.ases_90pct_static),
+              stats.per_as.size());
+  std::puts("\nhighly dynamic networks (>= 75% of devices on a new IP every "
+            "scan):");
+  for (const auto& as_stats : stats.most_dynamic) {
+    std::printf("  %-46s %s of %u devices\n",
+                world.as_db.label(as_stats.asn).c_str(),
+                util::percent(as_stats.always_changing_fraction()).c_str(),
+                as_stats.tracked_devices);
+  }
+  return 0;
+}

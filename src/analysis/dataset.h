@@ -1,0 +1,67 @@
+// DatasetIndex — per-certificate derived statistics over a ScanArchive:
+// lifetimes, per-scan IP counts, and AS residency. Computed once, consumed
+// by every §5 analysis and by the linking evaluation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/route_table.h"
+#include "scan/archive.h"
+
+namespace sm::analysis {
+
+/// Derived per-certificate statistics.
+struct CertStats {
+  std::uint32_t scans_seen = 0;  ///< scans with >= 1 observation
+  std::uint32_t first_scan = 0;
+  std::uint32_t last_scan = 0;
+  /// Sum over scans of the number of *unique* IPs advertising the cert.
+  std::uint64_t total_ip_scan_slots = 0;
+  std::uint32_t max_ips_in_scan = 0;
+  std::uint32_t min_ips_in_scan = 0;
+  std::uint32_t distinct_as_count = 0;
+  /// The AS hosting this certificate most often (observation-weighted).
+  net::Asn majority_as = 0;
+
+  /// Average unique IPs advertising the certificate per scan where seen
+  /// (the paper's Figure 7 metric). 0 when never observed.
+  double avg_ips_per_scan() const {
+    return scans_seen == 0 ? 0.0
+                           : static_cast<double>(total_ip_scan_slots) /
+                                 static_cast<double>(scans_seen);
+  }
+};
+
+/// Index of derived statistics for every certificate in an archive.
+class DatasetIndex {
+ public:
+  /// Builds the index; resolves every observation's IP to its origin AS via
+  /// the routing snapshot in effect at each scan's start.
+  DatasetIndex(const scan::ScanArchive& archive,
+               const net::RoutingHistory& routing);
+
+  const scan::ScanArchive& archive() const { return *archive_; }
+
+  /// Stats for certificate `id`.
+  const CertStats& stats(scan::CertId id) const { return stats_[id]; }
+  const std::vector<CertStats>& all_stats() const { return stats_; }
+
+  /// Lifetime in days, computed the paper's way (1 day when seen once).
+  double lifetime_days(scan::CertId id) const;
+
+  /// The origin AS of `ip` at scan `scan_index` (0 when unroutable).
+  net::Asn as_of(std::size_t scan_index, std::uint32_t ip) const;
+
+  /// Number of scans in the archive.
+  std::size_t scan_count() const { return archive_->scans().size(); }
+
+ private:
+  const scan::ScanArchive* archive_;
+  const net::RoutingHistory* routing_;
+  std::vector<CertStats> stats_;
+  std::vector<const net::RouteTable*> scan_tables_;  // per scan
+};
+
+}  // namespace sm::analysis

@@ -1,0 +1,84 @@
+#include "analysis/discrepancy.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <set>
+
+namespace sm::analysis {
+
+std::optional<ScanDiscrepancy> compute_scan_discrepancy(
+    const scan::ScanArchive& archive) {
+  const auto& scans = archive.scans();
+  // Find the (UMich, Rapid7) pair with minimal start-time distance.
+  std::optional<std::size_t> best_umich, best_rapid7;
+  std::int64_t best_gap = 0;
+  for (std::size_t u = 0; u < scans.size(); ++u) {
+    if (scans[u].event.campaign != scan::Campaign::kUMich) continue;
+    for (std::size_t r = 0; r < scans.size(); ++r) {
+      if (scans[r].event.campaign != scan::Campaign::kRapid7) continue;
+      const std::int64_t gap =
+          std::abs(scans[u].event.start - scans[r].event.start);
+      if (!best_umich || gap < best_gap) {
+        best_umich = u;
+        best_rapid7 = r;
+        best_gap = gap;
+      }
+    }
+  }
+  if (!best_umich || !best_rapid7) return std::nullopt;
+
+  const auto hosts_of = [&](std::size_t scan_index) {
+    std::set<std::uint32_t> hosts;
+    for (const scan::Observation& obs : scans[scan_index].observations) {
+      hosts.insert(obs.ip);
+    }
+    return hosts;
+  };
+  const std::set<std::uint32_t> umich = hosts_of(*best_umich);
+  const std::set<std::uint32_t> rapid7 = hosts_of(*best_rapid7);
+
+  ScanDiscrepancy out;
+  out.umich_scan = *best_umich;
+  out.rapid7_scan = *best_rapid7;
+  out.umich_total_hosts = umich.size();
+  out.rapid7_total_hosts = rapid7.size();
+
+  std::array<Slash8Discrepancy, 256> slots{};
+  std::array<std::uint64_t, 256> umich_only{}, rapid7_only{};
+  for (const std::uint32_t ip : umich) {
+    const std::uint32_t octet = ip >> 24;
+    ++slots[octet].umich_hosts;
+    if (!rapid7.contains(ip)) {
+      ++umich_only[octet];
+      ++out.umich_only_hosts;
+    }
+  }
+  for (const std::uint32_t ip : rapid7) {
+    const std::uint32_t octet = ip >> 24;
+    ++slots[octet].rapid7_hosts;
+    if (!umich.contains(ip)) {
+      ++rapid7_only[octet];
+      ++out.rapid7_only_hosts;
+    }
+  }
+  for (std::uint32_t octet = 0; octet < 256; ++octet) {
+    Slash8Discrepancy& slot = slots[octet];
+    if (slot.umich_hosts == 0 && slot.rapid7_hosts == 0) continue;
+    slot.first_octet = octet;
+    if (slot.umich_hosts > 0) {
+      slot.umich_unique_fraction =
+          static_cast<double>(umich_only[octet]) /
+          static_cast<double>(slot.umich_hosts);
+    }
+    if (slot.rapid7_hosts > 0) {
+      slot.rapid7_unique_fraction =
+          static_cast<double>(rapid7_only[octet]) /
+          static_cast<double>(slot.rapid7_hosts);
+    }
+    out.per_slash8.push_back(slot);
+  }
+  return out;
+}
+
+}  // namespace sm::analysis

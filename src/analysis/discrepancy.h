@@ -1,0 +1,41 @@
+// Figure 1: the per-/8 host discrepancy between the two scan campaigns on a
+// day where both scanned, plus the BGP-prefix blacklisting attribution of
+// §4.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "scan/archive.h"
+
+namespace sm::analysis {
+
+/// One Figure 1 point: a /8 network and the fraction of its hosts unique to
+/// each campaign's scan.
+struct Slash8Discrepancy {
+  std::uint32_t first_octet = 0;
+  std::uint64_t umich_hosts = 0;
+  std::uint64_t rapid7_hosts = 0;
+  double umich_unique_fraction = 0;   ///< |U \ R| / |U| (0 when |U| = 0)
+  double rapid7_unique_fraction = 0;  ///< |R \ U| / |R| (0 when |R| = 0)
+};
+
+/// The full Figure 1 dataset plus §4.1 aggregates.
+struct ScanDiscrepancy {
+  std::size_t umich_scan = 0;   ///< scan indices compared
+  std::size_t rapid7_scan = 0;
+  std::vector<Slash8Discrepancy> per_slash8;
+  std::uint64_t umich_total_hosts = 0;
+  std::uint64_t rapid7_total_hosts = 0;
+  std::uint64_t umich_only_hosts = 0;
+  std::uint64_t rapid7_only_hosts = 0;
+};
+
+/// Picks the closest-in-time (UMich, Rapid7) scan pair — a dual-scan day
+/// when one exists — and computes the per-/8 unique-host fractions.
+/// Returns nullopt when the archive lacks one of the campaigns.
+std::optional<ScanDiscrepancy> compute_scan_discrepancy(
+    const scan::ScanArchive& archive);
+
+}  // namespace sm::analysis

@@ -1,0 +1,134 @@
+// §5.2-§5.4 analyses: key sharing (Figure 6), issuer diversity (Table 1,
+// §5.3), host/IP diversity (Figure 7), AS diversity (Figure 8, Tables 2-3),
+// and the device-type classification of Table 4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "net/as_database.h"
+#include "util/stats.h"
+
+namespace sm::analysis {
+
+/// Figure 6's inputs: how certificates share public keys.
+struct KeyDiversity {
+  /// (fraction of keys used, fraction of certs covered) curves, heaviest
+  /// keys first. A y=x line means every certificate has a unique key.
+  std::vector<std::pair<double, double>> valid_curve;
+  std::vector<std::pair<double, double>> invalid_curve;
+  /// Fraction of certificates whose key appears on >= 2 certificates
+  /// (paper: >47% for invalid).
+  double invalid_shared_fraction = 0;
+  double valid_shared_fraction = 0;
+  /// The largest single key's certificate count and share among invalid
+  /// certificates (paper: the Lancom key, 6.5%).
+  std::uint64_t top_invalid_key_certs = 0;
+  double top_invalid_key_share = 0;
+};
+
+/// Computes key-sharing statistics.
+KeyDiversity compute_key_diversity(const scan::ScanArchive& archive);
+
+/// One Table 1 row.
+struct IssuerRow {
+  std::string issuer;
+  std::uint64_t certs = 0;
+};
+
+/// Table 1 plus §5.3's signing-key diversity numbers.
+struct IssuerDiversity {
+  std::vector<IssuerRow> top_valid;    ///< top issuers of valid certs
+  std::vector<IssuerRow> top_invalid;  ///< top issuers of invalid certs
+  /// §5.3: distinct parent signing keys (via AuthorityKeyIdentifier).
+  std::uint64_t valid_parent_keys = 0;
+  std::uint64_t invalid_parent_keys = 0;
+  /// Keys needed to span half of the valid certs (paper: 5).
+  std::uint64_t valid_keys_for_half = 0;
+  /// Share of AKI-bearing invalid certs covered by the top five parent
+  /// keys (paper: 37%).
+  double invalid_top5_key_share = 0;
+  /// Fraction of invalid certs that are issued by a private-range IP CN.
+  double invalid_private_ip_issuer_fraction = 0;
+};
+
+/// Computes Table 1 (top `n` issuers) and §5.3 statistics.
+IssuerDiversity compute_issuer_diversity(const scan::ScanArchive& archive,
+                                         std::size_t n = 5);
+
+/// Figure 7's inputs.
+struct HostDiversity {
+  util::EmpiricalCdf valid_avg_ips;
+  util::EmpiricalCdf invalid_avg_ips;
+  double valid_p99 = 0;    ///< paper: 11.3
+  double invalid_p99 = 0;  ///< paper: 2.0
+  /// Fraction of invalid certs on more than two IPs in some scan (the
+  /// paper excludes these 1.6% before linking).
+  double invalid_multihost_fraction = 0;
+};
+
+/// Computes average-IPs-per-scan distributions.
+HostDiversity compute_host_diversity(const DatasetIndex& index);
+
+/// Figure 8 + §5.4 AS-level numbers.
+struct AsDiversity {
+  util::EmpiricalCdf valid_as_counts;
+  util::EmpiricalCdf invalid_as_counts;
+  /// Share of certs whose majority AS is the single largest AS
+  /// (paper: 10% valid / 18% invalid).
+  double valid_top_as_share = 0;
+  double invalid_top_as_share = 0;
+  /// ASes needed to cover 70% of certs (paper: 500 valid / 165 invalid).
+  std::uint64_t valid_ases_for_70 = 0;
+  std::uint64_t invalid_ases_for_70 = 0;
+};
+
+/// Computes AS-diversity distributions (majority-AS attribution).
+AsDiversity compute_as_diversity(const DatasetIndex& index);
+
+/// Table 2: percentage of certificates per hosting-AS type.
+struct AsTypeBreakdown {
+  /// type -> {valid %, invalid %} (fractions in [0,1])
+  std::map<net::AsType, std::pair<double, double>> shares;
+};
+
+/// Computes the Table 2 breakdown using each cert's majority AS.
+AsTypeBreakdown compute_as_type_breakdown(const DatasetIndex& index,
+                                          const net::AsDatabase& as_db);
+
+/// One Table 3 row.
+struct TopAsRow {
+  net::Asn asn = 0;
+  std::string label;
+  std::uint64_t certs = 0;
+};
+
+/// Table 3: the `n` ASes hosting the most valid / invalid certificates.
+struct TopAses {
+  std::vector<TopAsRow> valid;
+  std::vector<TopAsRow> invalid;
+};
+
+TopAses compute_top_ases(const DatasetIndex& index,
+                         const net::AsDatabase& as_db, std::size_t n = 5);
+
+/// Table 4: device-type classification of invalid certificates from the
+/// top `top_issuers` issuing names, mirroring the paper's manual analysis.
+struct DeviceTypeBreakdown {
+  /// device type -> fraction of classified certificates
+  std::vector<std::pair<std::string, double>> shares;
+  std::uint64_t classified_certs = 0;
+};
+
+/// Classifies one issuer Common Name into a Table 4 device category — the
+/// codified version of the paper's manual lookup (model numbers, vendor
+/// names, web-page inspection).
+std::string classify_issuer(const std::string& issuer_cn);
+
+DeviceTypeBreakdown compute_device_types(const scan::ScanArchive& archive,
+                                         std::size_t top_issuers = 50);
+
+}  // namespace sm::analysis

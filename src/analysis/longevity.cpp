@@ -1,0 +1,168 @@
+#include "analysis/longevity.h"
+
+namespace sm::analysis {
+
+namespace {
+
+bool version_legal(const scan::CertRecord& cert) {
+  return cert.raw_version >= 0 && cert.raw_version <= 2;
+}
+
+}  // namespace
+
+ValidityBreakdown compute_validity_breakdown(
+    const scan::ScanArchive& archive) {
+  ValidityBreakdown out;
+  for (const scan::CertRecord& cert : archive.certs()) {
+    if (!version_legal(cert)) {
+      ++out.malformed_version;
+      continue;
+    }
+    ++out.total_certs;
+    if (cert.valid) {
+      ++out.valid_certs;
+      if (cert.transvalid) ++out.transvalid;
+      continue;
+    }
+    ++out.invalid_certs;
+    switch (cert.invalid_reason) {
+      case pki::InvalidReason::kSelfSigned:
+        ++out.self_signed;
+        break;
+      case pki::InvalidReason::kUntrustedIssuer:
+        ++out.untrusted_issuer;
+        break;
+      default:
+        ++out.other_invalid;
+    }
+  }
+  return out;
+}
+
+std::vector<ScanSeriesRow> compute_scan_series(
+    const scan::ScanArchive& archive) {
+  std::vector<ScanSeriesRow> out;
+  out.reserve(archive.scans().size());
+  std::vector<std::uint32_t> last_counted(archive.certs().size(), 0);
+  std::uint32_t stamp = 0;
+  for (const scan::ScanData& scan : archive.scans()) {
+    ++stamp;
+    ScanSeriesRow row;
+    row.campaign = scan.event.campaign;
+    row.date = scan.event.start;
+    for (const scan::Observation& obs : scan.observations) {
+      if (last_counted[obs.cert] == stamp) continue;  // unique per scan
+      last_counted[obs.cert] = stamp;
+      const scan::CertRecord& cert = archive.cert(obs.cert);
+      if (!version_legal(cert)) continue;
+      (cert.valid ? row.valid : row.invalid)++;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+ValidityPeriods compute_validity_periods(const scan::ScanArchive& archive) {
+  std::vector<double> valid_days, invalid_days;
+  std::uint64_t valid_total = 0, invalid_total = 0;
+  std::uint64_t valid_negative = 0, invalid_negative = 0;
+  for (const scan::CertRecord& cert : archive.certs()) {
+    if (!version_legal(cert)) continue;
+    const double days = cert.validity_period_days();
+    if (cert.valid) {
+      ++valid_total;
+      if (days < 0) {
+        ++valid_negative;
+      } else {
+        valid_days.push_back(days);
+      }
+    } else {
+      ++invalid_total;
+      if (days < 0) {
+        ++invalid_negative;
+      } else {
+        invalid_days.push_back(days);
+      }
+    }
+  }
+  ValidityPeriods out;
+  out.valid_days = util::EmpiricalCdf(std::move(valid_days));
+  out.invalid_days = util::EmpiricalCdf(std::move(invalid_days));
+  out.valid_negative_fraction =
+      valid_total == 0 ? 0.0
+                       : static_cast<double>(valid_negative) /
+                             static_cast<double>(valid_total);
+  out.invalid_negative_fraction =
+      invalid_total == 0 ? 0.0
+                         : static_cast<double>(invalid_negative) /
+                               static_cast<double>(invalid_total);
+  return out;
+}
+
+Lifetimes compute_lifetimes(const DatasetIndex& index) {
+  const auto& certs = index.archive().certs();
+  std::vector<double> valid_days, invalid_days;
+  std::uint64_t invalid_count = 0, invalid_single = 0;
+  for (scan::CertId id = 0; id < certs.size(); ++id) {
+    const CertStats& stats = index.stats(id);
+    if (stats.scans_seen == 0 || !version_legal(certs[id])) continue;
+    const double days = index.lifetime_days(id);
+    if (certs[id].valid) {
+      valid_days.push_back(days);
+    } else {
+      invalid_days.push_back(days);
+      ++invalid_count;
+      if (stats.scans_seen == 1) ++invalid_single;
+    }
+  }
+  Lifetimes out;
+  out.valid_days = util::EmpiricalCdf(std::move(valid_days));
+  out.invalid_days = util::EmpiricalCdf(std::move(invalid_days));
+  out.invalid_single_scan_fraction =
+      invalid_count == 0 ? 0.0
+                         : static_cast<double>(invalid_single) /
+                               static_cast<double>(invalid_count);
+  return out;
+}
+
+NotBeforeDeltas compute_notbefore_deltas(const DatasetIndex& index) {
+  const auto& archive = index.archive();
+  const auto& certs = archive.certs();
+  std::vector<double> positive;
+  std::uint64_t total = 0, same_day = 0, negative = 0, under_four = 0,
+                over_thousand = 0;
+  for (scan::CertId id = 0; id < certs.size(); ++id) {
+    const scan::CertRecord& cert = certs[id];
+    const CertStats& stats = index.stats(id);
+    // Ephemeral invalid certificates: observed in exactly one scan.
+    if (cert.valid || stats.scans_seen != 1 || !version_legal(cert)) continue;
+    ++total;
+    const util::UnixTime first_advertised =
+        archive.scans()[stats.first_scan].event.start;
+    // Compare calendar days, as the paper compares dates.
+    const std::int64_t delta_days =
+        first_advertised / util::kSecondsPerDay -
+        cert.not_before / util::kSecondsPerDay;
+    if (delta_days < 0) {
+      ++negative;
+      continue;
+    }
+    positive.push_back(static_cast<double>(delta_days));
+    if (delta_days == 0) ++same_day;
+    if (delta_days < 4) ++under_four;
+    if (delta_days > 1000) ++over_thousand;
+  }
+  NotBeforeDeltas out;
+  out.positive_days = util::EmpiricalCdf(std::move(positive));
+  if (total > 0) {
+    const double denom = static_cast<double>(total);
+    out.same_day_fraction = static_cast<double>(same_day) / denom;
+    out.negative_fraction = static_cast<double>(negative) / denom;
+    out.under_four_days_fraction = static_cast<double>(under_four) / denom;
+    out.over_thousand_days_fraction =
+        static_cast<double>(over_thousand) / denom;
+  }
+  return out;
+}
+
+}  // namespace sm::analysis

@@ -1,0 +1,93 @@
+// §4 and §5.1 analyses: validity isolation (the paper's openssl-verify
+// pipeline output), the per-scan certificate series of Figure 2, and the
+// longevity distributions of Figures 3, 4 and 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "scan/archive.h"
+#include "scan/schedule.h"
+#include "util/stats.h"
+
+namespace sm::analysis {
+
+/// §4.2's headline numbers.
+struct ValidityBreakdown {
+  std::uint64_t total_certs = 0;
+  std::uint64_t valid_certs = 0;
+  std::uint64_t invalid_certs = 0;
+  std::uint64_t self_signed = 0;        ///< among invalid
+  std::uint64_t untrusted_issuer = 0;   ///< among invalid
+  std::uint64_t other_invalid = 0;      ///< among invalid
+  std::uint64_t malformed_version = 0;  ///< disregarded, reported separately
+  std::uint64_t transvalid = 0;         ///< valid only via pool completion
+
+  double invalid_fraction() const {
+    return total_certs == 0 ? 0.0
+                            : static_cast<double>(invalid_certs) /
+                                  static_cast<double>(total_certs);
+  }
+};
+
+/// Computes the unique-certificate validity breakdown across the archive.
+/// Certificates with illegal versions are excluded from the valid/invalid
+/// totals (the paper disregards them) but counted in malformed_version.
+ValidityBreakdown compute_validity_breakdown(const scan::ScanArchive& archive);
+
+/// One Figure 2 point: unique certificates observed in one scan.
+struct ScanSeriesRow {
+  scan::Campaign campaign = scan::Campaign::kUMich;
+  util::UnixTime date = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t valid = 0;
+
+  double invalid_fraction() const {
+    const std::uint64_t total = invalid + valid;
+    return total == 0 ? 0.0
+                      : static_cast<double>(invalid) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Per-scan unique invalid/valid certificate counts (Figure 2), in scan
+/// order.
+std::vector<ScanSeriesRow> compute_scan_series(
+    const scan::ScanArchive& archive);
+
+/// Figure 3's inputs: validity-period distributions.
+struct ValidityPeriods {
+  util::EmpiricalCdf valid_days;    ///< non-negative periods only
+  util::EmpiricalCdf invalid_days;  ///< non-negative periods only
+  double invalid_negative_fraction = 0;  ///< paper: 5.38%
+  double valid_negative_fraction = 0;
+};
+
+/// Computes validity-period CDFs for valid vs invalid certificates.
+ValidityPeriods compute_validity_periods(const scan::ScanArchive& archive);
+
+/// Figure 4's inputs: lifetime distributions (days, paper semantics).
+struct Lifetimes {
+  util::EmpiricalCdf valid_days;
+  util::EmpiricalCdf invalid_days;
+  double invalid_single_scan_fraction = 0;  ///< paper: ~60%
+};
+
+/// Computes lifetime CDFs over certificates observed at least once.
+Lifetimes compute_lifetimes(const DatasetIndex& index);
+
+/// Figure 5's inputs: (first-advertised date - NotBefore date) for
+/// *ephemeral* invalid certificates (observed in exactly one scan).
+struct NotBeforeDeltas {
+  util::EmpiricalCdf positive_days;  ///< deltas >= 0, in days
+  double same_day_fraction = 0;      ///< paper: ~30% at exactly 0
+  double negative_fraction = 0;      ///< paper: 2.9% (NotBefore in future)
+  double under_four_days_fraction = 0;   ///< paper: ~70%
+  double over_thousand_days_fraction = 0;  ///< paper: ~20%
+};
+
+/// Computes the Figure 5 distribution.
+NotBeforeDeltas compute_notbefore_deltas(const DatasetIndex& index);
+
+}  // namespace sm::analysis

@@ -1,0 +1,174 @@
+// DER (X.690 Distinguished Encoding Rules) writing and reading.
+//
+// The writer builds values bottom-up: each helper returns the complete TLV
+// bytes for one value, and containers (SEQUENCE/SET/context tags) wrap the
+// concatenation of their children. The reader is a cursor over a byte view
+// with typed extractors that return std::optional on malformed input —
+// parsing never throws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "asn1/oid.h"
+#include "bignum/biguint.h"
+#include "util/bytes.h"
+#include "util/datetime.h"
+
+namespace sm::asn1 {
+
+/// Universal class tags used by this library (X.680 §8).
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,  // constructed
+  kSet = 0x31,       // constructed
+};
+
+/// Tag byte for [n] context-specific, constructed (e.g. the explicit
+/// version wrapper in TBSCertificate).
+constexpr std::uint8_t context_constructed(unsigned n) {
+  return static_cast<std::uint8_t>(0xa0 | n);
+}
+
+/// Tag byte for [n] context-specific, primitive (e.g. SAN dNSName / iPAddress
+/// choices).
+constexpr std::uint8_t context_primitive(unsigned n) {
+  return static_cast<std::uint8_t>(0x80 | n);
+}
+
+// --- Writing ----------------------------------------------------------------
+
+/// Wraps `content` in a tag + definite length header.
+util::Bytes encode_tlv(std::uint8_t tag, util::BytesView content);
+
+/// INTEGER from a non-negative bignum (adds a 0x00 pad byte when the high
+/// bit is set, per DER two's-complement rules).
+util::Bytes encode_integer(const bignum::BigUint& value);
+
+/// INTEGER from a machine integer (may be negative).
+util::Bytes encode_integer(std::int64_t value);
+
+/// BOOLEAN (DER: 0xff for true).
+util::Bytes encode_boolean(bool value);
+
+/// NULL.
+util::Bytes encode_null();
+
+/// OBJECT IDENTIFIER.
+util::Bytes encode_oid(const Oid& oid);
+
+/// OCTET STRING.
+util::Bytes encode_octet_string(util::BytesView content);
+
+/// BIT STRING with zero unused bits (keys, signatures).
+util::Bytes encode_bit_string(util::BytesView content);
+
+/// BIT STRING of named bits (DER: trailing zero bits are not encoded and
+/// the unused-bit count is explicit). Bit 0 is the most significant bit of
+/// the first content octet, per X.680. Used for KeyUsage.
+util::Bytes encode_named_bit_string(std::uint32_t bits, unsigned bit_count);
+
+/// Decodes a named-bit BIT STRING back into a bit mask (bit i of the
+/// result = named bit i). Returns nullopt on malformed input or more than
+/// 32 named bits.
+std::optional<std::uint32_t> decode_named_bit_string(util::BytesView content);
+
+/// UTF8String.
+util::Bytes encode_utf8_string(const std::string& s);
+
+/// PrintableString (no character-set check; callers pass known-safe text).
+util::Bytes encode_printable_string(const std::string& s);
+
+/// IA5String (used for dNSName / URI).
+util::Bytes encode_ia5_string(const std::string& s);
+
+/// Time as UTCTime when the year fits 1950-2049, else GeneralizedTime —
+/// exactly the RFC 5280 rule. Years > 9999 are clamped to 9999-12-31
+/// because GeneralizedTime cannot represent them.
+util::Bytes encode_time(util::UnixTime t);
+
+/// SEQUENCE wrapping already-encoded children.
+util::Bytes encode_sequence(util::BytesView children);
+
+/// SET wrapping already-encoded children (no re-sorting; callers emit
+/// children in canonical order).
+util::Bytes encode_set(util::BytesView children);
+
+/// [n] EXPLICIT wrapper.
+util::Bytes encode_context(unsigned n, util::BytesView children);
+
+// --- Reading ----------------------------------------------------------------
+
+/// One decoded TLV: its tag, its content bytes, and the full encoding
+/// (header + content) for signature/fingerprint purposes.
+struct Tlv {
+  std::uint8_t tag = 0;
+  util::BytesView content;
+  util::BytesView full;
+};
+
+/// A non-owning DER cursor. Typical use:
+///   Reader r(buffer);
+///   auto seq = r.read(Tag::kSequence);
+///   if (!seq) ... error ...
+///   Reader inner(seq->content);
+class Reader {
+ public:
+  explicit Reader(util::BytesView data) : data_(data) {}
+
+  /// True when all input has been consumed.
+  bool at_end() const { return pos_ >= data_.size(); }
+
+  /// Bytes remaining.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Tag byte of the next TLV without consuming it; nullopt at end.
+  std::optional<std::uint8_t> peek_tag() const;
+
+  /// Reads the next TLV whatever its tag.
+  std::optional<Tlv> read_any();
+
+  /// Reads the next TLV and requires the given tag.
+  std::optional<Tlv> read(Tag tag);
+
+  /// Reads the next TLV and requires the given raw tag byte.
+  std::optional<Tlv> read_tag(std::uint8_t tag);
+
+  /// Reads an INTEGER as a bignum; rejects negative values.
+  std::optional<bignum::BigUint> read_integer();
+
+  /// Reads an INTEGER that must fit in int64.
+  std::optional<std::int64_t> read_small_integer();
+
+  /// Reads a BOOLEAN.
+  std::optional<bool> read_boolean();
+
+  /// Reads an OBJECT IDENTIFIER.
+  std::optional<Oid> read_oid();
+
+  /// Reads a UTCTime or GeneralizedTime as Unix seconds.
+  std::optional<util::UnixTime> read_time();
+
+  /// Reads any of the string types as raw text.
+  std::optional<std::string> read_string();
+
+ private:
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses a complete DER value that must span the whole buffer.
+std::optional<Tlv> parse_single(util::BytesView data);
+
+}  // namespace sm::asn1

@@ -1,0 +1,161 @@
+#include <cstdio>
+
+#include "asn1/der.h"
+
+namespace sm::asn1 {
+
+namespace {
+
+void append_length(util::Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  std::uint8_t tmp[8];
+  int n = 0;
+  while (len) {
+    tmp[n++] = static_cast<std::uint8_t>(len & 0xff);
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | n));
+  for (int i = n - 1; i >= 0; --i) out.push_back(tmp[i]);
+}
+
+util::Bytes encode_string(Tag tag, const std::string& s) {
+  return encode_tlv(static_cast<std::uint8_t>(tag),
+                    util::BytesView(reinterpret_cast<const std::uint8_t*>(
+                                        s.data()),
+                                    s.size()));
+}
+
+}  // namespace
+
+util::Bytes encode_tlv(std::uint8_t tag, util::BytesView content) {
+  util::Bytes out;
+  out.reserve(content.size() + 6);
+  out.push_back(tag);
+  append_length(out, content.size());
+  util::append(out, content);
+  return out;
+}
+
+util::Bytes encode_integer(const bignum::BigUint& value) {
+  util::Bytes content = value.to_bytes();
+  if (content[0] & 0x80) content.insert(content.begin(), 0x00);
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kInteger), content);
+}
+
+util::Bytes encode_integer(std::int64_t value) {
+  // Minimal two's-complement big-endian encoding.
+  util::Bytes content;
+  bool more = true;
+  while (more) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+    content.insert(content.begin(), byte);
+    more = !((value == 0 && !(byte & 0x80)) ||
+             (value == -1 && (byte & 0x80)));
+  }
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kInteger), content);
+}
+
+util::Bytes encode_boolean(bool value) {
+  const std::uint8_t v = value ? 0xff : 0x00;
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kBoolean),
+                    util::BytesView(&v, 1));
+}
+
+util::Bytes encode_null() {
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kNull), {});
+}
+
+util::Bytes encode_oid(const Oid& oid) {
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kOid), oid.encode());
+}
+
+util::Bytes encode_octet_string(util::BytesView content) {
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kOctetString), content);
+}
+
+util::Bytes encode_bit_string(util::BytesView content) {
+  util::Bytes body;
+  body.reserve(content.size() + 1);
+  body.push_back(0x00);  // unused bits
+  util::append(body, content);
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kBitString), body);
+}
+
+util::Bytes encode_named_bit_string(std::uint32_t bits, unsigned bit_count) {
+  // Find the highest set named bit; DER requires trailing zero bits to be
+  // stripped.
+  unsigned highest = 0;
+  bool any = false;
+  for (unsigned i = 0; i < bit_count && i < 32; ++i) {
+    if (bits & (1u << i)) {
+      highest = i;
+      any = true;
+    }
+  }
+  util::Bytes body;
+  if (!any) {
+    body.push_back(0x00);  // empty bit string
+    return encode_tlv(static_cast<std::uint8_t>(Tag::kBitString), body);
+  }
+  const unsigned octets = highest / 8 + 1;
+  const unsigned unused = 7 - (highest % 8);
+  body.push_back(static_cast<std::uint8_t>(unused));
+  for (unsigned octet = 0; octet < octets; ++octet) {
+    std::uint8_t value = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const unsigned named = octet * 8 + bit;
+      if (named < 32 && (bits & (1u << named))) {
+        value |= static_cast<std::uint8_t>(0x80 >> bit);
+      }
+    }
+    body.push_back(value);
+  }
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kBitString), body);
+}
+
+util::Bytes encode_utf8_string(const std::string& s) {
+  return encode_string(Tag::kUtf8String, s);
+}
+
+util::Bytes encode_printable_string(const std::string& s) {
+  return encode_string(Tag::kPrintableString, s);
+}
+
+util::Bytes encode_ia5_string(const std::string& s) {
+  return encode_string(Tag::kIa5String, s);
+}
+
+util::Bytes encode_time(util::UnixTime t) {
+  util::CivilDateTime c = util::from_unix(t);
+  if (c.year > 9999) {
+    c = util::CivilDateTime{9999, 12, 31, 23, 59, 59};
+  }
+  char buf[24];
+  if (c.year >= 1950 && c.year <= 2049) {
+    std::snprintf(buf, sizeof(buf), "%02d%02u%02u%02u%02u%02uZ", c.year % 100,
+                  c.month, c.day, c.hour, c.minute, c.second);
+    return encode_string(Tag::kUtcTime, buf);
+  }
+  const int year = c.year < 0 ? 0 : c.year;
+  std::snprintf(buf, sizeof(buf), "%04d%02u%02u%02u%02u%02uZ", year, c.month,
+                c.day, c.hour, c.minute, c.second);
+  return encode_string(Tag::kGeneralizedTime, buf);
+}
+
+util::Bytes encode_sequence(util::BytesView children) {
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kSequence), children);
+}
+
+util::Bytes encode_set(util::BytesView children) {
+  return encode_tlv(static_cast<std::uint8_t>(Tag::kSet), children);
+}
+
+util::Bytes encode_context(unsigned n, util::BytesView children) {
+  return encode_tlv(context_constructed(n), children);
+}
+
+}  // namespace sm::asn1

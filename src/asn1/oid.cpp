@@ -1,0 +1,123 @@
+#include "asn1/oid.h"
+
+#include <charconv>
+
+namespace sm::asn1 {
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(arcs[i]);
+  }
+  return out;
+}
+
+std::optional<Oid> Oid::from_string(const std::string& dotted) {
+  Oid out;
+  std::size_t pos = 0;
+  while (pos <= dotted.size()) {
+    std::size_t dot = dotted.find('.', pos);
+    if (dot == std::string::npos) dot = dotted.size();
+    std::uint32_t arc = 0;
+    const auto [ptr, ec] =
+        std::from_chars(dotted.data() + pos, dotted.data() + dot, arc);
+    if (ec != std::errc{} || ptr != dotted.data() + dot) return std::nullopt;
+    out.arcs.push_back(arc);
+    pos = dot + 1;
+    if (dot == dotted.size()) break;
+  }
+  if (out.arcs.size() < 2) return std::nullopt;
+  if (out.arcs[0] > 2) return std::nullopt;
+  if (out.arcs[0] < 2 && out.arcs[1] >= 40) return std::nullopt;
+  return out;
+}
+
+util::Bytes Oid::encode() const {
+  util::Bytes out;
+  if (arcs.size() < 2) return out;
+  const auto put_base128 = [&](std::uint64_t v) {
+    std::uint8_t tmp[10];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<std::uint8_t>(v & 0x7f);
+      v >>= 7;
+    } while (v);
+    for (int i = n - 1; i >= 0; --i) {
+      out.push_back(static_cast<std::uint8_t>(tmp[i] | (i ? 0x80 : 0x00)));
+    }
+  };
+  put_base128(std::uint64_t{arcs[0]} * 40 + arcs[1]);
+  for (std::size_t i = 2; i < arcs.size(); ++i) put_base128(arcs[i]);
+  return out;
+}
+
+std::optional<Oid> Oid::decode(util::BytesView content) {
+  if (content.empty()) return std::nullopt;
+  Oid out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    std::uint64_t v = 0;
+    bool done = false;
+    // Cap sub-identifier length to avoid overflow on hostile input.
+    for (int i = 0; i < 9 && pos < content.size(); ++i) {
+      const std::uint8_t b = content[pos++];
+      v = (v << 7) | (b & 0x7f);
+      if (!(b & 0x80)) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) return std::nullopt;
+    if (first) {
+      first = false;
+      if (v < 40) {
+        out.arcs.push_back(0);
+        out.arcs.push_back(static_cast<std::uint32_t>(v));
+      } else if (v < 80) {
+        out.arcs.push_back(1);
+        out.arcs.push_back(static_cast<std::uint32_t>(v - 40));
+      } else {
+        out.arcs.push_back(2);
+        out.arcs.push_back(static_cast<std::uint32_t>(v - 80));
+      }
+    } else {
+      if (v > 0xffffffffULL) return std::nullopt;
+      out.arcs.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  return out;
+}
+
+namespace oids {
+
+Oid common_name() { return Oid{{2, 5, 4, 3}}; }
+Oid organization() { return Oid{{2, 5, 4, 10}}; }
+Oid organizational_unit() { return Oid{{2, 5, 4, 11}}; }
+Oid country() { return Oid{{2, 5, 4, 6}}; }
+Oid locality() { return Oid{{2, 5, 4, 7}}; }
+Oid state() { return Oid{{2, 5, 4, 8}}; }
+
+Oid subject_key_identifier() { return Oid{{2, 5, 29, 14}}; }
+Oid key_usage() { return Oid{{2, 5, 29, 15}}; }
+Oid subject_alt_name() { return Oid{{2, 5, 29, 17}}; }
+Oid basic_constraints() { return Oid{{2, 5, 29, 19}}; }
+Oid crl_distribution_points() { return Oid{{2, 5, 29, 31}}; }
+Oid authority_key_identifier() { return Oid{{2, 5, 29, 35}}; }
+Oid authority_info_access() { return Oid{{1, 3, 6, 1, 5, 5, 7, 1, 1}}; }
+Oid ad_ocsp() { return Oid{{1, 3, 6, 1, 5, 5, 7, 48, 1}}; }
+Oid ad_ca_issuers() { return Oid{{1, 3, 6, 1, 5, 5, 7, 48, 2}}; }
+
+Oid certificate_policies() { return Oid{{2, 5, 29, 32}}; }
+Oid extended_key_usage() { return Oid{{2, 5, 29, 37}}; }
+Oid kp_server_auth() { return Oid{{1, 3, 6, 1, 5, 5, 7, 3, 1}}; }
+Oid kp_client_auth() { return Oid{{1, 3, 6, 1, 5, 5, 7, 3, 2}}; }
+
+Oid rsa_encryption() { return Oid{{1, 2, 840, 113549, 1, 1, 1}}; }
+Oid sha256_with_rsa() { return Oid{{1, 2, 840, 113549, 1, 1, 11}}; }
+Oid sim_signature() { return Oid{{1, 3, 6, 1, 4, 1, 99999, 1, 1}}; }
+
+}  // namespace oids
+
+}  // namespace sm::asn1

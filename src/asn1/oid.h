@@ -1,0 +1,90 @@
+// ASN.1 OBJECT IDENTIFIER values and the well-known OIDs the X.509 layer
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace sm::asn1 {
+
+/// An OBJECT IDENTIFIER as a sequence of arcs, e.g. {2,5,4,3} = id-at-cn.
+struct Oid {
+  std::vector<std::uint32_t> arcs;
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+
+  /// Dotted-decimal rendering, e.g. "2.5.4.3".
+  std::string to_string() const;
+
+  /// Parses dotted-decimal; requires at least two arcs, first in {0,1,2},
+  /// second < 40 when first < 2 (per X.690 encoding constraints).
+  static std::optional<Oid> from_string(const std::string& dotted);
+
+  /// X.690 content-octet encoding (without tag/length).
+  util::Bytes encode() const;
+
+  /// Decodes X.690 content octets. Returns nullopt on malformed input.
+  static std::optional<Oid> decode(util::BytesView content);
+};
+
+// -- Well-known OIDs used by the X.509 layer ---------------------------------
+
+namespace oids {
+
+/// id-at-commonName (2.5.4.3)
+Oid common_name();
+/// id-at-organizationName (2.5.4.10)
+Oid organization();
+/// id-at-organizationalUnitName (2.5.4.11)
+Oid organizational_unit();
+/// id-at-countryName (2.5.4.6)
+Oid country();
+/// id-at-localityName (2.5.4.7)
+Oid locality();
+/// id-at-stateOrProvinceName (2.5.4.8)
+Oid state();
+
+/// id-ce-subjectKeyIdentifier (2.5.29.14)
+Oid subject_key_identifier();
+/// id-ce-keyUsage (2.5.29.15)
+Oid key_usage();
+/// id-ce-subjectAltName (2.5.29.17)
+Oid subject_alt_name();
+/// id-ce-basicConstraints (2.5.29.19)
+Oid basic_constraints();
+/// id-ce-cRLDistributionPoints (2.5.29.31)
+Oid crl_distribution_points();
+/// id-ce-authorityKeyIdentifier (2.5.29.35)
+Oid authority_key_identifier();
+/// id-pe-authorityInfoAccess (1.3.6.1.5.5.7.1.1)
+Oid authority_info_access();
+/// id-ad-ocsp (1.3.6.1.5.5.7.48.1)
+Oid ad_ocsp();
+/// id-ad-caIssuers (1.3.6.1.5.5.7.48.2)
+Oid ad_ca_issuers();
+
+/// id-ce-certificatePolicies (2.5.29.32)
+Oid certificate_policies();
+/// id-ce-extKeyUsage (2.5.29.37)
+Oid extended_key_usage();
+/// id-kp-serverAuth (1.3.6.1.5.5.7.3.1)
+Oid kp_server_auth();
+/// id-kp-clientAuth (1.3.6.1.5.5.7.3.2)
+Oid kp_client_auth();
+
+/// rsaEncryption (1.2.840.113549.1.1.1) — SPKI algorithm for RSA keys
+Oid rsa_encryption();
+/// sha256WithRSAEncryption (1.2.840.113549.1.1.11)
+Oid sha256_with_rsa();
+/// A private-arc OID for the simulated signature scheme
+/// (1.3.6.1.4.1.99999.1.1); see crypto::SigScheme::kSimSha256.
+Oid sim_signature();
+
+}  // namespace oids
+
+}  // namespace sm::asn1

@@ -1,0 +1,30 @@
+// A dumpasn1-style DER pretty-printer: renders any DER blob as an indented
+// TLV tree with decoded primitives (INTEGERs, OIDs, strings, times).
+// Malformed regions degrade to hex dumps instead of failing, so the printer
+// is safe on the hostile inputs a scan corpus contains.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sm::asn1 {
+
+/// Options for to_text.
+struct PrintOptions {
+  std::size_t max_depth = 16;        ///< recursion guard
+  std::size_t max_value_bytes = 16;  ///< hex shown before truncating with ".."
+};
+
+/// Renders DER as an indented tree, one TLV per line:
+///   SEQUENCE (142 bytes)
+///     INTEGER 12345
+///     OBJECT IDENTIFIER 2.5.4.3
+///     UTF8String "fritz.box"
+/// Unparseable bytes render as "!malformed (<n> bytes): <hex..>".
+std::string to_text(util::BytesView der, const PrintOptions& options = {});
+
+/// The conventional name of a tag byte ("SEQUENCE", "[0]", "BIT STRING"...).
+std::string tag_name(std::uint8_t tag);
+
+}  // namespace sm::asn1

@@ -1,0 +1,94 @@
+#include "bignum/prime.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace sm::bignum {
+
+namespace {
+
+// Small primes for trial-division prefiltering; rejects ~88% of random odd
+// candidates before the expensive Miller-Rabin rounds.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool miller_rabin_round(const BigUint& n, const BigUint& n_minus_1,
+                        const BigUint& d, std::size_t r, const BigUint& a) {
+  BigUint x = BigUint::mod_pow(a, d, n);
+  if (x == BigUint(1) || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BigUint random_below(const BigUint& bound, util::Rng& rng) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t bytes = (bits + 7) / 8;
+  for (;;) {
+    util::Bytes buf(bytes);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    // Mask excess high bits so rejection is cheap.
+    const std::size_t excess = bytes * 8 - bits;
+    if (excess) buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigUint candidate = BigUint::from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool is_probable_prime(const BigUint& n, util::Rng& rng, int extra_rounds) {
+  if (n < BigUint(2)) return false;
+  for (const std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  const BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (const std::uint32_t p : kSmallPrimes) {
+    if (p > 37) break;
+    if (!miller_rabin_round(n, n_minus_1, d, r, BigUint(p))) return false;
+  }
+  if (n.bit_length() > 81) {  // beyond the deterministic range
+    for (int i = 0; i < extra_rounds; ++i) {
+      const BigUint a = BigUint(2) + random_below(n - BigUint(4), rng);
+      if (!miller_rabin_round(n, n_minus_1, d, r, a)) return false;
+    }
+  }
+  return true;
+}
+
+BigUint random_prime(std::size_t bits, util::Rng& rng) {
+  if (bits < 8) throw std::invalid_argument("random_prime: bits too small");
+  for (;;) {
+    const std::size_t bytes = (bits + 7) / 8;
+    util::Bytes buf(bytes);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    const std::size_t excess = bytes * 8 - bits;
+    buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    // Force exact bit length with the top two bits set, and oddness.
+    const auto set_bit = [&](std::size_t k) {
+      buf[bytes - 1 - k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+    };
+    set_bit(bits - 1);
+    set_bit(bits - 2);
+    buf[bytes - 1] |= 1;
+    BigUint candidate = BigUint::from_bytes(buf);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace sm::bignum

@@ -1,0 +1,27 @@
+// Primality testing and random prime generation for RSA key material.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/biguint.h"
+#include "util/prng.h"
+
+namespace sm::bignum {
+
+/// Miller-Rabin probabilistic primality test.
+///
+/// Uses the deterministic witness set {2,3,5,7,11,13,17,19,23,29,31,37}
+/// (sufficient for n < 3.3e24) plus `extra_rounds` random witnesses drawn
+/// from `rng` for larger candidates.
+bool is_probable_prime(const BigUint& n, util::Rng& rng, int extra_rounds = 8);
+
+/// Generates a random probable prime of exactly `bits` bits (top two bits
+/// set, so products of two such primes have exactly 2*bits bits). `bits`
+/// must be >= 8.
+BigUint random_prime(std::size_t bits, util::Rng& rng);
+
+/// Uniform random value in [0, bound) for Miller-Rabin witnesses and key
+/// generation. `bound` must be non-zero.
+BigUint random_below(const BigUint& bound, util::Rng& rng);
+
+}  // namespace sm::bignum

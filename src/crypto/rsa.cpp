@@ -1,0 +1,132 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+#include "util/sha256.h"
+
+namespace sm::crypto {
+
+namespace {
+
+using bignum::BigUint;
+
+// DER prefix of DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfoPrefix[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+// Builds the EMSA-PKCS1-v1_5 encoding of SHA-256(message) for a modulus of
+// `em_len` bytes. Throws when the modulus is too small to hold the padding.
+util::Bytes emsa_encode(util::BytesView message, std::size_t em_len) {
+  const util::Bytes digest = util::Sha256::digest(message);
+  const std::size_t t_len = sizeof(kSha256DigestInfoPrefix) + digest.size();
+  if (em_len < t_len + 11) {
+    throw std::invalid_argument("RSA modulus too small for SHA-256 PKCS1");
+  }
+  util::Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), std::begin(kSha256DigestInfoPrefix),
+            std::end(kSha256DigestInfoPrefix));
+  util::append(em, digest);
+  return em;
+}
+
+void put_u32(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+RsaPrivateKey generate_rsa_keypair(std::size_t modulus_bits, util::Rng& rng) {
+  if (modulus_bits < 128 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("modulus_bits must be even and >= 128");
+  }
+  const BigUint e(65537);
+  for (;;) {
+    const BigUint p = bignum::random_prime(modulus_bits / 2, rng);
+    const BigUint q = bignum::random_prime(modulus_bits / 2, rng);
+    if (p == q) continue;
+    const BigUint n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+    const auto inv = BigUint::mod_inverse(e, phi);
+    if (!inv.ok) continue;
+    return RsaPrivateKey{RsaPublicKey{n, e}, inv.value, p, q};
+  }
+}
+
+util::Bytes rsa_sign_sha256(const RsaPrivateKey& key,
+                            util::BytesView message) {
+  const std::size_t k = (key.pub.n.bit_length() + 7) / 8;
+  const util::Bytes em = emsa_encode(message, k);
+  const BigUint m = BigUint::from_bytes(em);
+  const BigUint s = BigUint::mod_pow(m, key.d, key.pub.n);
+  util::Bytes sig = s.to_bytes();
+  // Left-pad to the modulus length.
+  util::Bytes out(k - sig.size(), 0);
+  util::append(out, sig);
+  return out;
+}
+
+bool rsa_verify_sha256(const RsaPublicKey& key, util::BytesView message,
+                       util::BytesView signature) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != k) return false;
+  const BigUint s = BigUint::from_bytes(signature);
+  if (s >= key.n) return false;
+  const BigUint m = BigUint::mod_pow(s, key.e, key.n);
+  util::Bytes em = m.to_bytes();
+  util::Bytes padded(k - em.size(), 0);
+  util::append(padded, em);
+  util::Bytes expected;
+  try {
+    expected = emsa_encode(message, k);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return padded == expected;
+}
+
+util::Bytes encode_rsa_public_key(const RsaPublicKey& key) {
+  util::Bytes out;
+  const util::Bytes n = key.n.to_bytes();
+  const util::Bytes e = key.e.to_bytes();
+  put_u32(out, static_cast<std::uint32_t>(n.size()));
+  util::append(out, n);
+  put_u32(out, static_cast<std::uint32_t>(e.size()));
+  util::append(out, e);
+  return out;
+}
+
+bool decode_rsa_public_key(util::BytesView in, RsaPublicKey& out) {
+  std::size_t pos = 0;
+  const auto read_chunk = [&](util::Bytes& chunk) -> bool {
+    if (pos + 4 > in.size()) return false;
+    const std::uint32_t len = (std::uint32_t{in[pos]} << 24) |
+                              (std::uint32_t{in[pos + 1]} << 16) |
+                              (std::uint32_t{in[pos + 2]} << 8) |
+                              std::uint32_t{in[pos + 3]};
+    pos += 4;
+    if (pos + len > in.size()) return false;
+    chunk.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                 in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return true;
+  };
+  util::Bytes n_bytes, e_bytes;
+  if (!read_chunk(n_bytes) || !read_chunk(e_bytes)) return false;
+  if (pos != in.size()) return false;
+  out.n = bignum::BigUint::from_bytes(n_bytes);
+  out.e = bignum::BigUint::from_bytes(e_bytes);
+  return true;
+}
+
+}  // namespace sm::crypto

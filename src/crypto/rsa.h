@@ -1,0 +1,52 @@
+// RSA key generation, signing, and verification, built on sm::bignum.
+//
+// Signing follows the EMSA-PKCS1-v1_5 shape (0x00 0x01 FF..FF 0x00 ||
+// DigestInfo(SHA-256) || digest) so that signatures are deterministic and
+// verification is an exact padded-message comparison, as in RFC 8017.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/biguint.h"
+#include "util/bytes.h"
+#include "util/prng.h"
+
+namespace sm::crypto {
+
+/// An RSA public key (n, e).
+struct RsaPublicKey {
+  bignum::BigUint n;
+  bignum::BigUint e;
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+/// An RSA private key. Keeps the public half and the CRT-free exponent d.
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  bignum::BigUint d;
+  bignum::BigUint p;
+  bignum::BigUint q;
+};
+
+/// Generates an RSA keypair with a modulus of exactly `modulus_bits` bits
+/// (must be an even value >= 128; e = 65537, regenerating primes when
+/// gcd(e, phi) != 1).
+RsaPrivateKey generate_rsa_keypair(std::size_t modulus_bits, util::Rng& rng);
+
+/// Signs SHA-256(message) with PKCS1-v1.5 padding. The result is exactly
+/// the modulus length in bytes.
+util::Bytes rsa_sign_sha256(const RsaPrivateKey& key, util::BytesView message);
+
+/// Verifies a signature produced by rsa_sign_sha256.
+bool rsa_verify_sha256(const RsaPublicKey& key, util::BytesView message,
+                       util::BytesView signature);
+
+/// Serializes a public key as SSH-style wire format:
+/// uint32_be(len(n)) || n || uint32_be(len(e)) || e.
+util::Bytes encode_rsa_public_key(const RsaPublicKey& key);
+
+/// Parses encode_rsa_public_key output. Returns false on malformed input.
+bool decode_rsa_public_key(util::BytesView in, RsaPublicKey& out);
+
+}  // namespace sm::crypto

@@ -1,0 +1,71 @@
+#include "linking/feature.h"
+
+#include <cstdio>
+
+#include "net/ipv4.h"
+
+namespace sm::linking {
+
+std::string to_string(Feature feature) {
+  switch (feature) {
+    case Feature::kPublicKey:
+      return "Public Key";
+    case Feature::kNotBefore:
+      return "Not Before";
+    case Feature::kCommonName:
+      return "Common Name";
+    case Feature::kNotAfter:
+      return "Not After";
+    case Feature::kIssuerSerial:
+      return "IN + SN";
+    case Feature::kSan:
+      return "SAN";
+    case Feature::kCrl:
+      return "CRL";
+    case Feature::kAia:
+      return "AIA";
+    case Feature::kOcsp:
+      return "OCSP";
+    case Feature::kOid:
+      return "OID";
+  }
+  return "?";
+}
+
+std::string feature_value(const scan::CertRecord& cert, Feature feature,
+                          bool exclude_ip_common_names) {
+  switch (feature) {
+    case Feature::kPublicKey: {
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(cert.key_fingerprint));
+      return buf;
+    }
+    case Feature::kNotBefore:
+      return std::to_string(cert.not_before);
+    case Feature::kCommonName:
+      if (cert.subject_cn.empty()) return {};
+      if (exclude_ip_common_names && net::looks_like_ipv4(cert.subject_cn)) {
+        return {};
+      }
+      return cert.subject_cn;
+    case Feature::kNotAfter:
+      return std::to_string(cert.not_after);
+    case Feature::kIssuerSerial:
+      if (cert.issuer_dn.empty() && cert.serial_hex.empty()) return {};
+      return cert.issuer_dn + "#" + cert.serial_hex;
+    case Feature::kSan:
+      return cert.san_joined();
+    case Feature::kCrl:
+      return cert.crl_url;
+    case Feature::kAia:
+      return cert.aia_url;
+    case Feature::kOcsp:
+      return cert.ocsp_url;
+    case Feature::kOid:
+      return cert.policy_oid;
+  }
+  return {};
+}
+
+}  // namespace sm::linking

@@ -1,0 +1,46 @@
+// The certificate features the paper's linking methodology considers
+// (Tables 5 and 6): the value extractor that turns a CertRecord into a
+// per-feature key string.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "scan/cert_record.h"
+
+namespace sm::linking {
+
+/// A linkable certificate field, in the paper's Table 6 column order.
+enum class Feature : std::uint8_t {
+  kPublicKey = 0,
+  kNotBefore,
+  kCommonName,
+  kNotAfter,
+  kIssuerSerial,  ///< Issuer Name + Serial Number ("IN + SN")
+  kSan,
+  kCrl,
+  kAia,
+  kOcsp,
+  kOid,
+};
+
+/// All features, Table 6 order.
+inline constexpr std::array<Feature, 10> kAllFeatures = {
+    Feature::kPublicKey, Feature::kNotBefore,   Feature::kCommonName,
+    Feature::kNotAfter,  Feature::kIssuerSerial, Feature::kSan,
+    Feature::kCrl,       Feature::kAia,          Feature::kOcsp,
+    Feature::kOid,
+};
+
+/// Display name, e.g. "Public Key", "IN + SN".
+std::string to_string(Feature feature);
+
+/// The feature's key string for a certificate, or "" when the feature is
+/// absent / not applicable. When `exclude_ip_common_names` is set, Common
+/// Names that parse as IPv4 addresses yield "" (the paper's §6.4.1 rule —
+/// 46.9% of invalid CNs are IP-formatted and must not drive linking).
+std::string feature_value(const scan::CertRecord& cert, Feature feature,
+                          bool exclude_ip_common_names = true);
+
+}  // namespace sm::linking

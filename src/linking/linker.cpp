@@ -1,0 +1,366 @@
+#include "linking/linker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace sm::linking {
+
+namespace {
+
+bool version_legal(const scan::CertRecord& cert) {
+  return cert.raw_version >= 0 && cert.raw_version <= 2;
+}
+
+}  // namespace
+
+Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config)
+    : index_(&index), config_(config) {
+  const auto& archive = index.archive();
+  const auto& certs = archive.certs();
+  const std::size_t n = certs.size();
+
+  // §6.2 duplicate filter + invalid/observed/version gating.
+  eligible_.assign(n, false);
+  for (scan::CertId id = 0; id < n; ++id) {
+    const analysis::CertStats& stats = index.stats(id);
+    const scan::CertRecord& cert = certs[id];
+    if (cert.valid || stats.scans_seen == 0 || !version_legal(cert)) continue;
+    if (stats.max_ips_in_scan > config_.dup_ip_threshold) continue;
+    if (config_.exclude_always_at_threshold &&
+        stats.min_ips_in_scan == config_.dup_ip_threshold &&
+        stats.max_ips_in_scan == config_.dup_ip_threshold) {
+      continue;  // exactly two IPs in every scan: two devices, one cert
+    }
+    eligible_[id] = true;
+    ++eligible_count_;
+  }
+
+  // Per-cert observation lists (CSR) + ground-truth device attribution.
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const scan::ScanData& scan : archive.scans()) {
+    for (const scan::Observation& obs : scan.observations) ++counts[obs.cert];
+  }
+  obs_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs_offsets_[i + 1] = obs_offsets_[i] + counts[i];
+  }
+  obs_.resize(obs_offsets_[n]);
+  cert_device_.assign(n, scan::kNoDevice);
+  std::vector<std::uint32_t> cursor(obs_offsets_.begin(),
+                                    obs_offsets_.end() - 1);
+  const auto& scans = archive.scans();
+  for (std::uint32_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
+    for (const scan::Observation& obs : scans[scan_index].observations) {
+      obs_[cursor[obs.cert]++] = ObsRef{
+          scan_index, obs.ip,
+          index.as_of(scan_index, obs.ip)};
+      if (cert_device_[obs.cert] == scan::kNoDevice) {
+        cert_device_[obs.cert] = obs.device;
+      }
+    }
+  }
+}
+
+std::vector<FeatureUniqueness> Linker::feature_uniqueness() const {
+  const auto& certs = index_->archive().certs();
+  std::vector<FeatureUniqueness> out;
+  for (const Feature feature : kAllFeatures) {
+    std::unordered_map<std::string, std::uint32_t> counts;
+    std::uint64_t applicable = 0;
+    for (scan::CertId id = 0; id < certs.size(); ++id) {
+      if (!eligible_[id]) continue;
+      const std::string value =
+          feature_value(certs[id], feature, config_.exclude_ip_common_names);
+      if (value.empty()) continue;
+      ++applicable;
+      ++counts[value];
+    }
+    std::uint64_t non_unique = 0;
+    for (scan::CertId id = 0; id < certs.size(); ++id) {
+      if (!eligible_[id]) continue;
+      const std::string value =
+          feature_value(certs[id], feature, config_.exclude_ip_common_names);
+      if (value.empty()) continue;
+      if (counts[value] >= 2) ++non_unique;
+    }
+    out.push_back(FeatureUniqueness{feature, applicable, non_unique});
+  }
+  return out;
+}
+
+bool Linker::group_passes_overlap_rule(
+    const std::vector<scan::CertId>& certs) const {
+  // Sorted by first_scan; a pair (i earlier, j later) overlaps by more than
+  // `max_overlap_scans` iff min(last_i, last_j) >= first_j + max_overlap,
+  // which given running maxL reduces to one comparison per element.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  spans.reserve(certs.size());
+  for (const scan::CertId id : certs) {
+    const analysis::CertStats& stats = index_->stats(id);
+    spans.emplace_back(stats.first_scan, stats.last_scan);
+  }
+  std::sort(spans.begin(), spans.end());
+  std::uint32_t max_last = 0;
+  bool first = true;
+  for (const auto& [first_scan, last_scan] : spans) {
+    if (!first) {
+      const std::uint32_t limit = first_scan + config_.max_overlap_scans;
+      if (max_last >= limit && last_scan >= limit) return false;
+    }
+    max_last = first ? last_scan : std::max(max_last, last_scan);
+    first = false;
+  }
+  return true;
+}
+
+FieldResult Linker::link_field(Feature feature,
+                               const std::vector<bool>& mask) const {
+  const auto& certs = index_->archive().certs();
+  std::unordered_map<std::string, std::vector<scan::CertId>> by_value;
+  for (scan::CertId id = 0; id < certs.size(); ++id) {
+    if (!mask[id]) continue;
+    std::string value =
+        feature_value(certs[id], feature, config_.exclude_ip_common_names);
+    if (value.empty()) continue;
+    by_value[std::move(value)].push_back(id);
+  }
+  FieldResult out;
+  out.feature = feature;
+  std::uint64_t ip_max = 0, slash24_max = 0, as_max = 0, total_scans = 0;
+  for (auto& [value, group_certs] : by_value) {
+    if (group_certs.size() < 2) continue;
+    if (!group_passes_overlap_rule(group_certs)) continue;
+    LinkedGroup group{feature, std::move(group_certs)};
+    out.total_linked += group.certs.size();
+    accumulate_consistency(group, ip_max, slash24_max, as_max, total_scans);
+    out.groups.push_back(std::move(group));
+  }
+  if (total_scans > 0) {
+    const double denom = static_cast<double>(total_scans);
+    out.consistency.ip = static_cast<double>(ip_max) / denom;
+    out.consistency.slash24 = static_cast<double>(slash24_max) / denom;
+    out.consistency.as_level = static_cast<double>(as_max) / denom;
+  }
+  return out;
+}
+
+void Linker::accumulate_consistency(const LinkedGroup& group,
+                                    std::uint64_t& ip_max,
+                                    std::uint64_t& slash24_max,
+                                    std::uint64_t& as_max,
+                                    std::uint64_t& total_scans) const {
+  // Per scan, the set of locations where the group was seen; consistency
+  // counts the scans containing the modal location.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> ip_scans,
+      s24_scans, as_scans;
+  std::uint32_t scan_count = 0;
+  std::uint32_t last_scan_seen = 0xffffffff;
+  // Gather (scan, location) pairs, dedup per scan via sort.
+  std::vector<ObsRef> all;
+  for (const scan::CertId id : group.certs) {
+    for (std::uint32_t i = obs_offsets_[id]; i < obs_offsets_[id + 1]; ++i) {
+      all.push_back(obs_[i]);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const ObsRef& a, const ObsRef& b) {
+    return a.scan < b.scan;
+  });
+  // For each scan, record each distinct location once.
+  std::size_t i = 0;
+  while (i < all.size()) {
+    const std::uint32_t scan = all[i].scan;
+    std::size_t j = i;
+    std::map<std::uint32_t, bool> ips, s24s, ases;
+    while (j < all.size() && all[j].scan == scan) {
+      ips[all[j].ip] = true;
+      s24s[all[j].ip & 0xffffff00] = true;
+      ases[all[j].asn] = true;
+      ++j;
+    }
+    for (const auto& [ip, unused] : ips) ++ip_scans[{0, ip}];
+    for (const auto& [s24, unused] : s24s) ++s24_scans[{0, s24}];
+    for (const auto& [asn, unused] : ases) ++as_scans[{0, asn}];
+    ++scan_count;
+    last_scan_seen = scan;
+    i = j;
+  }
+  (void)last_scan_seen;
+  const auto modal = [](const auto& counter) {
+    std::uint32_t best = 0;
+    for (const auto& [key, count] : counter) best = std::max(best, count);
+    return best;
+  };
+  ip_max += modal(ip_scans);
+  slash24_max += modal(s24_scans);
+  as_max += modal(as_scans);
+  total_scans += scan_count;
+}
+
+Consistency Linker::group_consistency(const LinkedGroup& group) const {
+  std::uint64_t ip_max = 0, slash24_max = 0, as_max = 0, total = 0;
+  accumulate_consistency(group, ip_max, slash24_max, as_max, total);
+  Consistency out;
+  if (total > 0) {
+    const double denom = static_cast<double>(total);
+    out.ip = static_cast<double>(ip_max) / denom;
+    out.slash24 = static_cast<double>(slash24_max) / denom;
+    out.as_level = static_cast<double>(as_max) / denom;
+  }
+  return out;
+}
+
+std::vector<FieldResult> Linker::evaluate_all_fields() const {
+  std::vector<FieldResult> results;
+  results.reserve(kAllFeatures.size());
+  for (const Feature feature : kAllFeatures) {
+    results.push_back(link_field(feature, eligible_));
+  }
+  // Uniquely-linked: certificates appearing in exactly one field's groups.
+  const std::size_t n = index_->archive().certs().size();
+  std::vector<std::uint8_t> link_count(n, 0);
+  for (const FieldResult& result : results) {
+    for (const LinkedGroup& group : result.groups) {
+      for (const scan::CertId id : group.certs) {
+        if (link_count[id] < 255) ++link_count[id];
+      }
+    }
+  }
+  for (FieldResult& result : results) {
+    for (const LinkedGroup& group : result.groups) {
+      for (const scan::CertId id : group.certs) {
+        if (link_count[id] == 1) ++result.uniquely_linked;
+      }
+    }
+  }
+  return results;
+}
+
+IterativeResult Linker::link_iteratively() const {
+  const std::vector<FieldResult> all = evaluate_all_fields();
+  // §6.4.3: exclude Not Before, Not After, and IN+SN (insufficient
+  // consistency); order the rest by AS-level consistency, descending.
+  std::vector<const FieldResult*> usable;
+  for (const FieldResult& result : all) {
+    if (result.feature == Feature::kNotBefore ||
+        result.feature == Feature::kNotAfter ||
+        result.feature == Feature::kIssuerSerial) {
+      continue;
+    }
+    usable.push_back(&result);
+  }
+  std::sort(usable.begin(), usable.end(),
+            [](const FieldResult* a, const FieldResult* b) {
+              return a->consistency.as_level > b->consistency.as_level;
+            });
+  std::vector<Feature> order;
+  order.reserve(usable.size());
+  for (const FieldResult* result : usable) order.push_back(result->feature);
+  return link_iteratively(order);
+}
+
+IterativeResult Linker::link_iteratively(
+    const std::vector<Feature>& order) const {
+  IterativeResult out;
+  out.order = order;
+  std::vector<bool> mask = eligible_;
+  for (const Feature feature : order) {
+    FieldResult result = link_field(feature, mask);
+    for (LinkedGroup& group : result.groups) {
+      for (const scan::CertId id : group.certs) mask[id] = false;
+      out.linked_certs += group.certs.size();
+      out.groups.push_back(std::move(group));
+    }
+  }
+  return out;
+}
+
+LinkingGain Linker::compare_with_original(
+    const IterativeResult& result) const {
+  LinkingGain out;
+  out.eligible_certs = eligible_count_;
+  const auto& scans = index_->archive().scans();
+
+  // Before: every eligible certificate is its own entity.
+  std::uint64_t before_single = 0;
+  double before_days = 0;
+  for (scan::CertId id = 0; id < eligible_.size(); ++id) {
+    if (!eligible_[id]) continue;
+    const analysis::CertStats& stats = index_->stats(id);
+    if (stats.scans_seen == 1) ++before_single;
+    before_days += index_->lifetime_days(id);
+  }
+
+  // After: linked groups become one entity each.
+  std::vector<bool> linked(eligible_.size(), false);
+  std::uint64_t after_entities = 0, after_single = 0;
+  double after_days = 0;
+  for (const LinkedGroup& group : result.groups) {
+    std::uint32_t first = 0xffffffff, last = 0;
+    for (const scan::CertId id : group.certs) {
+      linked[id] = true;
+      const analysis::CertStats& stats = index_->stats(id);
+      first = std::min(first, stats.first_scan);
+      last = std::max(last, stats.last_scan);
+    }
+    ++after_entities;
+    if (first == last) ++after_single;
+    const double days =
+        first == last
+            ? 1.0
+            : static_cast<double>(scans[last].event.start -
+                                  scans[first].event.start) /
+                      static_cast<double>(util::kSecondsPerDay) +
+                  1.0;
+    after_days += days;
+  }
+  for (scan::CertId id = 0; id < eligible_.size(); ++id) {
+    if (!eligible_[id] || linked[id]) continue;
+    ++after_entities;
+    const analysis::CertStats& stats = index_->stats(id);
+    if (stats.scans_seen == 1) ++after_single;
+    after_days += index_->lifetime_days(id);
+  }
+
+  out.entities_after = after_entities;
+  if (out.eligible_certs > 0) {
+    out.single_scan_fraction_before =
+        static_cast<double>(before_single) /
+        static_cast<double>(out.eligible_certs);
+    out.mean_lifetime_before_days =
+        before_days / static_cast<double>(out.eligible_certs);
+  }
+  if (after_entities > 0) {
+    out.single_scan_fraction_after =
+        static_cast<double>(after_single) / static_cast<double>(after_entities);
+    out.mean_lifetime_after_days =
+        after_days / static_cast<double>(after_entities);
+  }
+  return out;
+}
+
+TruthScore Linker::score_against_truth(const IterativeResult& result) const {
+  TruthScore out;
+  for (const LinkedGroup& group : result.groups) {
+    const std::uint64_t k = group.certs.size();
+    out.linked_pairs += k * (k - 1) / 2;
+    std::map<scan::DeviceId, std::uint64_t> by_device;
+    for (const scan::CertId id : group.certs) ++by_device[cert_device_[id]];
+    for (const auto& [device, count] : by_device) {
+      if (device == scan::kNoDevice) continue;
+      out.correct_pairs += count * (count - 1) / 2;
+    }
+  }
+  std::map<scan::DeviceId, std::uint64_t> eligible_per_device;
+  for (scan::CertId id = 0; id < eligible_.size(); ++id) {
+    if (!eligible_[id]) continue;
+    if (cert_device_[id] == scan::kNoDevice) continue;
+    ++eligible_per_device[cert_device_[id]];
+  }
+  for (const auto& [device, count] : eligible_per_device) {
+    out.possible_pairs += count * (count - 1) / 2;
+  }
+  return out;
+}
+
+}  // namespace sm::linking

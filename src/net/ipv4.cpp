@@ -1,0 +1,63 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace sm::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(const std::string& dotted) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= dotted.size()) return std::nullopt;
+    std::size_t dot = dotted.find('.', pos);
+    if (i == 3) {
+      if (dot != std::string::npos) return std::nullopt;
+      dot = dotted.size();
+    } else if (dot == std::string::npos) {
+      return std::nullopt;
+    }
+    if (dot == pos || dot - pos > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] =
+        std::from_chars(dotted.data() + pos, dotted.data() + dot, octet);
+    if (ec != std::errc{} || ptr != dotted.data() + dot || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | octet;
+    pos = dot + 1;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& cidr) {
+  const std::size_t slash = cidr.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const auto* begin = cidr.data() + slash + 1;
+  const auto* end = cidr.data() + cidr.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, length);
+  if (ec != std::errc{} || ptr != end || length > 32) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+bool looks_like_ipv4(const std::string& s) {
+  return Ipv4Address::parse(s).has_value();
+}
+
+}  // namespace sm::net

@@ -1,0 +1,100 @@
+// IPv4 addresses and CIDR prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sm::net {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// From four octets a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | d);
+  }
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(const std::string& dotted);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// Dotted-quad rendering.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + length). The address is stored
+/// canonicalized (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Builds a prefix, zeroing any host bits in `addr`. `length` must be
+  /// 0..32 (clamped).
+  constexpr Prefix(Ipv4Address addr, unsigned length)
+      : length_(length > 32 ? 32 : length),
+        addr_(Ipv4Address(addr.value() & mask())) {}
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(const std::string& cidr);
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr unsigned length() const { return length_; }
+
+  /// Network mask for this prefix length.
+  constexpr std::uint32_t mask() const {
+    return length_ == 0 ? 0 : (~std::uint32_t{0} << (32 - length_));
+  }
+
+  /// True when `ip` falls inside this prefix.
+  constexpr bool contains(Ipv4Address ip) const {
+    return (ip.value() & mask()) == addr_.value();
+  }
+
+  /// Number of addresses covered (2^(32-len)).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// "a.b.c.d/len".
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  unsigned length_ = 0;
+  Ipv4Address addr_{};
+};
+
+/// The enclosing /8 of an address (used by the paper's Figure 1).
+constexpr Prefix slash8(Ipv4Address ip) { return Prefix(ip, 8); }
+
+/// The enclosing /24 of an address (used for /24-level consistency).
+constexpr Prefix slash24(Ipv4Address ip) { return Prefix(ip, 24); }
+
+/// True when the address lies in RFC 1918 private space — these appear as
+/// Common Names on millions of invalid device certificates.
+constexpr bool is_private(Ipv4Address ip) {
+  const std::uint32_t v = ip.value();
+  return (v & 0xff000000) == 0x0a000000 ||   // 10/8
+         (v & 0xfff00000) == 0xac100000 ||   // 172.16/12
+         (v & 0xffff0000) == 0xc0a80000;     // 192.168/16
+}
+
+/// True when the string parses as a dotted-quad IPv4 address. The linking
+/// methodology uses this to exclude IP-valued Common Names (§6.4.1).
+bool looks_like_ipv4(const std::string& s);
+
+}  // namespace sm::net

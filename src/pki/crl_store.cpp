@@ -1,0 +1,43 @@
+#include "pki/crl_store.h"
+
+#include "crypto/signature.h"
+#include "util/hex.h"
+
+namespace sm::pki {
+
+namespace {
+
+std::string issuer_key(const x509::Name& issuer) {
+  return util::hex_encode(issuer.encode());
+}
+
+}  // namespace
+
+bool CrlStore::add(x509::Crl crl, const x509::Certificate& issuer) {
+  if (!(crl.issuer == issuer.subject)) return false;
+  if (!crypto::verify(issuer.spki, crl.tbs_der, crl.signature)) return false;
+  add_unverified(std::move(crl));
+  return true;
+}
+
+void CrlStore::add_unverified(x509::Crl crl) {
+  const std::string key = issuer_key(crl.issuer);
+  const auto it = by_issuer_.find(key);
+  if (it != by_issuer_.end() && it->second.this_update >= crl.this_update) {
+    return;  // keep the fresher CRL
+  }
+  by_issuer_.insert_or_assign(key, std::move(crl));
+}
+
+const x509::Crl* CrlStore::find(const x509::Name& issuer) const {
+  const auto it = by_issuer_.find(issuer_key(issuer));
+  return it == by_issuer_.end() ? nullptr : &it->second;
+}
+
+bool CrlStore::is_revoked(const x509::Name& issuer,
+                          const bignum::BigUint& serial) const {
+  const x509::Crl* crl = find(issuer);
+  return crl != nullptr && crl->is_revoked(serial);
+}
+
+}  // namespace sm::pki

@@ -1,0 +1,40 @@
+// A CRL collection keyed by issuer name, feeding the verifier's revocation
+// check. CRLs are signature-verified against their issuing certificate on
+// insertion (use add_unverified for pre-trusted data).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "x509/certificate.h"
+#include "x509/crl.h"
+
+namespace sm::pki {
+
+/// Issuer-indexed CRLs; keeps the freshest (largest thisUpdate) CRL per
+/// issuer.
+class CrlStore {
+ public:
+  /// Verifies the CRL's signature under `issuer`'s key and that the names
+  /// match; on success stores it (replacing an older CRL for the same
+  /// issuer) and returns true.
+  bool add(x509::Crl crl, const x509::Certificate& issuer);
+
+  /// Stores without verification.
+  void add_unverified(x509::Crl crl);
+
+  /// The freshest CRL for `issuer`, or nullptr.
+  const x509::Crl* find(const x509::Name& issuer) const;
+
+  /// True when `issuer` has a CRL listing `serial`.
+  bool is_revoked(const x509::Name& issuer,
+                  const bignum::BigUint& serial) const;
+
+  std::size_t size() const { return by_issuer_.size(); }
+
+ private:
+  std::map<std::string, x509::Crl> by_issuer_;  // key: issuer DER hex
+};
+
+}  // namespace sm::pki

@@ -1,0 +1,212 @@
+#include "pki/lint.h"
+
+#include <algorithm>
+
+#include "crypto/rsa.h"
+#include "net/ipv4.h"
+
+namespace sm::pki {
+
+namespace {
+
+constexpr std::size_t kCheckCount =
+    static_cast<std::size_t>(LintCheck::kWeakRsaKey) + 1;
+
+void add(std::vector<LintFinding>& findings, LintCheck check,
+         LintSeverity severity, std::string message) {
+  findings.push_back(LintFinding{check, severity, std::move(message)});
+}
+
+}  // namespace
+
+std::string to_string(LintCheck check) {
+  switch (check) {
+    case LintCheck::kNegativeValidity:
+      return "negative-validity";
+    case LintCheck::kLongValidity:
+      return "long-validity";
+    case LintCheck::kAbsurdValidity:
+      return "absurd-validity";
+    case LintCheck::kEpochNotBefore:
+      return "epoch-not-before";
+    case LintCheck::kFarFutureNotAfter:
+      return "far-future-not-after";
+    case LintCheck::kEmptySubject:
+      return "empty-subject";
+    case LintCheck::kEmptyIssuer:
+      return "empty-issuer";
+    case LintCheck::kIpAddressCommonName:
+      return "ip-address-common-name";
+    case LintCheck::kPrivateIpCommonName:
+      return "private-ip-common-name";
+    case LintCheck::kFixedSerialNumber:
+      return "fixed-serial-number";
+    case LintCheck::kSelfIssued:
+      return "self-issued";
+    case LintCheck::kMissingSan:
+      return "missing-san";
+    case LintCheck::kIllegalVersion:
+      return "illegal-version";
+    case LintCheck::kV1WithExtensions:
+      return "v1-with-extensions";
+    case LintCheck::kCaWithoutKeyIdentifier:
+      return "ca-without-key-identifier";
+    case LintCheck::kMissingAki:
+      return "missing-aki";
+    case LintCheck::kWeakRsaKey:
+      return "weak-rsa-key";
+  }
+  return "unknown";
+}
+
+std::string to_string(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo:
+      return "info";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::vector<LintFinding> lint_certificate(const x509::Certificate& cert,
+                                          const LintOptions& options) {
+  std::vector<LintFinding> findings;
+
+  // --- version ---------------------------------------------------------
+  if (!cert.version_is_legal()) {
+    add(findings, LintCheck::kIllegalVersion, LintSeverity::kError,
+        "version " + std::to_string(cert.display_version()) +
+            " is not one of v1..v3");
+  }
+  if (cert.raw_version == 0 && !cert.extensions.empty()) {
+    add(findings, LintCheck::kV1WithExtensions, LintSeverity::kError,
+        "v1 certificate carries extensions");
+  }
+
+  // --- validity ---------------------------------------------------------
+  const double period_days = cert.validity.period_days();
+  if (period_days < 0) {
+    add(findings, LintCheck::kNegativeValidity, LintSeverity::kError,
+        "NotAfter precedes NotBefore by " +
+            std::to_string(static_cast<long long>(-period_days)) + " days");
+  } else {
+    const auto bc = cert.basic_constraints();
+    const bool is_ca = bc.has_value() && bc->is_ca;
+    if (!is_ca && period_days > options.max_leaf_validity_days) {
+      add(findings, LintCheck::kLongValidity, LintSeverity::kWarning,
+          "leaf validity of " +
+              std::to_string(static_cast<long long>(period_days)) +
+              " days exceeds the 39-month ceiling");
+    }
+    if (period_days > 50 * 365.0) {
+      add(findings, LintCheck::kAbsurdValidity, LintSeverity::kWarning,
+          "validity period exceeds 50 years");
+    }
+  }
+  if (cert.validity.not_before <= options.epoch_threshold) {
+    add(findings, LintCheck::kEpochNotBefore, LintSeverity::kWarning,
+        "NotBefore of " + util::format_date(cert.validity.not_before) +
+            " suggests an unset device clock");
+  }
+  if (util::from_unix(cert.validity.not_after).year >= 2100 &&
+      period_days >= 0) {
+    add(findings, LintCheck::kFarFutureNotAfter, LintSeverity::kWarning,
+        "NotAfter in year " +
+            std::to_string(util::from_unix(cert.validity.not_after).year));
+  }
+
+  // --- names -------------------------------------------------------------
+  if (cert.subject.empty()) {
+    add(findings, LintCheck::kEmptySubject, LintSeverity::kWarning,
+        "subject has no attributes");
+  }
+  if (cert.issuer.empty()) {
+    add(findings, LintCheck::kEmptyIssuer, LintSeverity::kWarning,
+        "issuer has no attributes");
+  }
+  const std::string cn = cert.subject.common_name();
+  if (const auto ip = net::Ipv4Address::parse(cn)) {
+    if (net::is_private(*ip)) {
+      add(findings, LintCheck::kPrivateIpCommonName, LintSeverity::kWarning,
+          "CN " + cn + " is an RFC 1918 address");
+    } else {
+      add(findings, LintCheck::kIpAddressCommonName, LintSeverity::kInfo,
+          "CN " + cn + " is an IP address");
+    }
+  }
+  if (cert.subject_matches_issuer() && !cert.subject.empty()) {
+    add(findings, LintCheck::kSelfIssued, LintSeverity::kInfo,
+        "subject equals issuer");
+  }
+
+  // --- serial -------------------------------------------------------------
+  if (cert.serial == bignum::BigUint(1)) {
+    add(findings, LintCheck::kFixedSerialNumber, LintSeverity::kWarning,
+        "serial number is 1 (firmware constant)");
+  }
+
+  // --- extensions ----------------------------------------------------------
+  const auto bc = cert.basic_constraints();
+  const bool is_ca = bc.has_value() && bc->is_ca;
+  if (!is_ca && !cn.empty() && !net::looks_like_ipv4(cn) &&
+      cert.subject_alt_names().empty() && cert.raw_version >= 2) {
+    add(findings, LintCheck::kMissingSan, LintSeverity::kWarning,
+        "leaf with DNS-style CN but no SubjectAltName");
+  }
+  if (is_ca && !cert.subject_key_id().has_value()) {
+    add(findings, LintCheck::kCaWithoutKeyIdentifier, LintSeverity::kWarning,
+        "CA certificate without SubjectKeyIdentifier");
+  }
+  if (!cert.subject_matches_issuer() && !cert.authority_key_id().has_value() &&
+      cert.raw_version >= 2) {
+    add(findings, LintCheck::kMissingAki, LintSeverity::kInfo,
+        "non-self-issued certificate without AuthorityKeyIdentifier");
+  }
+
+  // --- key strength -----------------------------------------------------------
+  if (cert.spki.scheme == crypto::SigScheme::kRsaSha256) {
+    crypto::RsaPublicKey key;
+    if (crypto::decode_rsa_public_key(cert.spki.key, key) &&
+        key.n.bit_length() < options.min_rsa_bits) {
+      add(findings, LintCheck::kWeakRsaKey, LintSeverity::kWarning,
+          "RSA modulus of " + std::to_string(key.n.bit_length()) +
+              " bits is below " + std::to_string(options.min_rsa_bits));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.check < b.check;
+            });
+  return findings;
+}
+
+LintSummary lint_all(const std::vector<x509::Certificate>& certs,
+                     const LintOptions& options) {
+  LintSummary summary;
+  summary.by_check.assign(kCheckCount, 0);
+  for (const x509::Certificate& cert : certs) {
+    ++summary.certificates;
+    const auto findings = lint_certificate(cert, options);
+    bool has_error = false, has_warning = false;
+    std::vector<bool> seen(kCheckCount, false);
+    for (const LintFinding& finding : findings) {
+      has_error |= finding.severity == LintSeverity::kError;
+      has_warning |= finding.severity == LintSeverity::kWarning;
+      const auto index = static_cast<std::size_t>(finding.check);
+      if (!seen[index]) {
+        seen[index] = true;
+        ++summary.by_check[index];
+      }
+    }
+    if (has_error) ++summary.with_errors;
+    if (has_warning) ++summary.with_warnings;
+  }
+  return summary;
+}
+
+}  // namespace sm::pki

@@ -1,0 +1,84 @@
+// A zlint-style certificate linter: codifies the malformations and bad
+// practices the paper catalogues in invalid device certificates (negative
+// validity periods, epoch-stuck clocks, year-3000 expiries, empty and
+// private-IP names, fixed serial numbers, illegal versions) plus the basic
+// RFC 5280 / CA-Browser-Forum hygiene checks a real issuance pipeline runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/datetime.h"
+#include "x509/certificate.h"
+
+namespace sm::pki {
+
+/// Lint severities.
+enum class LintSeverity : std::uint8_t {
+  kInfo = 0,  ///< noteworthy but not wrong (e.g. self-issued)
+  kWarning,   ///< bad practice (e.g. 20-year validity, fixed serial)
+  kError,     ///< malformed or unusable (e.g. negative validity)
+};
+
+/// Individual checks. Stable identifiers; new checks append.
+enum class LintCheck : std::uint8_t {
+  kNegativeValidity = 0,   ///< NotAfter precedes NotBefore
+  kLongValidity,           ///< leaf validity beyond 39 months (CA/B rule)
+  kAbsurdValidity,         ///< validity beyond 50 years
+  kEpochNotBefore,         ///< NotBefore at/near the Unix epoch (stuck clock)
+  kFarFutureNotAfter,      ///< NotAfter in year 2100 or later
+  kEmptySubject,           ///< subject carries no attributes
+  kEmptyIssuer,            ///< issuer carries no attributes
+  kIpAddressCommonName,    ///< CN is an IP address (public)
+  kPrivateIpCommonName,    ///< CN is an RFC 1918 address
+  kFixedSerialNumber,      ///< serial number is 1
+  kSelfIssued,             ///< subject equals issuer
+  kMissingSan,             ///< leaf with a DNS-ish CN but no SAN
+  kIllegalVersion,         ///< version outside v1..v3
+  kV1WithExtensions,       ///< (defensive; builder prevents it)
+  kCaWithoutKeyIdentifier, ///< CA certificate missing SubjectKeyIdentifier
+  kMissingAki,             ///< non-self-issued cert without an AKI
+  kWeakRsaKey,             ///< RSA modulus under 2048 bits
+};
+
+/// Stable kebab-case name, e.g. "negative-validity".
+std::string to_string(LintCheck check);
+std::string to_string(LintSeverity severity);
+
+/// One finding.
+struct LintFinding {
+  LintCheck check = LintCheck::kNegativeValidity;
+  LintSeverity severity = LintSeverity::kInfo;
+  std::string message;
+};
+
+/// Linter options.
+struct LintOptions {
+  /// CA/B-forum leaf validity ceiling (39 months by default).
+  double max_leaf_validity_days = 39 * 30.44;
+  /// NotBefore at or before this instant counts as a stuck clock.
+  util::UnixTime epoch_threshold = util::make_date(1982, 1, 1);
+  /// RSA keys below this many bits are flagged weak.
+  std::size_t min_rsa_bits = 2048;
+};
+
+/// Runs every check against one certificate. Findings are ordered by
+/// severity (errors first), then by check id.
+std::vector<LintFinding> lint_certificate(const x509::Certificate& cert,
+                                          const LintOptions& options = {});
+
+/// Aggregate lint counters over a corpus.
+struct LintSummary {
+  std::uint64_t certificates = 0;
+  std::uint64_t with_errors = 0;
+  std::uint64_t with_warnings = 0;
+  /// check id -> certificates flagged (indexed by LintCheck value).
+  std::vector<std::uint64_t> by_check;
+};
+
+/// Lints a batch of certificates and aggregates.
+LintSummary lint_all(const std::vector<x509::Certificate>& certs,
+                     const LintOptions& options = {});
+
+}  // namespace sm::pki

@@ -1,0 +1,146 @@
+#include "pki/verifier.h"
+
+namespace sm::pki {
+
+std::string to_string(InvalidReason reason) {
+  switch (reason) {
+    case InvalidReason::kNone:
+      return "none";
+    case InvalidReason::kSelfSigned:
+      return "self-signed";
+    case InvalidReason::kUntrustedIssuer:
+      return "untrusted-issuer";
+    case InvalidReason::kBadSignature:
+      return "bad-signature";
+    case InvalidReason::kMalformedVersion:
+      return "malformed-version";
+    case InvalidReason::kNeverValid:
+      return "never-valid";
+    case InvalidReason::kExpired:
+      return "expired";
+    case InvalidReason::kRevoked:
+      return "revoked";
+  }
+  return "unknown";
+}
+
+bool is_self_signature(const x509::Certificate& cert) {
+  return crypto::verify(cert.spki, cert.tbs_der, cert.signature);
+}
+
+Verifier::Verifier(const RootStore& roots, const IntermediatePool& intermediates,
+                   VerifyOptions options)
+    : roots_(roots), intermediates_(intermediates), options_(options) {}
+
+ValidationResult Verifier::verify(
+    const x509::Certificate& leaf,
+    std::span<const x509::Certificate> presented) const {
+  ValidationResult out;
+
+  if (!leaf.version_is_legal()) {
+    out.reason = InvalidReason::kMalformedVersion;
+    return out;
+  }
+  const auto time_ok = [&](const x509::Certificate& cert) -> InvalidReason {
+    if (cert.validity.not_after < cert.validity.not_before) {
+      return InvalidReason::kNeverValid;
+    }
+    if (options_.enforce_expiry &&
+        (options_.at_time < cert.validity.not_before ||
+         options_.at_time > cert.validity.not_after)) {
+      return InvalidReason::kExpired;
+    }
+    return InvalidReason::kNone;
+  };
+
+  // Trusted root presented directly as the endpoint certificate.
+  if (roots_.contains(leaf.fingerprint_sha256())) {
+    out.valid = true;
+    out.chain_length = 1;
+    return out;
+  }
+
+  // Self-signed detection (error-19 analog + footnote-7 manual check).
+  // Checked before the validity window so that a self-signed certificate
+  // with a backwards validity period is classified self-signed, as openssl
+  // error 19 fires before date checks — this keeps the paper's "other"
+  // bucket tiny.
+  if (is_self_signature(leaf)) {
+    out.reason = InvalidReason::kSelfSigned;
+    return out;
+  }
+
+  // Leaf validity window (expiry ignored unless enforce_expiry).
+  if (const InvalidReason r = time_ok(leaf); r != InvalidReason::kNone) {
+    out.reason = r;
+    return out;
+  }
+
+  // Walk up the chain. At each level, candidate issuers come from the
+  // presented chain first, then the intermediate pool (transvalid
+  // completion), then the root store.
+  const x509::Certificate* current = &leaf;
+  bool used_pool = false;
+  for (int depth = 1; depth < options_.max_chain_length; ++depth) {
+    const x509::Certificate* next = nullptr;
+    bool next_from_pool = false;
+    bool found_name_match = false;
+    bool bad_signature_seen = false;
+
+    const auto try_candidate = [&](const x509::Certificate& cand,
+                                   bool from_pool) {
+      if (next) return;
+      if (!(cand.subject == current->issuer)) return;
+      found_name_match = true;
+      if (!crypto::verify(cand.spki, current->tbs_der, current->signature)) {
+        bad_signature_seen = true;
+        return;
+      }
+      if (time_ok(cand) != InvalidReason::kNone) return;
+      next = &cand;
+      next_from_pool = from_pool;
+    };
+
+    // Root store first: reaching a root terminates the walk.
+    for (const x509::Certificate* root : roots_.find_by_subject(current->issuer)) {
+      try_candidate(*root, false);
+      if (next) {
+        if (options_.crl_store != nullptr &&
+            options_.crl_store->is_revoked(leaf.issuer, leaf.serial)) {
+          out.reason = InvalidReason::kRevoked;
+          return out;
+        }
+        out.valid = true;
+        out.chain_length = depth + 1;
+        out.transvalid = used_pool;
+        return out;
+      }
+    }
+    for (const x509::Certificate& cand : presented) {
+      try_candidate(cand, false);
+    }
+    if (!next) {
+      for (const x509::Certificate* cand :
+           intermediates_.find_by_subject(current->issuer)) {
+        try_candidate(*cand, true);
+      }
+    }
+    if (!next) {
+      out.reason = (found_name_match && bad_signature_seen)
+                       ? InvalidReason::kBadSignature
+                       : InvalidReason::kUntrustedIssuer;
+      return out;
+    }
+    if (is_self_signature(*next) && !roots_.contains(next->fingerprint_sha256())) {
+      // Chain roots at an untrusted self-signed certificate.
+      out.reason = InvalidReason::kUntrustedIssuer;
+      return out;
+    }
+    used_pool = used_pool || next_from_pool;
+    current = next;
+  }
+  out.reason = InvalidReason::kUntrustedIssuer;  // chain too long / dangling
+  return out;
+}
+
+}  // namespace sm::pki

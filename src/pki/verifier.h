@@ -1,0 +1,93 @@
+// Chain building and certificate validation — the `openssl verify` analog
+// of the paper's §4.2, including the two behaviours that shape its dataset:
+//
+//  * expiry is ignored by default (a certificate counts as valid if it was
+//    valid at *some* point in time), because scans and validation happen at
+//    different times;
+//
+//  * self-signed detection uses both the error-19 analog (subject == issuer
+//    and the signature verifies with the certificate's own key) and the
+//    manual fallback of footnote 7 (the signature verifies with the
+//    certificate's own key even when subject != issuer).
+//
+// Chains are completed from an IntermediatePool so that "transvalid"
+// certificates — leaves whose servers present broken chains but for which a
+// valid chain exists — validate, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "pki/crl_store.h"
+#include "pki/root_store.h"
+#include "x509/certificate.h"
+
+namespace sm::pki {
+
+/// Why a certificate failed validation. Mirrors the paper's breakdown:
+/// 88.0% self-signed, 11.99% untrusted issuer, 0.01% other.
+enum class InvalidReason : std::uint8_t {
+  kNone = 0,          ///< certificate is valid
+  kSelfSigned,        ///< roots at itself and is not a trusted root
+  kUntrustedIssuer,   ///< chain roots at an untrusted certificate or dangles
+  kBadSignature,      ///< an issuer was found but its signature check failed
+  kMalformedVersion,  ///< illegal version number (paper disregards these)
+  kNeverValid,        ///< NotAfter precedes NotBefore
+  kExpired,           ///< outside validity period (strict mode only)
+  kRevoked,           ///< listed on its issuer's CRL (when a store is given)
+};
+
+/// Human-readable reason label.
+std::string to_string(InvalidReason reason);
+
+/// Outcome of verifying one certificate.
+struct ValidationResult {
+  bool valid = false;
+  InvalidReason reason = InvalidReason::kNone;
+  /// Number of certificates in the accepted chain including leaf and root
+  /// (0 when invalid).
+  int chain_length = 0;
+  /// True when the chain needed certificates from the intermediate pool that
+  /// the server did not present ("transvalid").
+  bool transvalid = false;
+};
+
+/// Verifier options.
+struct VerifyOptions {
+  /// When false (the paper's setting), expiry does not invalidate; only a
+  /// NotAfter < NotBefore inversion does.
+  bool enforce_expiry = false;
+  /// Validation instant used when enforce_expiry is true.
+  util::UnixTime at_time = 0;
+  /// Maximum chain length (leaf..root inclusive).
+  int max_chain_length = 8;
+  /// When set, certificates listed on their issuer's CRL are classified
+  /// kRevoked even if the chain otherwise verifies.
+  const class CrlStore* crl_store = nullptr;
+};
+
+/// Validates certificates against a root store + intermediate pool.
+class Verifier {
+ public:
+  Verifier(const RootStore& roots, const IntermediatePool& intermediates,
+           VerifyOptions options = {});
+
+  /// Verifies `leaf`. `presented` is the (possibly empty, possibly broken)
+  /// chain the server sent alongside the leaf, in any order.
+  ValidationResult verify(
+      const x509::Certificate& leaf,
+      std::span<const x509::Certificate> presented = {}) const;
+
+ private:
+  const RootStore& roots_;
+  const IntermediatePool& intermediates_;
+  VerifyOptions options_;
+};
+
+/// True when the certificate's signature verifies under its *own* public
+/// key — the self-signed test of the paper's footnote 7, independent of
+/// whether subject equals issuer.
+bool is_self_signature(const x509::Certificate& cert);
+
+}  // namespace sm::pki

@@ -1,0 +1,32 @@
+// A consolidated plain-text report over a dataset: the §4/§5 analyses, the
+// §6 linking summary, and the §7 tracking summary, rendered the way the
+// sm_survey CLI prints them. Library consumers get one call; the CLI and
+// tests share the same formatting.
+#pragma once
+
+#include <string>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "net/as_database.h"
+#include "tracking/tracker.h"
+
+namespace sm::report {
+
+/// Which report sections to render.
+struct ReportOptions {
+  bool validity = true;    ///< §4.2 breakdown
+  bool longevity = true;   ///< Figures 3-4
+  bool diversity = true;   ///< Figure 6, Tables 1 and 3
+  bool linking = false;    ///< Tables 5-6, §6.4 (runs the linker)
+  bool tracking = false;   ///< §7 (runs linker + tracker)
+  std::size_t top_n = 5;   ///< rows in top-issuer / top-AS tables
+};
+
+/// Renders the selected sections for `archive`/`index` into one string.
+/// Linking/tracking sections construct their own Linker/DeviceTracker.
+std::string render_report(const analysis::DatasetIndex& index,
+                          const net::AsDatabase& as_db,
+                          const ReportOptions& options = {});
+
+}  // namespace sm::report

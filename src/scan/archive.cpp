@@ -1,0 +1,73 @@
+#include "scan/archive.h"
+
+#include <stdexcept>
+
+namespace sm::scan {
+
+CertId ScanArchive::intern(const CertRecord& record) {
+  const auto it = by_fingerprint_.find(record.fingerprint);
+  if (it != by_fingerprint_.end()) return it->second;
+  const CertId id = static_cast<CertId>(certs_.size());
+  by_fingerprint_.emplace(record.fingerprint, id);
+  certs_.push_back(record);
+  return id;
+}
+
+bool ScanArchive::find(const CertFingerprint& fingerprint, CertId& out) const {
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+std::size_t ScanArchive::begin_scan(const ScanEvent& event) {
+  if (!scans_.empty() && event.start < scans_.back().event.start) {
+    throw std::logic_error("scans must be appended chronologically");
+  }
+  scans_.push_back(ScanData{event, {}});
+  return scans_.size() - 1;
+}
+
+void ScanArchive::add_observation(std::size_t scan_index, CertId cert,
+                                  std::uint32_t ip, DeviceId device) {
+  scans_.at(scan_index).observations.push_back(Observation{cert, ip, device});
+}
+
+std::size_t ScanArchive::observation_count() const {
+  std::size_t n = 0;
+  for (const ScanData& scan : scans_) n += scan.observations.size();
+  return n;
+}
+
+double CertLifetime::days(const std::vector<ScanData>& scans) const {
+  if (scans_seen == 0) return 0;
+  if (first_scan == last_scan) return 1;
+  const double seconds = static_cast<double>(scans[last_scan].event.start -
+                                             scans[first_scan].event.start);
+  return seconds / static_cast<double>(util::kSecondsPerDay) + 1.0;
+}
+
+std::vector<CertLifetime> compute_lifetimes(const ScanArchive& archive) {
+  std::vector<CertLifetime> out(archive.certs().size());
+  std::vector<bool> seen(archive.certs().size(), false);
+  const auto& scans = archive.scans();
+  for (std::uint32_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
+    // A certificate may appear several times in one scan (multiple IPs);
+    // count the scan once via a per-scan first-touch check on last_scan.
+    for (const Observation& obs : scans[scan_index].observations) {
+      CertLifetime& life = out[obs.cert];
+      if (!seen[obs.cert]) {
+        seen[obs.cert] = true;
+        life.first_scan = scan_index;
+        life.last_scan = scan_index;
+        life.scans_seen = 1;
+      } else if (life.last_scan != scan_index) {
+        life.last_scan = scan_index;
+        ++life.scans_seen;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::scan

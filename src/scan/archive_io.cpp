@@ -1,0 +1,376 @@
+#include "scan/archive_io.h"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace sm::scan {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'A', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- binary primitives -------------------------------------------------------
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.good() || (in.eof() && in.gcount() == sizeof(value));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!get(in, len)) return false;
+  if (len > (1u << 24)) return false;  // sanity bound
+  s.resize(len);
+  in.read(s.data(), len);
+  return static_cast<std::uint32_t>(in.gcount()) == len;
+}
+
+// --- TSV escaping ------------------------------------------------------------
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\t':
+        out += "%09";
+        break;
+      case '\n':
+        out += "%0a";
+        break;
+      case '%':
+        out += "%25";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return std::nullopt;
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data() + i + 1, s.data() + i + 3, value, 16);
+    if (ec != std::errc{} || ptr != s.data() + i + 3) return std::nullopt;
+    out.push_back(static_cast<char>(value));
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      return fields;
+    }
+    fields.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+}
+
+template <typename T>
+bool parse_int(const std::string& s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+void save_archive(const ScanArchive& archive, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(archive.certs().size()));
+  for (const CertRecord& cert : archive.certs()) {
+    out.write(reinterpret_cast<const char*>(cert.fingerprint.data()),
+              static_cast<std::streamsize>(cert.fingerprint.size()));
+    put(out, cert.key_fingerprint);
+    put_string(out, cert.subject_cn);
+    put_string(out, cert.issuer_cn);
+    put_string(out, cert.issuer_dn);
+    put_string(out, cert.serial_hex);
+    put(out, cert.not_before);
+    put(out, cert.not_after);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(cert.san.size()));
+    for (const std::string& san : cert.san) put_string(out, san);
+    put_string(out, cert.aki_hex);
+    put_string(out, cert.crl_url);
+    put_string(out, cert.aia_url);
+    put_string(out, cert.ocsp_url);
+    put_string(out, cert.policy_oid);
+    put(out, cert.raw_version);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(
+                               (cert.is_ca ? 1 : 0) | (cert.valid ? 2 : 0) |
+                               (cert.transvalid ? 4 : 0)));
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(cert.invalid_reason));
+  }
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(archive.scans().size()));
+  for (const ScanData& scan : archive.scans()) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(scan.event.campaign));
+    put(out, scan.event.start);
+    put(out, scan.event.duration_seconds);
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(scan.observations.size()));
+    for (const Observation& obs : scan.observations) {
+      put(out, obs.cert);
+      put(out, obs.ip);
+      put(out, obs.device);
+    }
+  }
+}
+
+std::optional<ScanArchive> load_archive(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!get(in, version) || version != kVersion) return std::nullopt;
+
+  ScanArchive archive;
+  std::uint32_t cert_count = 0;
+  if (!get(in, cert_count)) return std::nullopt;
+  for (std::uint32_t i = 0; i < cert_count; ++i) {
+    CertRecord cert;
+    in.read(reinterpret_cast<char*>(cert.fingerprint.data()),
+            static_cast<std::streamsize>(cert.fingerprint.size()));
+    if (static_cast<std::size_t>(in.gcount()) != cert.fingerprint.size()) {
+      return std::nullopt;
+    }
+    std::uint32_t san_count = 0;
+    std::uint8_t flags = 0, reason = 0;
+    if (!get(in, cert.key_fingerprint) || !get_string(in, cert.subject_cn) ||
+        !get_string(in, cert.issuer_cn) || !get_string(in, cert.issuer_dn) ||
+        !get_string(in, cert.serial_hex) || !get(in, cert.not_before) ||
+        !get(in, cert.not_after) || !get(in, san_count)) {
+      return std::nullopt;
+    }
+    if (san_count > (1u << 16)) return std::nullopt;
+    cert.san.resize(san_count);
+    for (std::string& san : cert.san) {
+      if (!get_string(in, san)) return std::nullopt;
+    }
+    if (!get_string(in, cert.aki_hex) || !get_string(in, cert.crl_url) ||
+        !get_string(in, cert.aia_url) || !get_string(in, cert.ocsp_url) ||
+        !get_string(in, cert.policy_oid) || !get(in, cert.raw_version) ||
+        !get(in, flags) || !get(in, reason)) {
+      return std::nullopt;
+    }
+    cert.is_ca = flags & 1;
+    cert.valid = flags & 2;
+    cert.transvalid = flags & 4;
+    if (reason > static_cast<std::uint8_t>(pki::InvalidReason::kRevoked)) {
+      return std::nullopt;
+    }
+    cert.invalid_reason = static_cast<pki::InvalidReason>(reason);
+    if (archive.intern(cert) != i) return std::nullopt;  // duplicate fp
+  }
+
+  std::uint32_t scan_count = 0;
+  if (!get(in, scan_count)) return std::nullopt;
+  for (std::uint32_t s = 0; s < scan_count; ++s) {
+    std::uint8_t campaign = 0;
+    ScanEvent event;
+    std::uint32_t obs_count = 0;
+    if (!get(in, campaign) || campaign > 1 || !get(in, event.start) ||
+        !get(in, event.duration_seconds) || !get(in, obs_count)) {
+      return std::nullopt;
+    }
+    event.campaign = static_cast<Campaign>(campaign);
+    const std::size_t scan_index = archive.begin_scan(event);
+    for (std::uint32_t i = 0; i < obs_count; ++i) {
+      Observation obs;
+      if (!get(in, obs.cert) || !get(in, obs.ip) || !get(in, obs.device)) {
+        return std::nullopt;
+      }
+      if (obs.cert >= cert_count) return std::nullopt;
+      archive.add_observation(scan_index, obs.cert, obs.ip, obs.device);
+    }
+  }
+  return archive;
+}
+
+bool save_archive_file(const ScanArchive& archive, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_archive(archive, out);
+  return out.good();
+}
+
+std::optional<ScanArchive> load_archive_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load_archive(in);
+}
+
+void export_tsv(const ScanArchive& archive, std::ostream& out) {
+  out << "#certs\tfingerprint\tkey_fp\tsubject_cn\tissuer_cn\tissuer_dn\t"
+         "serial\tnot_before\tnot_after\tsan\taki\tcrl\taia\tocsp\toid\t"
+         "version\tis_ca\tvalid\ttransvalid\treason\n";
+  for (const CertRecord& cert : archive.certs()) {
+    std::string fp_hex;
+    for (const std::uint8_t b : cert.fingerprint) {
+      static constexpr char kDigits[] = "0123456789abcdef";
+      fp_hex.push_back(kDigits[b >> 4]);
+      fp_hex.push_back(kDigits[b & 0xf]);
+    }
+    std::string san_joined;
+    for (std::size_t i = 0; i < cert.san.size(); ++i) {
+      if (i) san_joined.push_back('|');
+      san_joined += cert.san[i];
+    }
+    out << "C\t" << fp_hex << '\t' << cert.key_fingerprint << '\t'
+        << escape(cert.subject_cn) << '\t' << escape(cert.issuer_cn) << '\t'
+        << escape(cert.issuer_dn) << '\t' << escape(cert.serial_hex) << '\t'
+        << cert.not_before << '\t' << cert.not_after << '\t'
+        << escape(san_joined) << '\t' << cert.aki_hex << '\t'
+        << escape(cert.crl_url) << '\t' << escape(cert.aia_url) << '\t'
+        << escape(cert.ocsp_url) << '\t' << escape(cert.policy_oid) << '\t'
+        << cert.raw_version << '\t' << (cert.is_ca ? 1 : 0) << '\t'
+        << (cert.valid ? 1 : 0) << '\t' << (cert.transvalid ? 1 : 0) << '\t'
+        << static_cast<int>(cert.invalid_reason) << '\n';
+  }
+  out << "#observations\tscan\tcampaign\tstart\tduration\tcert\tip\tdevice\n";
+  for (std::size_t s = 0; s < archive.scans().size(); ++s) {
+    const ScanData& scan = archive.scans()[s];
+    for (const Observation& obs : scan.observations) {
+      out << "O\t" << s << '\t' << static_cast<int>(scan.event.campaign)
+          << '\t' << scan.event.start << '\t' << scan.event.duration_seconds
+          << '\t' << obs.cert << '\t' << obs.ip << '\t' << obs.device << '\n';
+    }
+  }
+}
+
+std::optional<ScanArchive> import_tsv(std::istream& in) {
+  ScanArchive archive;
+  std::string line;
+  std::uint32_t cert_count = 0;
+  std::int64_t current_scan = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = split_tabs(line);
+    if (fields[0] == "C") {
+      if (fields.size() != 20) return std::nullopt;
+      CertRecord cert;
+      const std::string& fp_hex = fields[1];
+      if (fp_hex.size() != cert.fingerprint.size() * 2) return std::nullopt;
+      for (std::size_t i = 0; i < cert.fingerprint.size(); ++i) {
+        unsigned byte = 0;
+        const auto* begin = fp_hex.data() + 2 * i;
+        const auto [ptr, ec] = std::from_chars(begin, begin + 2, byte, 16);
+        if (ec != std::errc{} || ptr != begin + 2) return std::nullopt;
+        cert.fingerprint[i] = static_cast<std::uint8_t>(byte);
+      }
+      const auto subject = unescape(fields[3]);
+      const auto issuer = unescape(fields[4]);
+      const auto issuer_dn = unescape(fields[5]);
+      const auto serial = unescape(fields[6]);
+      const auto san = unescape(fields[9]);
+      const auto crl = unescape(fields[11]);
+      const auto aia = unescape(fields[12]);
+      const auto ocsp = unescape(fields[13]);
+      const auto oid = unescape(fields[14]);
+      int is_ca = 0, valid = 0, transvalid = 0, reason = 0;
+      if (!subject || !issuer || !issuer_dn || !serial || !san || !crl ||
+          !aia || !ocsp || !oid || !parse_int(fields[2], cert.key_fingerprint) ||
+          !parse_int(fields[7], cert.not_before) ||
+          !parse_int(fields[8], cert.not_after) ||
+          !parse_int(fields[15], cert.raw_version) ||
+          !parse_int(fields[16], is_ca) || !parse_int(fields[17], valid) ||
+          !parse_int(fields[18], transvalid) ||
+          !parse_int(fields[19], reason)) {
+        return std::nullopt;
+      }
+      cert.subject_cn = *subject;
+      cert.issuer_cn = *issuer;
+      cert.issuer_dn = *issuer_dn;
+      cert.serial_hex = *serial;
+      cert.aki_hex = fields[10];
+      cert.crl_url = *crl;
+      cert.aia_url = *aia;
+      cert.ocsp_url = *ocsp;
+      cert.policy_oid = *oid;
+      if (!san->empty()) {
+        std::size_t pos = 0;
+        for (;;) {
+          const std::size_t bar = san->find('|', pos);
+          cert.san.push_back(san->substr(pos, bar - pos));
+          if (bar == std::string::npos) break;
+          pos = bar + 1;
+        }
+      }
+      cert.is_ca = is_ca != 0;
+      cert.valid = valid != 0;
+      cert.transvalid = transvalid != 0;
+      if (reason < 0 ||
+          reason > static_cast<int>(pki::InvalidReason::kRevoked)) {
+        return std::nullopt;
+      }
+      cert.invalid_reason = static_cast<pki::InvalidReason>(reason);
+      if (archive.intern(cert) != cert_count) return std::nullopt;
+      ++cert_count;
+    } else if (fields[0] == "O") {
+      if (fields.size() != 8) return std::nullopt;
+      std::int64_t scan_index = 0;
+      int campaign = 0;
+      ScanEvent event;
+      Observation obs;
+      if (!parse_int(fields[1], scan_index) ||
+          !parse_int(fields[2], campaign) || campaign < 0 || campaign > 1 ||
+          !parse_int(fields[3], event.start) ||
+          !parse_int(fields[4], event.duration_seconds) ||
+          !parse_int(fields[5], obs.cert) || !parse_int(fields[6], obs.ip) ||
+          !parse_int(fields[7], obs.device)) {
+        return std::nullopt;
+      }
+      event.campaign = static_cast<Campaign>(campaign);
+      if (scan_index == current_scan + 1) {
+        archive.begin_scan(event);
+        current_scan = scan_index;
+      } else if (scan_index != current_scan) {
+        return std::nullopt;  // scans must arrive in order
+      }
+      if (obs.cert >= cert_count) return std::nullopt;
+      archive.add_observation(static_cast<std::size_t>(current_scan),
+                              obs.cert, obs.ip, obs.device);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return archive;
+}
+
+}  // namespace sm::scan

@@ -1,0 +1,43 @@
+// ScanArchive persistence:
+//
+//  * a compact binary format ("SMAR") for saving/reloading archives, so an
+//    expensive simulation or a parsed real-world scan corpus is paid for
+//    once;
+//  * a TSV interchange format so real scan data (e.g. parsed scans.io
+//    snapshots) can be fed to the analysis/linking/tracking pipeline, and
+//    simulated data can be exported to external tooling.
+//
+// Both formats round-trip every field the pipeline consumes.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "scan/archive.h"
+
+namespace sm::scan {
+
+/// Serializes an archive to the binary "SMAR" format.
+void save_archive(const ScanArchive& archive, std::ostream& out);
+
+/// Deserializes a binary archive. Returns nullopt on malformed input
+/// (bad magic, unsupported version, truncation, out-of-range indices).
+std::optional<ScanArchive> load_archive(std::istream& in);
+
+/// Convenience: save to / load from a file path. Load returns nullopt when
+/// the file is missing or malformed; save returns false on I/O failure.
+bool save_archive_file(const ScanArchive& archive, const std::string& path);
+std::optional<ScanArchive> load_archive_file(const std::string& path);
+
+/// Writes the archive as two TSV sections:
+///   #certs <tab-separated cert rows>
+///   #observations <scan_index, campaign, scan_start, cert_index, ip, device>
+/// Strings are percent-escaped for tabs/newlines/percent signs.
+void export_tsv(const ScanArchive& archive, std::ostream& out);
+
+/// Parses the TSV format written by export_tsv. Returns nullopt on
+/// malformed input.
+std::optional<ScanArchive> import_tsv(std::istream& in);
+
+}  // namespace sm::scan

@@ -1,0 +1,69 @@
+#include "scan/cert_record.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+
+namespace sm::scan {
+
+std::string CertRecord::san_joined() const {
+  if (san.empty()) return {};
+  std::vector<std::string> sorted = san;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out.push_back('|');
+    out += sorted[i];
+  }
+  return out;
+}
+
+CertFingerprint truncate_fingerprint(const util::Bytes& sha256) {
+  CertFingerprint out{};
+  std::copy_n(sha256.begin(),
+              std::min(out.size(), sha256.size()), out.begin());
+  return out;
+}
+
+KeyFingerprint truncate_key_fingerprint(const util::Bytes& sha256) {
+  KeyFingerprint out = 0;
+  for (std::size_t i = 0; i < 8 && i < sha256.size(); ++i) {
+    out = (out << 8) | sha256[i];
+  }
+  return out;
+}
+
+CertRecord make_cert_record(const x509::Certificate& cert,
+                            const pki::ValidationResult& validation) {
+  CertRecord rec;
+  rec.fingerprint = truncate_fingerprint(cert.fingerprint_sha256());
+  rec.key_fingerprint = truncate_key_fingerprint(cert.spki.fingerprint());
+  rec.subject_cn = cert.subject.common_name();
+  rec.issuer_cn = cert.issuer.common_name();
+  rec.issuer_dn = cert.issuer.to_string();
+  rec.serial_hex = cert.serial.to_hex();
+  rec.not_before = cert.validity.not_before;
+  rec.not_after = cert.validity.not_after;
+  for (const x509::GeneralName& name : cert.subject_alt_names()) {
+    rec.san.push_back(name.to_string());
+  }
+  if (const auto aki = cert.authority_key_id()) {
+    rec.aki_hex = util::hex_encode(*aki);
+  }
+  const auto crls = cert.crl_distribution_points();
+  if (!crls.empty()) rec.crl_url = crls.front();
+  const auto aia = cert.authority_info_access();
+  if (!aia.ca_issuers.empty()) rec.aia_url = aia.ca_issuers.front();
+  if (!aia.ocsp.empty()) rec.ocsp_url = aia.ocsp.front();
+  const auto policies = cert.policy_oids();
+  if (!policies.empty()) rec.policy_oid = policies.front().to_string();
+  rec.raw_version = static_cast<std::int32_t>(cert.raw_version);
+  const auto bc = cert.basic_constraints();
+  rec.is_ca = bc.has_value() && bc->is_ca;
+  rec.valid = validation.valid;
+  rec.transvalid = validation.transvalid;
+  rec.invalid_reason = validation.reason;
+  return rec;
+}
+
+}  // namespace sm::scan

@@ -1,0 +1,74 @@
+// CertRecord — the compact per-certificate row the analysis pipeline works
+// on. A full x509::Certificate (with its DER) is built and validated once,
+// at issuance; everything downstream (longevity, diversity, linking,
+// tracking) reads these slim records, which is what makes archives of
+// hundreds of thousands of certificates cheap to hold in memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pki/verifier.h"
+#include "x509/certificate.h"
+
+namespace sm::scan {
+
+/// 128-bit truncation of the SHA-256 certificate fingerprint — the
+/// certificate identity used for interning/deduplication.
+using CertFingerprint = std::array<std::uint8_t, 16>;
+
+/// 64-bit truncation of the SPKI fingerprint — the public-key identity used
+/// by the key-sharing analysis and the Public Key linking feature.
+using KeyFingerprint = std::uint64_t;
+
+/// The extracted features of one unique certificate.
+struct CertRecord {
+  CertFingerprint fingerprint{};
+  KeyFingerprint key_fingerprint = 0;
+
+  std::string subject_cn;
+  std::string issuer_cn;
+  std::string issuer_dn;     ///< full issuer rendering (for IN+SN feature)
+  std::string serial_hex;
+  util::UnixTime not_before = 0;
+  util::UnixTime not_after = 0;
+  std::vector<std::string> san;  ///< GeneralName::to_string forms, in order
+  std::string aki_hex;        ///< AuthorityKeyIdentifier hex, "" if none
+  std::string crl_url;        ///< first CRL distribution point, "" if none
+  std::string aia_url;        ///< first caIssuers URL, "" if none
+  std::string ocsp_url;       ///< first OCSP responder URL, "" if none
+  std::string policy_oid;     ///< first certificate-policy OID, "" if none
+  std::int32_t raw_version = 2;
+  bool is_ca = false;
+
+  bool valid = false;
+  /// Valid only because the intermediate pool completed a chain the server
+  /// did not present ("transvalid", §4.2).
+  bool transvalid = false;
+  pki::InvalidReason invalid_reason = pki::InvalidReason::kNone;
+
+  /// Signed validity period in days.
+  double validity_period_days() const {
+    return static_cast<double>(not_after - not_before) /
+           static_cast<double>(util::kSecondsPerDay);
+  }
+
+  /// The SAN list as one sorted, '|'-joined feature string ("" when empty).
+  std::string san_joined() const;
+};
+
+/// Extracts a CertRecord from a parsed certificate plus its validation
+/// outcome.
+CertRecord make_cert_record(const x509::Certificate& cert,
+                            const pki::ValidationResult& validation);
+
+/// Truncates a full SHA-256 certificate fingerprint to the 128-bit intern
+/// key.
+CertFingerprint truncate_fingerprint(const util::Bytes& sha256);
+
+/// Truncates a full SPKI fingerprint to the 64-bit key identity.
+KeyFingerprint truncate_key_fingerprint(const util::Bytes& sha256);
+
+}  // namespace sm::scan

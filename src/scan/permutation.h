@@ -1,0 +1,43 @@
+// The scan-order model: a keyed bijection over the 32-bit address space,
+// standing in for ZMap's random-order scanning (multiplicative-group
+// iteration in the real tool; a balanced Feistel network here — both are
+// keyed bijections of the IPv4 space).
+//
+// Having the *inverse* permutation is what makes the simulator efficient:
+// instead of iterating all 2^32 addresses per scan, the position of a live
+// IP in the scan order — and hence its probe time — is computed in O(1).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "util/datetime.h"
+
+namespace sm::scan {
+
+/// A keyed bijection of the 32-bit integers (6-round balanced Feistel).
+class AddressPermutation {
+ public:
+  /// Creates the permutation for a scan key (each scan uses a fresh key, as
+  /// ZMap seeds each run independently).
+  explicit AddressPermutation(std::uint64_t key);
+
+  /// Maps scan-order index -> address.
+  std::uint32_t forward(std::uint32_t index) const;
+
+  /// Maps address -> scan-order index (inverse of forward()).
+  std::uint32_t inverse(std::uint32_t address) const;
+
+ private:
+  static constexpr int kRounds = 6;
+  std::uint32_t round_keys_[kRounds];
+};
+
+/// The instant within a scan at which `ip` is probed: scans start at
+/// `start` and sweep the whole space in `duration_seconds` (the paper cites
+/// up to 10 hours for a full IPv4 scan), probing addresses in permutation
+/// order at a uniform rate.
+util::UnixTime probe_time(const AddressPermutation& perm, net::Ipv4Address ip,
+                          util::UnixTime start, std::int64_t duration_seconds);
+
+}  // namespace sm::scan

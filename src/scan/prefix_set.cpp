@@ -1,0 +1,17 @@
+#include "scan/prefix_set.h"
+
+namespace sm::scan {
+
+void PrefixSet::add(const net::Prefix& prefix) { table_.announce(prefix, 1); }
+
+bool PrefixSet::covers(net::Ipv4Address ip) const {
+  return table_.lookup(ip).has_value();
+}
+
+std::vector<net::Prefix> PrefixSet::prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, asn] : table_.entries()) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace sm::scan

@@ -1,0 +1,31 @@
+// A set of CIDR prefixes with covering-prefix membership tests — used for
+// the per-campaign scan blacklists behind the paper's Figure 1 dataset
+// discrepancy.
+#pragma once
+
+#include <vector>
+
+#include "net/route_table.h"
+
+namespace sm::scan {
+
+/// A prefix set; `covers(ip)` is true when any member prefix contains `ip`.
+class PrefixSet {
+ public:
+  /// Adds a prefix to the set.
+  void add(const net::Prefix& prefix);
+
+  /// True when some member prefix contains `ip`.
+  bool covers(net::Ipv4Address ip) const;
+
+  /// All member prefixes.
+  std::vector<net::Prefix> prefixes() const;
+
+  std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.size() == 0; }
+
+ private:
+  net::RouteTable table_;  // membership encoded as announcements
+};
+
+}  // namespace sm::scan

@@ -1,0 +1,100 @@
+#include "scan/schedule.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sm::scan {
+
+std::string to_string(Campaign campaign) {
+  return campaign == Campaign::kUMich ? "umich" : "rapid7";
+}
+
+std::vector<ScanEvent> make_paper_schedule(const ScheduleConfig& config,
+                                           util::Rng& rng) {
+  std::vector<ScanEvent> events;
+  const auto day_start = [&](util::UnixTime day) {
+    // 02:00 UTC + up to 30 min jitter.
+    return day + 2 * 3600 + static_cast<std::int64_t>(rng.below(1800));
+  };
+
+  // --- UMich-like: irregular cadence -------------------------------------
+  {
+    util::UnixTime day = config.umich_start;
+    const std::int64_t span_days =
+        (config.umich_end - config.umich_start) / util::kSecondsPerDay;
+    // Position of the 42-day daily streak, somewhere in the middle.
+    const std::int64_t streak_begin = span_days / 3;
+    const std::int64_t streak_days =
+        std::max<std::int64_t>(2, static_cast<std::int64_t>(42 * config.scale));
+    std::int64_t elapsed = 0;
+    while (day <= config.umich_end) {
+      events.push_back(ScanEvent{Campaign::kUMich, day_start(day)});
+      std::int64_t gap_days;
+      if (elapsed >= streak_begin && elapsed < streak_begin + streak_days) {
+        gap_days = 1;  // the daily-scan streak
+      } else if (rng.chance(0.04)) {
+        gap_days = rng.range(14, 24);  // occasional long quiet gap
+      } else {
+        // Mostly 2-6 day gaps; mean lands near the paper's 3.83 days.
+        gap_days = rng.range(2, 6);
+      }
+      // Scale the cadence: larger gaps when scale < 1 so the scan count
+      // shrinks proportionally over the same span.
+      gap_days = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 static_cast<double>(gap_days) / config.scale + 0.5));
+      day += gap_days * util::kSecondsPerDay;
+      elapsed += gap_days;
+    }
+  }
+
+  // --- Rapid7-like: strict weekly ------------------------------------------
+  {
+    const std::int64_t week = 7 * util::kSecondsPerDay;
+    const std::int64_t gap = std::max<std::int64_t>(
+        util::kSecondsPerDay,
+        static_cast<std::int64_t>(static_cast<double>(week) / config.scale));
+    for (util::UnixTime day = config.rapid7_start; day <= config.rapid7_end;
+         day += gap) {
+      events.push_back(ScanEvent{Campaign::kRapid7, day_start(day)});
+    }
+  }
+
+  // Guarantee at least one dual-scan day (the paper had eight): when the
+  // generated cadences never coincide, add a UMich scan on the first
+  // Rapid7 day inside the UMich window.
+  if (dual_scan_days(events).empty()) {
+    for (const ScanEvent& event : events) {
+      if (event.campaign != Campaign::kRapid7) continue;
+      if (event.start > config.umich_end) break;
+      const util::UnixTime day =
+          (event.start / util::kSecondsPerDay) * util::kSecondsPerDay;
+      events.push_back(ScanEvent{Campaign::kUMich, day_start(day)});
+      break;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const ScanEvent& a, const ScanEvent& b) {
+              return a.start < b.start;
+            });
+  return events;
+}
+
+std::vector<util::UnixTime> dual_scan_days(
+    const std::vector<ScanEvent>& events) {
+  std::set<util::UnixTime> umich_days, rapid7_days;
+  for (const ScanEvent& event : events) {
+    const util::UnixTime day =
+        (event.start / util::kSecondsPerDay) * util::kSecondsPerDay;
+    (event.campaign == Campaign::kUMich ? umich_days : rapid7_days)
+        .insert(day);
+  }
+  std::vector<util::UnixTime> out;
+  std::set_intersection(umich_days.begin(), umich_days.end(),
+                        rapid7_days.begin(), rapid7_days.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace sm::scan

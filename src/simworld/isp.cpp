@@ -1,0 +1,222 @@
+#include "simworld/isp.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace sm::simworld {
+
+namespace {
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+/// Deterministically hands out non-overlapping /16 pools, spreading them
+/// across many /8s (Figure 1 plots per-/8 behaviour, so pool diversity in
+/// the first octet matters). Reserved/multicast/private ranges are skipped.
+class PoolAllocator {
+ public:
+  net::Prefix next() {
+    for (;;) {
+      const unsigned a = first_octet_;
+      const unsigned b = second_octet_;
+      advance();
+      if (a == 0 || a == 10 || a == 127 || a >= 224 ||
+          (a == 172 && b >= 16 && b < 32) || (a == 192 && b == 168) ||
+          (a == 169 && b == 254)) {
+        continue;
+      }
+      return net::Prefix(
+          net::Ipv4Address::from_octets(static_cast<std::uint8_t>(a),
+                                        static_cast<std::uint8_t>(b), 0, 0),
+          16);
+    }
+  }
+
+ private:
+  void advance() {
+    // Walk first octets with a large stride so consecutive pools land in
+    // different /8s; bump the second octet after each full cycle.
+    first_octet_ = (first_octet_ + 37) % 224;
+    if (first_octet_ < 4) {
+      first_octet_ += 4;
+      ++second_octet_;
+    }
+  }
+
+  unsigned first_octet_ = 5;
+  unsigned second_octet_ = 0;
+};
+
+void add_isp(std::vector<IspConfig>& out, PoolAllocator& alloc, net::Asn asn,
+             std::string name, std::string country, net::AsType type,
+             double static_fraction, std::int64_t lease_seconds,
+             double device_share, int pool_count = 1) {
+  IspConfig isp;
+  isp.asn = asn;
+  isp.name = std::move(name);
+  isp.country = std::move(country);
+  isp.type = type;
+  isp.static_fraction = static_fraction;
+  isp.lease_seconds = lease_seconds;
+  isp.device_share = device_share;
+  for (int i = 0; i < pool_count; ++i) isp.pools.push_back(alloc.next());
+  out.push_back(std::move(isp));
+}
+
+}  // namespace
+
+std::vector<IspConfig> default_isps() {
+  std::vector<IspConfig> out;
+  PoolAllocator alloc;
+  using net::AsType;
+
+  // --- the paper's named access ISPs (Table 3, §6.4.2, §7.4) --------------
+  // German ISPs reassign dynamic IPs daily — the source of the paper's low
+  // IP-level / high AS-level consistency for FRITZ!Box devices.
+  add_isp(out, alloc, asn::kDeutscheTelekom, "Deutsche Telekom AG", "DEU",
+          AsType::kTransitAccess, 0.24, 1 * kDay, 16.0, 3);
+  add_isp(out, alloc, asn::kVodafoneDe, "Vodafone GmbH", "DEU",
+          AsType::kTransitAccess, 0.10, 1 * kDay, 4.0, 2);
+  add_isp(out, alloc, asn::kTelefonicaDe, "Telefonica Germany GmbH", "DEU",
+          AsType::kTransitAccess, 0.10, 1 * kDay, 3.0, 2);
+  // US cable ISPs barely reassign (§7.4: Comcast 90% static, AT&T 88.9%).
+  add_isp(out, alloc, asn::kComcast, "Comcast Cable Comm., Inc.", "USA",
+          AsType::kTransitAccess, 0.93, 60 * kDay, 5.0, 3);
+  add_isp(out, alloc, asn::kAttInternet, "AT&T Internet Services", "USA",
+          AsType::kTransitAccess, 0.92, 45 * kDay, 3.0, 2);
+  add_isp(out, alloc, asn::kKoreaTelecom, "Korea Telecom", "KOR",
+          AsType::kTransitAccess, 0.55, 14 * kDay, 3.0, 2);
+  // Verizon's two ASes; prefixes transfer 19262 -> 701 during the study.
+  add_isp(out, alloc, asn::kVerizonEast, "Verizon Internet Services", "USA",
+          AsType::kTransitAccess, 0.85, 30 * kDay, 3.0, 2);
+  add_isp(out, alloc, asn::kMciVerizon, "MCI Communications Services", "USA",
+          AsType::kTransitAccess, 0.80, 30 * kDay, 1.0, 1);
+  // Fully-dynamic ASes (§7.4: >=75% new IP between every scan).
+  add_isp(out, alloc, asn::kTelefonicaVen, "Telefonica Venezolana", "VEN",
+          AsType::kTransitAccess, 0.004, 1 * kDay, 0.8, 1);
+  add_isp(out, alloc, asn::kTimCelular, "Tim Celular S.A.", "BRA",
+          AsType::kTransitAccess, 0.03, 1 * kDay, 0.5, 1);
+  add_isp(out, alloc, asn::kBsesTelecom, "BSES TeleCom Limited", "IND",
+          AsType::kTransitAccess, 0.047, 1 * kDay, 0.4, 1);
+  // Mobile network for the PlayBook population: new IP practically every
+  // connection.
+  add_isp(out, alloc, asn::kBlackberryMobile, "BlackBerry Mobile Net", "CAN",
+          AsType::kTransitAccess, 0.0, kDay / 2, 1.2, 1);
+
+  // --- content / hosting ASes (host valid websites, Table 3 top) ----------
+  add_isp(out, alloc, asn::kGoDaddy, "GoDaddy.com, LLC", "USA",
+          AsType::kContent, 1.0, 365 * kDay, 5.0, 2);
+  add_isp(out, alloc, asn::kUnifiedLayer, "Unified Layer", "USA",
+          AsType::kContent, 1.0, 365 * kDay, 2.0, 1);
+  add_isp(out, alloc, asn::kAmazon14618, "Amazon, Inc.", "USA",
+          AsType::kContent, 1.0, 365 * kDay, 1.6, 1);
+  add_isp(out, alloc, asn::kSoftLayer, "SoftLayer Technologies", "USA",
+          AsType::kContent, 1.0, 365 * kDay, 1.5, 1);
+  add_isp(out, alloc, asn::kAmazon16509, "Amazon, Inc.", "USA",
+          AsType::kContent, 1.0, 365 * kDay, 1.4, 1);
+
+  // --- synthetic long tail -------------------------------------------------
+  // Access ISPs with a spread of reassignment policies shaped like
+  // Figure 11: most ASes are static-heavy, a minority fully dynamic.
+  const char* countries[] = {"USA", "DEU", "GBR", "FRA", "JPN", "BRA",
+                             "ITA", "ESP", "NLD", "POL", "TUR", "RUS",
+                             "CHN", "IND", "MEX", "CAN"};
+  util::Rng rng(util::fnv1a("default-isps"));
+  for (int i = 0; i < 48; ++i) {
+    const net::Asn as_number = 50000 + static_cast<net::Asn>(i);
+    double static_fraction;
+    std::int64_t lease;
+    const double bucket = rng.unit();
+    if (bucket < 0.58) {
+      static_fraction = 0.95 + 0.05 * rng.unit();
+      lease = rng.range(30, 90) * kDay;
+    } else if (bucket < 0.80) {
+      static_fraction = 0.50 + 0.40 * rng.unit();
+      lease = rng.range(7, 30) * kDay;
+    } else if (bucket < 0.92) {
+      static_fraction = 0.20 + 0.30 * rng.unit();
+      lease = rng.range(2, 7) * kDay;
+    } else {
+      static_fraction = 0.05 * rng.unit();
+      lease = 1 * kDay;
+    }
+    add_isp(out, alloc, as_number,
+            "Access Network " + std::to_string(i),
+            countries[rng.below(std::size(countries))],
+            net::AsType::kTransitAccess, static_fraction, lease,
+            0.15 + 0.5 * rng.unit());
+  }
+  for (int i = 0; i < 8; ++i) {
+    add_isp(out, alloc, 60000 + static_cast<net::Asn>(i),
+            "Hosting Co " + std::to_string(i),
+            countries[rng.below(std::size(countries))], net::AsType::kContent,
+            1.0, 365 * kDay, 0.2 + 0.4 * rng.unit());
+  }
+  for (int i = 0; i < 10; ++i) {
+    add_isp(out, alloc, 64600 + static_cast<net::Asn>(i),
+            "Enterprise Net " + std::to_string(i),
+            countries[rng.below(std::size(countries))],
+            net::AsType::kEnterprise, 0.95, 90 * kDay, 0.08 + 0.1 * rng.unit());
+  }
+  return out;
+}
+
+std::vector<PrefixTransfer> default_transfers(
+    const std::vector<IspConfig>& isps) {
+  std::vector<PrefixTransfer> out;
+  const auto find_pools = [&](net::Asn a) -> const std::vector<net::Prefix>* {
+    for (const IspConfig& isp : isps) {
+      if (isp.asn == a) return &isp.pools;
+    }
+    return nullptr;
+  };
+  // Verizon transferred blocks to MCI twice (§7.3), and AT&T consolidated
+  // address space in September 2013.
+  if (const auto* vz = find_pools(asn::kVerizonEast); vz && vz->size() >= 2) {
+    out.push_back(PrefixTransfer{(*vz)[0], asn::kVerizonEast,
+                                 asn::kMciVerizon,
+                                 util::make_date(2013, 4, 15)});
+    out.push_back(PrefixTransfer{(*vz)[1], asn::kVerizonEast,
+                                 asn::kMciVerizon,
+                                 util::make_date(2014, 6, 1)});
+  }
+  if (const auto* att = find_pools(asn::kAttInternet); att && !att->empty()) {
+    out.push_back(PrefixTransfer{att->back(), asn::kAttInternet,
+                                 asn::kComcast, util::make_date(2013, 9, 10)});
+  }
+  return out;
+}
+
+net::AsDatabase build_as_database(const std::vector<IspConfig>& isps) {
+  net::AsDatabase db;
+  for (const IspConfig& isp : isps) {
+    db.add(net::AsInfo{isp.asn, isp.name, isp.country, isp.type});
+  }
+  return db;
+}
+
+net::RoutingHistory build_routing_history(
+    const std::vector<IspConfig>& isps,
+    const std::vector<PrefixTransfer>& transfers, util::UnixTime base_time) {
+  net::RoutingHistory history;
+  net::RouteTable table;
+  for (const IspConfig& isp : isps) {
+    for (const net::Prefix& pool : isp.pools) {
+      table.announce(pool, isp.asn);
+    }
+  }
+  history.add_snapshot(base_time, table);
+  // Apply transfers cumulatively, one snapshot per event (sorted by time).
+  std::vector<PrefixTransfer> sorted = transfers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PrefixTransfer& a, const PrefixTransfer& b) {
+              return a.when < b.when;
+            });
+  for (const PrefixTransfer& transfer : sorted) {
+    table.announce(transfer.prefix, transfer.to);
+    history.add_snapshot(transfer.when, table);
+  }
+  return history;
+}
+
+}  // namespace sm::simworld

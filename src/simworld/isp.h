@@ -1,0 +1,86 @@
+// ISP / AS models — address pools, reassignment policies, and the routing
+// events (prefix transfers) that the tracking layer later rediscovers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/as_database.h"
+#include "net/route_table.h"
+
+namespace sm::simworld {
+
+/// Well-known AS numbers used by the default world (real ASNs from the
+/// paper's Table 3 plus supporting cast).
+namespace asn {
+inline constexpr net::Asn kDeutscheTelekom = 3320;
+inline constexpr net::Asn kComcast = 7922;
+inline constexpr net::Asn kVodafoneDe = 3209;
+inline constexpr net::Asn kTelefonicaDe = 6805;
+inline constexpr net::Asn kKoreaTelecom = 4766;
+inline constexpr net::Asn kAttInternet = 7018;
+inline constexpr net::Asn kVerizonEast = 19262;
+inline constexpr net::Asn kMciVerizon = 701;
+inline constexpr net::Asn kGoDaddy = 26496;
+inline constexpr net::Asn kUnifiedLayer = 46606;
+inline constexpr net::Asn kAmazon14618 = 14618;
+inline constexpr net::Asn kAmazon16509 = 16509;
+inline constexpr net::Asn kSoftLayer = 36351;
+inline constexpr net::Asn kBlackberryMobile = 18705;
+inline constexpr net::Asn kTelefonicaVen = 8048;
+inline constexpr net::Asn kTimCelular = 26615;
+inline constexpr net::Asn kBsesTelecom = 17426;
+}  // namespace asn
+
+/// Configuration for one autonomous system in the simulated world.
+struct IspConfig {
+  net::Asn asn = 0;
+  std::string name;
+  std::string country;  ///< ISO alpha-3 as the paper prints (e.g. "DEU")
+  net::AsType type = net::AsType::kTransitAccess;
+
+  /// Address pools announced by this AS.
+  std::vector<net::Prefix> pools;
+
+  /// Fraction of subscriber devices with a static IP (Figure 11's subject).
+  double static_fraction = 0.9;
+
+  /// Dynamic-lease duration in seconds (e.g. 24h for the German ISPs that
+  /// reassign between every scan).
+  std::int64_t lease_seconds = 30 * 24 * 3600;
+
+  /// Relative share of the device population homed here (transit/access
+  /// ASes only; content ASes host websites instead).
+  double device_share = 1.0;
+};
+
+/// A dated prefix transfer: `prefix` moves from AS `from` to AS `to` at
+/// `when` — the §7.3 Verizon -> MCI style bulk movement.
+struct PrefixTransfer {
+  net::Prefix prefix;
+  net::Asn from = 0;
+  net::Asn to = 0;
+  util::UnixTime when = 0;
+};
+
+/// The default AS population: the paper's named ISPs and hosters plus a
+/// synthetic long tail of transit/content/enterprise ASes with a spread of
+/// reassignment policies (so Figure 11 has a distribution to show).
+std::vector<IspConfig> default_isps();
+
+/// The default prefix-transfer events (Verizon -> MCI twice, an AT&T
+/// consolidation) over the study window.
+std::vector<PrefixTransfer> default_transfers(
+    const std::vector<IspConfig>& isps);
+
+/// Builds the AS metadata database for a set of ISPs.
+net::AsDatabase build_as_database(const std::vector<IspConfig>& isps);
+
+/// Builds the time-varying routing history: a base snapshot of every ISP's
+/// pools plus one snapshot per transfer event.
+net::RoutingHistory build_routing_history(
+    const std::vector<IspConfig>& isps,
+    const std::vector<PrefixTransfer>& transfers, util::UnixTime base_time);
+
+}  // namespace sm::simworld

@@ -1,0 +1,476 @@
+#include "simworld/vendor.h"
+
+#include "simworld/isp.h"
+#include "util/datetime.h"
+
+namespace sm::simworld {
+
+namespace {
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+constexpr std::int64_t kYear = 365 * kDay;
+
+}  // namespace
+
+std::vector<VendorProfile> default_vendor_profiles() {
+  std::vector<VendorProfile> out;
+
+  // Lancom Systems: the vendor behind the paper's single most-shared public
+  // key (one keypair on 4.59M certificates, 6.5% of all invalid certs) and
+  // the top invalid issuer (www.lancom-systems.de).
+  {
+    VendorProfile v;
+    v.name = "lancom";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "LANCOM-";
+    v.issuer_policy = IssuerPolicy::kFixedName;
+    v.fixed_issuer = "www.lancom-systems.de";
+    v.key_policy = KeyPolicy::kGlobalShared;
+    v.serial_policy = SerialPolicy::kIncrementing;
+    v.reissue_period_mean = 170 * kDay;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.15;
+    v.clock.stuck_clock_date = util::make_date(2003, 1, 1);
+    v.clock.negative_validity_prob = 0.02;
+    v.weight = 16.0;
+    v.preferred_ases = {asn::kDeutscheTelekom, asn::kVodafoneDe,
+                        asn::kTelefonicaDe};
+    out.push_back(std::move(v));
+  }
+
+  // AVM FRITZ!Box: stable per-device keys, the shared fritz.fonwlan.box
+  // SAN, myfritz.net dynDNS CNs, deployed in daily-reassignment German
+  // ISPs, and regenerating its certificate whenever it reconnects — the
+  // combination behind the paper's public-key linking results (§6.4.2).
+  {
+    VendorProfile v;
+    v.name = "avm-fritzbox";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kDynDns;
+    v.dyndns_suffix = "myfritz.net";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.fixed_sans = {"dns:fritz.fonwlan.box"};
+    v.san_includes_device_name = true;
+    v.reissue_period_mean = 30 * kDay;
+    v.reissue_on_ip_change = true;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.18;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.clock_ahead_prob = 0.03;
+    v.clock.negative_validity_prob = 0.04;
+    v.clock.far_future_prob = 0.01;
+    v.weight = 4.0;
+    v.preferred_ases = {asn::kDeutscheTelekom, asn::kVodafoneDe,
+                        asn::kTelefonicaDe};
+    out.push_back(std::move(v));
+  }
+
+  // Generic home routers with the 192.168.1.1 CN: fresh key on every
+  // reissue and a CN shared by millions — unlinkable by design, the bulk of
+  // the paper's 60%-unlinked population.
+  {
+    VendorProfile v;
+    v.name = "generic-router";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kFixed;
+    v.fixed_cn = "192.168.1.1";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 15 * kDay;  // reboot-happy
+    v.reissue_on_ip_change = true;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.25;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.negative_validity_prob = 0.10;
+    v.clock.far_future_prob = 0.03;
+    v.illegal_version_prob = 0.002;
+    v.weight = 1.5;
+    out.push_back(std::move(v));
+  }
+
+  // Other private-IP-CN routers (192.168.0.0/16 CNs beyond .1.1).
+  {
+    VendorProfile v;
+    v.name = "private-ip-router";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kFixed;
+    v.fixed_cn = "192.168.0.1";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 450 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.clock.stuck_clock_prob = 0.2;
+    v.clock.stuck_clock_date = util::make_date(2000, 1, 1);
+    v.clock.negative_validity_prob = 0.08;
+    v.weight = 7.0;
+    out.push_back(std::move(v));
+  }
+
+  // Devices using their *public* IP as the CN — 46.9% of the paper's CNs
+  // look like IPv4 addresses; the linker must exclude these from CN linking.
+  {
+    VendorProfile v;
+    v.name = "public-ip-cn";
+    v.device_type = "Unknown";
+    v.cn_policy = CnPolicy::kPublicIp;
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 30 * kDay;
+    v.reissue_on_ip_change = true;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.2;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.negative_validity_prob = 0.05;
+    v.weight = 2.5;
+    v.preferred_ases = {asn::kDeutscheTelekom, asn::kVodafoneDe,
+                        asn::kTelefonicaDe};
+    out.push_back(std::move(v));
+  }
+
+  // Empty-string subjects and issuers (Table 1's third-largest invalid
+  // issuer).
+  {
+    VendorProfile v;
+    v.name = "empty-cn";
+    v.device_type = "Unknown";
+    v.cn_policy = CnPolicy::kEmpty;
+    v.issuer_policy = IssuerPolicy::kEmpty;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 30 * kDay;
+    v.reissue_on_ip_change = true;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.3;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.negative_validity_prob = 0.07;
+    v.weight = 1.5;
+    out.push_back(std::move(v));
+  }
+
+  // The broad "Unknown" remainder of Table 4: miscellaneous embedded web
+  // servers with stable per-device names and keys and slow reissue cycles.
+  {
+    VendorProfile v;
+    v.name = "unknown-misc";
+    v.device_type = "Unknown";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "device-";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 900 * kDay;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.22;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.negative_validity_prob = 0.06;
+    v.clock.far_future_prob = 0.02;
+    v.weight = 30.0;
+    out.push_back(std::move(v));
+  }
+
+  // Western Digital My Cloud NAS: stable "WD2GO <serial>" names under the
+  // remotewd.com issuer — the paper's canonical CN-linkable device.
+  {
+    VendorProfile v;
+    v.name = "wd-mycloud";
+    v.device_type = "Remote storage";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "WD2GO ";
+    v.issuer_policy = IssuerPolicy::kFixedName;
+    v.fixed_issuer = "remotewd.com";
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 450 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.clock.negative_validity_prob = 0.01;
+    v.weight = 11.0;
+    out.push_back(std::move(v));
+  }
+
+  // VMware management interfaces.
+  {
+    VendorProfile v;
+    v.name = "vmware";
+    v.device_type = "Remote administration";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "esx-";
+    v.issuer_policy = IssuerPolicy::kFixedName;
+    v.fixed_issuer = "VMware";
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kIncrementing;
+    v.reissue_period_mean = 450 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.weight = 8.0;
+    out.push_back(std::move(v));
+  }
+
+  // BlackBerry PlayBook tablets: "Issuer = PlayBook: <MAC>" with an
+  // incrementing serial and a fresh key per reissue — the devices the paper
+  // links via Issuer Name + Serial Number, roaming a mobile network.
+  {
+    VendorProfile v;
+    v.name = "playbook";
+    v.device_type = "Unknown";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "playbook-";
+    v.issuer_policy = IssuerPolicy::kDeviceMac;
+    v.fixed_issuer = "PlayBook: ";
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kResetting;
+    v.reissue_period_mean = 40 * kDay;
+    v.reissue_on_ip_change = false;
+    v.validity_seconds = 20 * kYear;
+    v.weight = 1.0;
+    v.preferred_ases = {asn::kBlackberryMobile};
+    v.mobility = 0.10;
+    out.push_back(std::move(v));
+  }
+
+  // Enterprise VPN gateways — stable names, some with CRL/AIA/OCSP
+  // endpoints (the rare extensions of Table 6's right-hand columns).
+  {
+    VendorProfile v;
+    v.name = "vpn-gateway";
+    v.device_type = "VPN";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "vpn-";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 450 * kDay;
+    v.validity_seconds = 5 * kYear;
+    v.crl_prob = 0.10;
+    v.aia_prob = 0.08;
+    v.ocsp_prob = 0.01;
+    v.policy_oid_prob = 0.01;
+    v.weight = 1.0;
+    out.push_back(std::move(v));
+  }
+
+  // Firewalls signed by an untrusted vendor CA — with the alternate-CA
+  // profile below, the source of the paper's 11.99% untrusted-issuer
+  // invalid certificates.
+  {
+    VendorProfile v;
+    v.name = "sonic-firewall";
+    v.device_type = "Firewall";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "fw-";
+    v.issuer_policy = IssuerPolicy::kVendorCa;
+    v.fixed_issuer = "SonicWALL Firewall DV CA";
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kIncrementing;
+    v.reissue_period_mean = 450 * kDay;
+    v.validity_seconds = 5 * kYear;
+    v.crl_prob = 0.05;
+    v.weight = 4.0;
+    out.push_back(std::move(v));
+  }
+
+  // IP cameras signed by another untrusted vendor CA.
+  {
+    VendorProfile v;
+    v.name = "ip-camera";
+    v.device_type = "IP camera";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "cam-";
+    v.issuer_policy = IssuerPolicy::kVendorCa;
+    v.fixed_issuer = "HikVision Device CA";
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 160 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.weight = 2.5;
+    out.push_back(std::move(v));
+  }
+
+  // Factory-identical certificates: thousands of units of one firmware
+  // image shipping the very same certificate (same key, same DER). These
+  // are the certs the §6.2 duplicate filter exists for — advertised from
+  // many IPs in every scan — and the source of Figure 7's invalid tail.
+  {
+    VendorProfile v;
+    v.name = "factory-static";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kFixed;
+    v.fixed_cn = "SpeedTouch";
+    v.issuer_policy = IssuerPolicy::kFixedName;
+    v.fixed_issuer = "Thomson";
+    v.key_policy = KeyPolicy::kGlobalShared;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 0;  // the factory cert is never reissued
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 1.0;  // identical NotBefore on every unit
+    v.clock.stuck_clock_date = util::make_date(2008, 1, 1);
+    v.factory_shards = 48;
+    v.weight = 4.0;
+    out.push_back(std::move(v));
+  }
+
+  // Devices with their public IP as CN *and* a fresh key per reissue:
+  // unlinkable by construction (IP CNs are excluded from CN linking and the
+  // key never repeats) — a large slice of the paper's 60.6% unlinked mass.
+  {
+    VendorProfile v;
+    v.name = "public-ip-ephemeral";
+    v.device_type = "Unknown";
+    v.cn_policy = CnPolicy::kPublicIp;
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 12 * kDay;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.18;
+    v.clock.stuck_clock_date = util::make_date(1970, 1, 1);
+    v.clock.negative_validity_prob = 0.06;
+    v.weight = 5.0;
+    out.push_back(std::move(v));
+  }
+
+  // ISP-managed cable modems whose certificates chain to an untrusted
+  // operator CA and churn quickly — together with the vendor-CA devices
+  // below, the bulk of the paper's 11.99% untrusted-issuer certificates.
+  {
+    VendorProfile v;
+    v.name = "managed-cpe";
+    v.device_type = "Home router/cable modem";
+    v.cn_policy = CnPolicy::kPublicIp;
+    v.issuer_policy = IssuerPolicy::kVendorCa;
+    v.fixed_issuer = "CableLabs CM Device CA";
+    v.vendor_ca_shards = 12;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 12 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.weight = 2.0;
+    out.push_back(std::move(v));
+  }
+
+  // The small "Other" tail of Table 4: IPTV boxes, IP phones, printers, and
+  // devices fronted by an alternate (untrusted) CA.
+  {
+    VendorProfile v;
+    v.name = "iptv";
+    v.device_type = "Other";
+    v.cn_policy = CnPolicy::kFixed;
+    v.fixed_cn = "iptv.local";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kFreshPerReissue;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 250 * kDay;
+    v.validity_seconds = 20 * kYear;
+    v.weight = 1.5;
+    out.push_back(std::move(v));
+  }
+  {
+    VendorProfile v;
+    v.name = "ip-phone";
+    v.device_type = "Other";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "sip-";
+    v.issuer_policy = IssuerPolicy::kVendorCa;
+    v.fixed_issuer = "Cisco SIP Device CA";
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kIncrementing;
+    v.reissue_period_mean = 500 * kDay;
+    v.validity_seconds = 10 * kYear;
+    v.weight = 1.5;
+    out.push_back(std::move(v));
+  }
+  {
+    VendorProfile v;
+    v.name = "printer";
+    v.device_type = "Other";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "printer-";
+    v.issuer_policy = IssuerPolicy::kSameAsSubject;
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kFixedOne;
+    v.reissue_period_mean = 600 * kDay;
+    v.validity_seconds = 20 * kYear;
+    v.clock.stuck_clock_prob = 0.4;
+    v.clock.stuck_clock_date = util::make_date(2005, 6, 1);
+    v.weight = 1.5;
+    out.push_back(std::move(v));
+  }
+  {
+    VendorProfile v;
+    v.name = "alt-ca-device";
+    v.device_type = "Other";
+    v.cn_policy = CnPolicy::kDeviceUnique;
+    v.unique_prefix = "dev-";
+    v.issuer_policy = IssuerPolicy::kVendorCa;
+    v.fixed_issuer = "CAcert Community CA";
+    v.key_policy = KeyPolicy::kStablePerDevice;
+    v.serial_policy = SerialPolicy::kIncrementing;
+    v.reissue_period_mean = 300 * kDay;
+    v.validity_seconds = 3 * kYear;
+    v.crl_prob = 0.2;
+    v.aia_prob = 0.2;
+    v.ocsp_prob = 0.02;
+    v.policy_oid_prob = 0.02;
+    v.weight = 0.8;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<VendorProfile> default_website_profiles() {
+  std::vector<VendorProfile> out;
+  const auto make_site = [&](std::string name, std::string issuer,
+                             double weight, std::uint32_t replication,
+                             KeyPolicy key_policy =
+                                 KeyPolicy::kStablePerDevice) {
+    VendorProfile v;
+    v.name = std::move(name);
+    v.device_type = "Website";
+    v.cn_policy = CnPolicy::kDynDns;  // "<id>.<suffix>" domain names
+    v.dyndns_suffix = "example-sites.com";
+    v.issuer_policy = IssuerPolicy::kTrustedCa;
+    v.fixed_issuer = std::move(issuer);  // which trusted intermediate signs
+    // Zhang et al. found roughly half of valid-cert reissues keep the old
+    // key; the website mix below splits key retention accordingly.
+    v.key_policy = key_policy;
+    v.serial_policy = SerialPolicy::kRandom;
+    v.reissue_period_mean = 300 * kDay;  // median valid lifetime ~274 days
+    v.validity_seconds = 400 * kDay;     // ~1.1-year validity periods
+    v.crl_prob = 0.95;
+    v.aia_prob = 0.95;
+    v.ocsp_prob = 0.95;
+    v.policy_oid_prob = 0.95;
+    v.weight = weight;
+    v.replication_max = replication;
+    return v;
+  };
+  // Weights shaped after Table 1's top valid issuers; a slice of sites is
+  // CDN-replicated so Figure 7's valid tail (99th pct ~11 hosts) exists.
+  out.push_back(make_site("site-godaddy", "Go Daddy Secure Certification Authority", 19.0, 2,
+                          KeyPolicy::kFreshPerReissue));
+  out.push_back(make_site("site-rapidssl", "RapidSSL CA", 10.0, 2));
+  out.push_back(make_site("site-positivessl", "PositiveSSL CA 2", 5.0, 2,
+                          KeyPolicy::kFreshPerReissue));
+  out.push_back(make_site("site-godaddy-g2", "Go Daddy Secure Certificate Authority - G2", 4.4, 2));
+  out.push_back(make_site("site-geotrust", "GeoTrust DV SSL CA", 4.4, 2,
+                          KeyPolicy::kFreshPerReissue));
+  out.push_back(make_site("site-comodo", "COMODO High-Assurance Secure Server CA", 3.0, 2,
+                          KeyPolicy::kFreshPerReissue));
+  out.push_back(make_site("site-verisign", "VeriSign Class 3 Secure Server CA - G3", 2.5, 2));
+  out.push_back(make_site("site-cdn", "GlobalSign CloudSSL CA", 1.2, 40));
+  // A long-tail CA population so valid certificates show ~1.5k distinct
+  // issuer keys as in §5.3.
+  for (int i = 0; i < 24; ++i) {
+    out.push_back(make_site("site-tail-" + std::to_string(i),
+                            "Regional CA " + std::to_string(i), 0.35, 1,
+                            i % 3 == 0 ? KeyPolicy::kStablePerDevice
+                                       : KeyPolicy::kFreshPerReissue));
+  }
+  return out;
+}
+
+}  // namespace sm::simworld

@@ -1,0 +1,146 @@
+// Vendor certificate policies — the per-manufacturer behaviours that, in
+// aggregate, produce every invalid-certificate pathology the paper reports:
+// Lancom's globally-shared keypair, FRITZ!Box's stable keys + shared SAN +
+// myfritz.net dynDNS names, Western Digital's "WD2GO <serial>" names,
+// 192.168.1.1 and empty-string issuers, PlayBook "Issuer = PlayBook: <MAC>"
+// tablets, IP-as-CN devices, epoch-stuck clocks, negative validity periods,
+// and year-3000 expiries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/route_table.h"
+
+namespace sm::simworld {
+
+/// How a device picks its certificate's subject Common Name.
+enum class CnPolicy : std::uint8_t {
+  kFixed,         ///< every device uses the same CN (e.g. "192.168.1.1")
+  kDeviceUnique,  ///< stable per-device name, e.g. "WD2GO 293822"
+  kPublicIp,      ///< the device's current public IP (changes with leases)
+  kEmpty,         ///< empty subject
+  kDynDns,        ///< "<device-id>.<suffix>", e.g. "abc123.myfritz.net"
+};
+
+/// How a device fills its certificate's issuer name.
+enum class IssuerPolicy : std::uint8_t {
+  kSameAsSubject,  ///< classic self-signed: issuer == subject
+  kFixedName,      ///< vendor-wide issuer CN, e.g. "www.lancom-systems.de"
+  kEmpty,          ///< empty issuer (Table 1's "(Empty string)")
+  kDeviceMac,      ///< "<prefix><MAC>", e.g. "PlayBook: 1C:69:..."
+  kVendorCa,       ///< signed by the vendor's (untrusted) CA certificate
+  kTrustedCa,      ///< signed by a trusted CA chain (valid websites)
+};
+
+/// How key material evolves across reissues.
+enum class KeyPolicy : std::uint8_t {
+  kGlobalShared,     ///< all of the vendor's devices share one keypair
+  kStablePerDevice,  ///< unique per device, kept across reissues
+  kFreshPerReissue,  ///< regenerated with every certificate
+};
+
+/// How serial numbers are chosen.
+enum class SerialPolicy : std::uint8_t {
+  kRandom,        ///< fresh random serial per certificate
+  kFixedOne,      ///< always serial 1 (common in device firmware)
+  kIncrementing,  ///< per-device counter
+  kResetting,     ///< counter that wraps 1..3 (reboot-reset firmware) — the
+                  ///< behaviour that makes Issuer Name + Serial No. recur
+                  ///< across a PlayBook's reissues and therefore link them
+};
+
+/// Device clock / validity pathologies, drawn per reissue.
+struct ClockModel {
+  /// Probability NotBefore is a fixed factory date far in the past (the
+  /// >1000-day mode of Figure 5) instead of the reissue instant.
+  double stuck_clock_prob = 0.0;
+  /// The stuck date used when the above fires.
+  util::UnixTime stuck_clock_date = 0;
+  /// Probability the clock runs ahead, putting NotBefore after the reissue
+  /// instant (Figure 5's 2.9% negative tail). Offset is 1-30 days.
+  double clock_ahead_prob = 0.0;
+  /// Probability NotAfter < NotBefore (Figure 3's 5.38% negative validity).
+  double negative_validity_prob = 0.0;
+  /// Probability of an absurd far-future NotAfter (year 3000+).
+  double far_future_prob = 0.0;
+};
+
+/// A complete vendor behaviour profile.
+struct VendorProfile {
+  std::string name;         ///< short slug, e.g. "lancom"
+  std::string device_type;  ///< paper Table 4 category
+
+  CnPolicy cn_policy = CnPolicy::kFixed;
+  std::string fixed_cn;        ///< for kFixed
+  std::string unique_prefix;   ///< for kDeviceUnique ("WD2GO ")
+  std::string dyndns_suffix;   ///< for kDynDns ("myfritz.net")
+
+  IssuerPolicy issuer_policy = IssuerPolicy::kSameAsSubject;
+  std::string fixed_issuer;    ///< for kFixedName / prefix for kDeviceMac
+  /// For kVendorCa: number of regional CA instances ("<issuer> 03"); a
+  /// device is pinned to one shard. 1 = a single vendor-wide CA.
+  std::uint32_t vendor_ca_shards = 1;
+
+  KeyPolicy key_policy = KeyPolicy::kFreshPerReissue;
+  SerialPolicy serial_policy = SerialPolicy::kRandom;
+  /// For kGlobalShared factory certificates: number of firmware batches.
+  /// Devices in one batch serve a byte-identical certificate (the batch
+  /// index becomes the serial number), so each batch's cert is advertised
+  /// from several IPs per scan — the population the §6.2 filter excludes.
+  std::uint32_t factory_shards = 1;
+
+  /// SANs present on every certificate (prefixed form, e.g.
+  /// "dns:fritz.fonwlan.box").
+  std::vector<std::string> fixed_sans;
+  /// Also add the device's own unique name as a dNSName SAN.
+  bool san_includes_device_name = false;
+
+  /// Mean seconds between reissues; 0 = never reissue (factory cert only).
+  std::int64_t reissue_period_mean = 0;
+  /// Additionally reissue whenever the device's IP changes (FRITZ!Box-style
+  /// regenerate-on-reconnect).
+  bool reissue_on_ip_change = false;
+
+  /// Nominal validity period (NotAfter - NotBefore), e.g. 20 years.
+  std::int64_t validity_seconds = 0;
+
+  ClockModel clock;
+
+  /// Probabilities of carrying the rare revocation-infrastructure
+  /// extensions (paper: >99% of invalid certs have none).
+  double crl_prob = 0.0;
+  double aia_prob = 0.0;
+  double ocsp_prob = 0.0;
+  double policy_oid_prob = 0.0;
+
+  /// X.509 wire version to emit (2 = v3). A small population emits illegal
+  /// versions, which the dataset builder then disregards, as the paper did.
+  std::int64_t raw_version = 2;
+  /// Probability of emitting an illegal version (overrides raw_version).
+  double illegal_version_prob = 0.0;
+
+  /// Relative population weight among end-user devices.
+  double weight = 1.0;
+  /// ASes this vendor's devices concentrate in (empty = any transit AS).
+  std::vector<net::Asn> preferred_ases;
+  /// Probability that a device moves to a different AS between consecutive
+  /// scans (mobile devices like the PlayBook are high).
+  double mobility = 0.0;
+  /// Number of IPs simultaneously serving the same certificate (websites /
+  /// CDNs; 1 for physical devices). Drawn in [1, replication_max].
+  std::uint32_t replication_max = 1;
+};
+
+/// The default vendor population, with weights set so the device-type
+/// breakdown approximates the paper's Table 4 and the issuer table
+/// approximates Table 1.
+std::vector<VendorProfile> default_vendor_profiles();
+
+/// The valid-website profile population (CA-signed certificates hosted in
+/// content ASes). Returned separately because worlds size the two
+/// populations independently.
+std::vector<VendorProfile> default_website_profiles();
+
+}  // namespace sm::simworld

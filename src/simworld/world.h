@@ -1,0 +1,104 @@
+// World — the end-to-end simulator: builds an ISP topology, a CA hierarchy,
+// and a device + website population; then executes the two scan campaigns
+// against it, producing the ScanArchive that the analysis, linking, and
+// tracking layers consume.
+//
+// Everything is deterministic in the seed. Ground-truth device identities
+// ride along on each observation so linking quality can be scored — the
+// validation the paper could not do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/signature.h"
+#include "net/as_database.h"
+#include "net/route_table.h"
+#include "pki/root_store.h"
+#include "scan/archive.h"
+#include "scan/prefix_set.h"
+#include "scan/schedule.h"
+#include "simworld/isp.h"
+#include "simworld/vendor.h"
+
+namespace sm::simworld {
+
+/// Tunables for a simulated world.
+struct WorldConfig {
+  std::uint64_t seed = 1;
+
+  /// End-user devices (the invalid-certificate population).
+  std::size_t device_count = 5000;
+
+  /// Valid websites hosted in content ASes. Sized so the per-scan invalid
+  /// fraction lands near the paper's 65%.
+  std::size_t website_count = 2200;
+
+  /// Scan schedule shape (scale shrinks both campaigns proportionally).
+  scan::ScheduleConfig schedule{};
+
+  /// Fraction of address pools each campaign's operators never scan — the
+  /// blacklisting behind Figure 1's dataset discrepancy. Rapid7's is larger
+  /// (its scans were ~20% smaller).
+  double umich_blacklist_fraction = 0.04;
+  double rapid7_blacklist_fraction = 0.12;
+
+  /// Fraction of devices born *after* the study starts (drives Figure 2's
+  /// growth in invalid certificates).
+  double late_birth_fraction = 0.55;
+
+  /// Per-scan probability that a (non-mobile) device switches ISPs. Devices
+  /// on dynamic (short-lease) ISPs get an additional churn component.
+  double base_move_probability = 0.0005;
+
+  /// Signature scheme for all issued certificates. kSimSha256 is the
+  /// population-scale default; kRsaSha256 exercises real RSA end-to-end and
+  /// is practical for small worlds only.
+  crypto::SigScheme scheme = crypto::SigScheme::kSimSha256;
+
+  /// RSA modulus bits when scheme == kRsaSha256.
+  std::size_t rsa_bits = 512;
+
+  /// A small, fast world for unit tests.
+  static WorldConfig tiny();
+
+  /// The default experiment world (used by benches and EXPERIMENTS.md).
+  static WorldConfig paper();
+};
+
+/// Everything a world run produces.
+struct WorldResult {
+  scan::ScanArchive archive;
+  net::AsDatabase as_db;
+  net::RoutingHistory routing;
+  scan::PrefixSet umich_blacklist;
+  scan::PrefixSet rapid7_blacklist;
+  std::vector<scan::ScanEvent> schedule;
+  pki::RootStore roots;
+
+  /// Certificate issuance events. >= archive.certs().size(): devices of a
+  /// factory-static firmware batch issue byte-identical certificates that
+  /// intern to a single archive record.
+  std::size_t issued_certificates = 0;
+  /// True number of simulated devices (ground truth).
+  std::size_t true_device_count = 0;
+  /// True number of simulated websites.
+  std::size_t true_website_count = 0;
+};
+
+/// The simulator. Construct with a config, call run() once.
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  /// Executes the full scan schedule and returns the dataset.
+  WorldResult run();
+
+ private:
+  struct DeviceState;
+  class Impl;
+  WorldConfig config_;
+};
+
+}  // namespace sm::simworld

@@ -1,0 +1,210 @@
+#include "simworld/world_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "scan/archive_io.h"
+
+namespace sm::simworld {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'W', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<std::size_t>(in.gcount()) == sizeof(value);
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!get(in, len) || len > (1u << 20)) return false;
+  s.resize(len);
+  in.read(s.data(), len);
+  return static_cast<std::uint32_t>(in.gcount()) == len;
+}
+
+void put_prefix_set(std::ostream& out, const scan::PrefixSet& set) {
+  const auto prefixes = set.prefixes();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(prefixes.size()));
+  for (const net::Prefix& prefix : prefixes) {
+    put(out, prefix.address().value());
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(prefix.length()));
+  }
+}
+
+bool get_prefix_set(std::istream& in, scan::PrefixSet& set) {
+  std::uint32_t count = 0;
+  if (!get(in, count) || count > (1u << 22)) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t addr = 0;
+    std::uint8_t length = 0;
+    if (!get(in, addr) || !get(in, length) || length > 32) return false;
+    set.add(net::Prefix(net::Ipv4Address(addr), length));
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_world_bundle(const WorldResult& world, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+  scan::save_archive(world.archive, out);
+
+  // Routing history: reconstructed snapshot by snapshot from the tables in
+  // effect at each scan (plus one pre-study snapshot). We re-derive the
+  // snapshot set by probing the history at distinct scan times.
+  std::vector<std::pair<util::UnixTime, const net::RouteTable*>> snapshots;
+  {
+    // Probe well before the first scan, then at every scan start; dedupe by
+    // table pointer (RoutingHistory returns stable pointers).
+    std::vector<util::UnixTime> probes;
+    if (!world.archive.scans().empty()) {
+      probes.push_back(world.archive.scans().front().event.start -
+                       10LL * 365 * util::kSecondsPerDay);
+    }
+    for (const scan::ScanData& scan : world.archive.scans()) {
+      probes.push_back(scan.event.start);
+    }
+    for (const util::UnixTime t : probes) {
+      const net::RouteTable* table = world.routing.at(t);
+      if (table == nullptr) continue;
+      if (snapshots.empty() || snapshots.back().second != table) {
+        snapshots.emplace_back(t, table);
+      }
+    }
+  }
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(snapshots.size()));
+  for (const auto& [time, table] : snapshots) {
+    put(out, time);
+    const auto entries = table->entries();
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [prefix, asn] : entries) {
+      put(out, prefix.address().value());
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(prefix.length()));
+      put(out, asn);
+    }
+  }
+
+  // AS database: walk all ASNs seen in the routing tables.
+  std::vector<net::Asn> asns;
+  for (const auto& [time, table] : snapshots) {
+    for (const auto& [prefix, asn] : table->entries()) asns.push_back(asn);
+  }
+  std::sort(asns.begin(), asns.end());
+  asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+  std::uint32_t known = 0;
+  for (const net::Asn asn : asns) {
+    if (world.as_db.find(asn) != nullptr) ++known;
+  }
+  put(out, known);
+  for (const net::Asn asn : asns) {
+    const net::AsInfo* info = world.as_db.find(asn);
+    if (info == nullptr) continue;
+    put(out, info->asn);
+    put_string(out, info->name);
+    put_string(out, info->country);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(info->type));
+  }
+
+  put_prefix_set(out, world.umich_blacklist);
+  put_prefix_set(out, world.rapid7_blacklist);
+}
+
+std::optional<WorldResult> load_world_bundle(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!get(in, version) || version != kVersion) return std::nullopt;
+
+  WorldResult world;
+  auto archive = scan::load_archive(in);
+  if (!archive) return std::nullopt;
+  world.archive = std::move(*archive);
+
+  std::uint32_t snapshot_count = 0;
+  if (!get(in, snapshot_count) || snapshot_count > (1u << 16)) {
+    return std::nullopt;
+  }
+  for (std::uint32_t s = 0; s < snapshot_count; ++s) {
+    util::UnixTime time = 0;
+    std::uint32_t entry_count = 0;
+    if (!get(in, time) || !get(in, entry_count) || entry_count > (1u << 24)) {
+      return std::nullopt;
+    }
+    net::RouteTable table;
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+      std::uint32_t addr = 0;
+      std::uint8_t length = 0;
+      net::Asn asn = 0;
+      if (!get(in, addr) || !get(in, length) || length > 32 || !get(in, asn)) {
+        return std::nullopt;
+      }
+      table.announce(net::Prefix(net::Ipv4Address(addr), length), asn);
+    }
+    world.routing.add_snapshot(time, std::move(table));
+  }
+
+  std::uint32_t as_count = 0;
+  if (!get(in, as_count) || as_count > (1u << 20)) return std::nullopt;
+  for (std::uint32_t i = 0; i < as_count; ++i) {
+    net::AsInfo info;
+    std::uint8_t type = 0;
+    if (!get(in, info.asn) || !get_string(in, info.name) ||
+        !get_string(in, info.country) || !get(in, type) ||
+        type > static_cast<std::uint8_t>(net::AsType::kUnknown)) {
+      return std::nullopt;
+    }
+    info.type = static_cast<net::AsType>(type);
+    world.as_db.add(std::move(info));
+  }
+
+  if (!get_prefix_set(in, world.umich_blacklist) ||
+      !get_prefix_set(in, world.rapid7_blacklist)) {
+    return std::nullopt;
+  }
+
+  for (const scan::ScanData& scan : world.archive.scans()) {
+    world.schedule.push_back(scan.event);
+  }
+  world.issued_certificates = world.archive.certs().size();
+  return world;
+}
+
+bool save_world_bundle_file(const WorldResult& world,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_world_bundle(world, out);
+  return out.good();
+}
+
+std::optional<WorldResult> load_world_bundle_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load_world_bundle(in);
+}
+
+}  // namespace sm::simworld

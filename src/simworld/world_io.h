@@ -1,0 +1,32 @@
+// World-bundle persistence: everything the analysis/linking/tracking layers
+// need from a WorldResult — the scan archive, the dated routing snapshots,
+// the AS metadata, and the campaign blacklists — in one file, so a dataset
+// can be produced once (by simulation or by importing real scans) and then
+// analysed repeatedly without re-running the simulator.
+//
+// Format: "SMWB" magic + version, then the embedded SMAR archive followed
+// by the routing/AS/blacklist sections. The root store is intentionally
+// omitted (validation outcomes are already baked into the records).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "simworld/world.h"
+
+namespace sm::simworld {
+
+/// Serializes the analysable parts of a world result.
+void save_world_bundle(const WorldResult& world, std::ostream& out);
+
+/// Deserializes a bundle. The returned WorldResult carries an empty root
+/// store and schedule entries reconstructed from the archive's scans.
+/// Returns nullopt on malformed input.
+std::optional<WorldResult> load_world_bundle(std::istream& in);
+
+/// File-path conveniences.
+bool save_world_bundle_file(const WorldResult& world, const std::string& path);
+std::optional<WorldResult> load_world_bundle_file(const std::string& path);
+
+}  // namespace sm::simworld

@@ -1,0 +1,223 @@
+#include "tracking/tracker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sm::tracking {
+
+DeviceTracker::DeviceTracker(const analysis::DatasetIndex& index,
+                             const linking::Linker& linker,
+                             const linking::IterativeResult& linking_result,
+                             const net::AsDatabase& as_db,
+                             TrackerConfig config)
+    : index_(&index), as_db_(&as_db), config_(config) {
+  // Build the per-cert observation index first.
+  const std::size_t cert_count = index.archive().certs().size();
+  std::vector<std::uint32_t> counts(cert_count, 0);
+  for (const scan::ScanData& scan : index.archive().scans()) {
+    for (const scan::Observation& obs : scan.observations) ++counts[obs.cert];
+  }
+  obs_offsets_.assign(cert_count + 1, 0);
+  for (std::size_t i = 0; i < cert_count; ++i) {
+    obs_offsets_[i + 1] = obs_offsets_[i] + counts[i];
+  }
+  obs_.resize(obs_offsets_[cert_count]);
+  std::vector<std::uint32_t> cursor(obs_offsets_.begin(),
+                                    obs_offsets_.end() - 1);
+  const auto& all_scans = index.archive().scans();
+  for (std::uint32_t scan_index = 0; scan_index < all_scans.size();
+       ++scan_index) {
+    for (const scan::Observation& obs : all_scans[scan_index].observations) {
+      obs_[cursor[obs.cert]++] = {scan_index, obs.ip};
+    }
+  }
+
+  std::vector<bool> in_group(index.archive().certs().size(), false);
+  for (const linking::LinkedGroup& group : linking_result.groups) {
+    for (const scan::CertId id : group.certs) in_group[id] = true;
+    entities_.push_back(build_entity(group.certs, true));
+  }
+  const std::vector<bool>& eligible = linker.eligible();
+  for (scan::CertId id = 0; id < eligible.size(); ++id) {
+    if (!eligible[id] || in_group[id]) continue;
+    entities_.push_back(build_entity({id}, false));
+  }
+  // §7.2's baseline: devices trackable *without* linking are single
+  // certificates observed for over a year.
+  for (scan::CertId id = 0; id < eligible.size(); ++id) {
+    if (!eligible[id]) continue;
+    const analysis::CertStats& stats = index.stats(id);
+    const auto& scans = index.archive().scans();
+    const double days =
+        static_cast<double>(scans[stats.last_scan].event.start -
+                            scans[stats.first_scan].event.start) /
+        static_cast<double>(util::kSecondsPerDay);
+    if (days >= config_.trackable_days) ++trackable_without_linking_;
+  }
+}
+
+TrackedEntity DeviceTracker::build_entity(
+    const std::vector<scan::CertId>& certs, bool linked) const {
+  TrackedEntity entity;
+  entity.certs = certs;
+  entity.linked = linked;
+  // Collect (scan, ip) over member certificates; keep one residency per
+  // scan (the numerically smallest IP when a mid-scan move yields two).
+  std::map<std::uint32_t, std::uint32_t> per_scan_ip;
+  const auto& scans = index_->archive().scans();
+  for (const scan::CertId id : certs) {
+    for (std::uint32_t i = obs_offsets_[id]; i < obs_offsets_[id + 1]; ++i) {
+      const auto& [scan_index, ip] = obs_[i];
+      const auto it = per_scan_ip.find(scan_index);
+      if (it == per_scan_ip.end() || ip < it->second) {
+        per_scan_ip[scan_index] = ip;
+      }
+    }
+  }
+  for (const auto& [scan_index, ip] : per_scan_ip) {
+    entity.timeline.push_back(TrackedEntity::Residency{
+        scan_index, ip, index_->as_of(scan_index, ip)});
+  }
+  if (!entity.timeline.empty()) {
+    entity.first_seen = scans[entity.timeline.front().scan].event.start;
+    entity.last_seen = scans[entity.timeline.back().scan].event.start;
+  }
+  return entity;
+}
+
+std::vector<const TrackedEntity*> DeviceTracker::trackable() const {
+  std::vector<const TrackedEntity*> out;
+  for (const TrackedEntity& entity : entities_) {
+    if (entity.span_days() >= config_.trackable_days) out.push_back(&entity);
+  }
+  return out;
+}
+
+TrackableSummary DeviceTracker::summary() const {
+  TrackableSummary out;
+  out.trackable_without_linking = trackable_without_linking_;
+  out.trackable_with_linking = trackable().size();
+  return out;
+}
+
+MovementStats DeviceTracker::movement() const {
+  MovementStats out;
+  const auto& scans = index_->archive().scans();
+  std::map<std::tuple<std::uint32_t, net::Asn, net::Asn>, std::uint32_t>
+      transitions_by_edge;
+  for (const TrackedEntity* entity : trackable()) {
+    ++out.tracked_devices;
+    std::uint64_t moves = 0;
+    bool crossed_country = false;
+    for (std::size_t i = 1; i < entity->timeline.size(); ++i) {
+      const auto& prev = entity->timeline[i - 1];
+      const auto& cur = entity->timeline[i];
+      if (prev.asn == cur.asn) continue;
+      ++moves;
+      ++transitions_by_edge[{cur.scan, prev.asn, cur.asn}];
+      const std::string from_country =
+          as_db_->country_at(prev.asn, scans[prev.scan].event.start);
+      const std::string to_country =
+          as_db_->country_at(cur.asn, scans[cur.scan].event.start);
+      if (!from_country.empty() && !to_country.empty() &&
+          from_country != to_country) {
+        crossed_country = true;
+      }
+    }
+    if (moves > 0) {
+      ++out.devices_with_as_change;
+      out.total_as_transitions += moves;
+      out.max_moves = std::max(out.max_moves, moves);
+      if (moves == 1) {
+        // counted below for the single-move fraction
+      }
+      if (crossed_country) ++out.devices_crossing_countries;
+    }
+  }
+  std::uint64_t single_movers = 0;
+  // Second pass for single-move counting (kept simple and allocation-free).
+  for (const TrackedEntity* entity : trackable()) {
+    std::uint64_t moves = 0;
+    for (std::size_t i = 1; i < entity->timeline.size(); ++i) {
+      if (entity->timeline[i - 1].asn != entity->timeline[i].asn) ++moves;
+    }
+    if (moves == 1) ++single_movers;
+  }
+  if (out.devices_with_as_change > 0) {
+    out.single_move_fraction =
+        static_cast<double>(single_movers) /
+        static_cast<double>(out.devices_with_as_change);
+  }
+  for (const auto& [edge, devices] : transitions_by_edge) {
+    if (devices < config_.bulk_transfer_min_devices) continue;
+    const auto& [scan, from, to] = edge;
+    out.bulk_transfers.push_back(BulkTransfer{scan, from, to, devices});
+  }
+  std::sort(out.bulk_transfers.begin(), out.bulk_transfers.end(),
+            [](const BulkTransfer& a, const BulkTransfer& b) {
+              return a.devices > b.devices;
+            });
+  return out;
+}
+
+ReassignmentStats DeviceTracker::reassignment() const {
+  std::map<net::Asn, AsReassignment> per_as;
+  for (const TrackedEntity* entity : trackable()) {
+    // Reassignment is a property of an AS's stationary subscribers; devices
+    // that migrated between ASes are the subject of the movement analysis
+    // and would only blur per-AS policy inference.
+    bool multi_as = false;
+    for (std::size_t i = 1; i < entity->timeline.size(); ++i) {
+      if (entity->timeline[i].asn != entity->timeline[0].asn) {
+        multi_as = true;
+        break;
+      }
+    }
+    if (multi_as || entity->timeline.empty()) continue;
+    const net::Asn home = entity->timeline[0].asn;
+    AsReassignment& slot = per_as[home];
+    slot.asn = home;
+    ++slot.tracked_devices;
+    // Static: one IP across the entire dataset (and the entity already
+    // spans >= trackable_days). For "changes between every scan", two scans
+    // on the same calendar day (the dual-scan days) count as one
+    // observation epoch — a lease cannot turn over between them.
+    const auto& scans = index_->archive().scans();
+    const auto day_of = [&](std::uint32_t scan) {
+      return scans[scan].event.start / util::kSecondsPerDay;
+    };
+    bool static_ip = true;
+    bool always_changing = entity->timeline.size() >= 2;
+    for (std::size_t i = 1; i < entity->timeline.size(); ++i) {
+      if (entity->timeline[i].ip != entity->timeline[i - 1].ip) {
+        static_ip = false;
+      } else if (day_of(entity->timeline[i].scan) !=
+                 day_of(entity->timeline[i - 1].scan)) {
+        always_changing = false;
+      }
+    }
+    if (static_ip) ++slot.static_devices;
+    if (always_changing) ++slot.always_changing_devices;
+  }
+  ReassignmentStats out;
+  std::vector<double> fractions;
+  for (const auto& [asn, slot] : per_as) {
+    if (slot.tracked_devices < config_.min_devices_per_as) continue;
+    out.per_as.push_back(slot);
+    fractions.push_back(slot.static_fraction());
+    if (slot.static_fraction() >= 0.9) ++out.ases_90pct_static;
+    if (slot.always_changing_fraction() >= 0.75) {
+      out.most_dynamic.push_back(slot);
+    }
+  }
+  out.static_fraction_cdf = util::EmpiricalCdf(std::move(fractions));
+  std::sort(out.most_dynamic.begin(), out.most_dynamic.end(),
+            [](const AsReassignment& a, const AsReassignment& b) {
+              return a.always_changing_fraction() >
+                     b.always_changing_fraction();
+            });
+  return out;
+}
+
+}  // namespace sm::tracking

@@ -1,0 +1,142 @@
+// §7: tracking end-user devices through the IP space using linked invalid
+// certificates — trackable-device extraction, AS movement and bulk prefix
+// transfers, country moves, and per-AS IP reassignment inference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "net/as_database.h"
+#include "util/stats.h"
+
+namespace sm::tracking {
+
+/// Tunables; thresholds scale with world size (the paper used >= 50 devices
+/// for bulk transfers at internet scale).
+struct TrackerConfig {
+  /// Minimum observed span for a device to count as trackable (§7.2).
+  double trackable_days = 365.0;
+  /// Minimum devices moving AS-to-AS between two scans to call it a bulk
+  /// (prefix-transfer style) movement.
+  std::uint32_t bulk_transfer_min_devices = 15;
+  /// §7.4: ASes with fewer tracked devices than this are skipped.
+  std::uint32_t min_devices_per_as = 10;
+};
+
+/// One believed physical device: a linked group or a lone certificate.
+struct TrackedEntity {
+  std::vector<scan::CertId> certs;
+  bool linked = false;  ///< came from a multi-cert linked group
+  /// Per-scan residency, ordered by scan index.
+  struct Residency {
+    std::uint32_t scan = 0;
+    std::uint32_t ip = 0;
+    net::Asn asn = 0;
+  };
+  std::vector<Residency> timeline;
+  util::UnixTime first_seen = 0;
+  util::UnixTime last_seen = 0;
+
+  double span_days() const {
+    return static_cast<double>(last_seen - first_seen) /
+           static_cast<double>(util::kSecondsPerDay);
+  }
+};
+
+/// §7.2's headline comparison.
+struct TrackableSummary {
+  std::uint64_t trackable_without_linking = 0;  ///< single-cert entities only
+  std::uint64_t trackable_with_linking = 0;
+  double improvement() const {
+    return trackable_without_linking == 0
+               ? 0.0
+               : static_cast<double>(trackable_with_linking) /
+                         static_cast<double>(trackable_without_linking) -
+                     1.0;
+  }
+};
+
+/// One detected bulk AS-to-AS movement between consecutive observations.
+struct BulkTransfer {
+  std::uint32_t scan = 0;  ///< scan index where devices appear at `to`
+  net::Asn from = 0;
+  net::Asn to = 0;
+  std::uint32_t devices = 0;
+};
+
+/// §7.3's movement statistics.
+struct MovementStats {
+  std::uint64_t tracked_devices = 0;
+  std::uint64_t devices_with_as_change = 0;
+  std::uint64_t total_as_transitions = 0;
+  double single_move_fraction = 0;  ///< of movers: exactly one move
+  std::uint64_t max_moves = 0;
+  std::vector<BulkTransfer> bulk_transfers;
+  std::uint64_t devices_crossing_countries = 0;
+};
+
+/// Per-AS reassignment behaviour (§7.4 / Figure 11).
+struct AsReassignment {
+  net::Asn asn = 0;
+  std::uint32_t tracked_devices = 0;
+  std::uint32_t static_devices = 0;
+  std::uint32_t always_changing_devices = 0;
+  double static_fraction() const {
+    return tracked_devices == 0 ? 0.0
+                                : static_cast<double>(static_devices) /
+                                      static_cast<double>(tracked_devices);
+  }
+  double always_changing_fraction() const {
+    return tracked_devices == 0
+               ? 0.0
+               : static_cast<double>(always_changing_devices) /
+                     static_cast<double>(tracked_devices);
+  }
+};
+
+/// §7.4's output.
+struct ReassignmentStats {
+  std::vector<AsReassignment> per_as;  ///< ASes with enough devices
+  util::EmpiricalCdf static_fraction_cdf;  ///< Figure 11's distribution
+  std::uint64_t ases_90pct_static = 0;
+  std::vector<AsReassignment> most_dynamic;  ///< >= 75% change every scan
+};
+
+/// The §7 tracker: builds entities from a linking result and answers the
+/// section's questions.
+class DeviceTracker {
+ public:
+  DeviceTracker(const analysis::DatasetIndex& index,
+                const linking::Linker& linker,
+                const linking::IterativeResult& linking_result,
+                const net::AsDatabase& as_db, TrackerConfig config = {});
+
+  /// All entities (linked groups + lone eligible certificates).
+  const std::vector<TrackedEntity>& entities() const { return entities_; }
+
+  /// Entities observed for at least `trackable_days`.
+  std::vector<const TrackedEntity*> trackable() const;
+
+  TrackableSummary summary() const;
+  MovementStats movement() const;
+  ReassignmentStats reassignment() const;
+
+ private:
+  TrackedEntity build_entity(const std::vector<scan::CertId>& certs,
+                             bool linked) const;
+
+  const analysis::DatasetIndex* index_;
+  const net::AsDatabase* as_db_;
+  TrackerConfig config_;
+  std::vector<TrackedEntity> entities_;
+  std::uint64_t trackable_without_linking_ = 0;
+  // Per-cert (scan, ip) observation lists in CSR layout, so entity
+  // construction is linear rather than a rescan of the whole archive.
+  std::vector<std::uint32_t> obs_offsets_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> obs_;  // (scan, ip)
+};
+
+}  // namespace sm::tracking

@@ -1,0 +1,18 @@
+// Hexadecimal encoding and decoding for byte buffers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sm::util {
+
+/// Encodes `data` as a lowercase hex string ("" for empty input).
+std::string hex_encode(BytesView data);
+
+/// Decodes a hex string (upper- or lowercase). Returns std::nullopt when the
+/// input has odd length or contains a non-hex character.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+}  // namespace sm::util

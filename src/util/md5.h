@@ -1,0 +1,40 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// Like SHA-1, MD5 is broken; it exists here because era-appropriate
+// certificates use MD5 fingerprints and a handful of legacy signature OIDs.
+// It is never used for new signatures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sm::util {
+
+/// Incremental MD5 hasher (16-byte digest). API mirrors Sha256.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+
+  Md5();
+
+  /// Absorbs more input.
+  Md5& update(BytesView data);
+
+  /// Completes the hash; the hasher must not be reused afterwards.
+  Bytes finish();
+
+  /// One-shot convenience: MD5 of a single buffer.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sm::util

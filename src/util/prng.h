@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator (device populations, DHCP
+// churn, reissue jitter, scan permutation keys) draws from these generators
+// so that a world seeded with the same value reproduces bit-identically.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace sm::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into independent
+/// sub-seeds. Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom
+/// Number Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the sequence.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it composes with <random>
+/// distributions, but the simulator uses the bounded helpers below for
+/// cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from a SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& lane : state_) lane = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling (Lemire-style) for an unbiased result.
+  std::uint64_t below(std::uint64_t bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) { return unit() < p; }
+
+  /// Derives an independent child generator; `tag` decorrelates children
+  /// created from the same parent draw site.
+  Rng fork(std::uint64_t tag) {
+    SplitMix64 sm((*this)() ^ (tag * 0x9e3779b97f4a7c15ULL));
+    return Rng(sm.next());
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// FNV-1a 64-bit hash of a string — handy for turning stable names
+/// ("vendor:lancom") into seeds.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sm::util

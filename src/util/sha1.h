@@ -1,0 +1,40 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SHA-1 is cryptographically broken but remains the conventional certificate
+// fingerprint algorithm for the 2012-2015 era this library models; we provide
+// it for fingerprinting only, never for signatures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sm::util {
+
+/// Incremental SHA-1 hasher (20-byte digest). API mirrors Sha256.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+
+  Sha1();
+
+  /// Absorbs more input.
+  Sha1& update(BytesView data);
+
+  /// Completes the hash; the hasher must not be reused afterwards.
+  Bytes finish();
+
+  /// One-shot convenience: SHA-1 of a single buffer.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sm::util

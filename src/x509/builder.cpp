@@ -1,0 +1,261 @@
+#include "x509/builder.h"
+
+#include <stdexcept>
+
+#include "asn1/der.h"
+
+namespace sm::x509 {
+
+namespace {
+
+// AlgorithmIdentifier for a subject public key.
+util::Bytes encode_spki_algorithm(crypto::SigScheme scheme) {
+  util::Bytes children;
+  switch (scheme) {
+    case crypto::SigScheme::kRsaSha256:
+      util::append(children, asn1::encode_oid(asn1::oids::rsa_encryption()));
+      util::append(children, asn1::encode_null());
+      break;
+    case crypto::SigScheme::kSimSha256:
+      util::append(children, asn1::encode_oid(asn1::oids::sim_signature()));
+      break;
+  }
+  return asn1::encode_sequence(children);
+}
+
+util::Bytes encode_extension(const Extension& ext) {
+  util::Bytes children;
+  util::append(children, asn1::encode_oid(ext.oid));
+  if (ext.critical) util::append(children, asn1::encode_boolean(true));
+  util::append(children, asn1::encode_octet_string(ext.value));
+  return asn1::encode_sequence(children);
+}
+
+}  // namespace
+
+util::Bytes encode_signature_algorithm(crypto::SigScheme scheme) {
+  util::Bytes children;
+  switch (scheme) {
+    case crypto::SigScheme::kRsaSha256:
+      util::append(children, asn1::encode_oid(asn1::oids::sha256_with_rsa()));
+      util::append(children, asn1::encode_null());
+      break;
+    case crypto::SigScheme::kSimSha256:
+      util::append(children, asn1::encode_oid(asn1::oids::sim_signature()));
+      break;
+  }
+  return asn1::encode_sequence(children);
+}
+
+CertificateBuilder& CertificateBuilder::set_raw_version(std::int64_t version) {
+  raw_version_ = version;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_serial(bignum::BigUint serial) {
+  serial_ = std::move(serial);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_issuer(Name issuer) {
+  issuer_ = std::move(issuer);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_subject(Name subject) {
+  subject_ = std::move(subject);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_validity(util::UnixTime not_before,
+                                                     util::UnixTime not_after) {
+  validity_ = Validity{not_before, not_after};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_public_key(
+    crypto::PublicKeyInfo key) {
+  spki_ = std::move(key);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_subject_alt_names(
+    std::vector<GeneralName> names) {
+  Extension ext;
+  ext.oid = asn1::oids::subject_alt_name();
+  ext.value = encode_general_names(names);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_subject_key_id(
+    util::Bytes key_id) {
+  Extension ext;
+  ext.oid = asn1::oids::subject_key_identifier();
+  ext.value = asn1::encode_octet_string(key_id);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_authority_key_id(
+    util::Bytes key_id) {
+  Extension ext;
+  ext.oid = asn1::oids::authority_key_identifier();
+  const util::Bytes inner =
+      asn1::encode_tlv(asn1::context_primitive(0), key_id);
+  ext.value = asn1::encode_sequence(inner);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_basic_constraints(
+    bool is_ca, std::optional<std::int64_t> path_len) {
+  Extension ext;
+  ext.oid = asn1::oids::basic_constraints();
+  ext.critical = true;
+  util::Bytes children;
+  if (is_ca) util::append(children, asn1::encode_boolean(true));
+  if (path_len) util::append(children, asn1::encode_integer(*path_len));
+  ext.value = asn1::encode_sequence(children);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_key_usage(KeyUsage usage) {
+  Extension ext;
+  ext.oid = asn1::oids::key_usage();
+  ext.critical = true;
+  ext.value = asn1::encode_named_bit_string(usage.bits, 9);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_extended_key_usage(
+    std::vector<asn1::Oid> purposes) {
+  Extension ext;
+  ext.oid = asn1::oids::extended_key_usage();
+  util::Bytes children;
+  for (const asn1::Oid& purpose : purposes) {
+    util::append(children, asn1::encode_oid(purpose));
+  }
+  ext.value = asn1::encode_sequence(children);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_crl_distribution_points(
+    std::vector<std::string> urls) {
+  Extension ext;
+  ext.oid = asn1::oids::crl_distribution_points();
+  util::Bytes points;
+  for (const std::string& url : urls) {
+    const util::Bytes uri =
+        asn1::encode_tlv(asn1::context_primitive(6), util::to_bytes(url));
+    const util::Bytes full_name = asn1::encode_tlv(
+        asn1::context_constructed(0), uri);  // fullName GeneralNames
+    const util::Bytes dp_name =
+        asn1::encode_tlv(asn1::context_constructed(0), full_name);
+    util::append(points, asn1::encode_sequence(dp_name));
+  }
+  ext.value = asn1::encode_sequence(points);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_authority_info_access(
+    std::vector<std::string> ocsp_urls,
+    std::vector<std::string> ca_issuer_urls) {
+  Extension ext;
+  ext.oid = asn1::oids::authority_info_access();
+  util::Bytes descs;
+  const auto add_desc = [&](const asn1::Oid& method, const std::string& url) {
+    util::Bytes children;
+    util::append(children, asn1::encode_oid(method));
+    util::append(children, asn1::encode_tlv(asn1::context_primitive(6),
+                                            util::to_bytes(url)));
+    util::append(descs, asn1::encode_sequence(children));
+  };
+  for (const std::string& url : ocsp_urls) {
+    add_desc(asn1::oids::ad_ocsp(), url);
+  }
+  for (const std::string& url : ca_issuer_urls) {
+    add_desc(asn1::oids::ad_ca_issuers(), url);
+  }
+  ext.value = asn1::encode_sequence(descs);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::set_policy_oids(
+    std::vector<asn1::Oid> oids) {
+  Extension ext;
+  ext.oid = asn1::oids::certificate_policies();
+  util::Bytes policies;
+  for (const asn1::Oid& oid : oids) {
+    const util::Bytes info = asn1::encode_oid(oid);
+    util::append(policies, asn1::encode_sequence(info));
+  }
+  ext.value = asn1::encode_sequence(policies);
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_raw_extension(Extension ext) {
+  extensions_.push_back(std::move(ext));
+  return *this;
+}
+
+util::Bytes CertificateBuilder::build_tbs(crypto::SigScheme sig_scheme) const {
+  util::Bytes tbs;
+  if (raw_version_ != 0) {
+    const util::Bytes version = asn1::encode_integer(raw_version_);
+    util::append(tbs, asn1::encode_context(0, version));
+  }
+  util::append(tbs, asn1::encode_integer(serial_));
+  util::append(tbs, encode_signature_algorithm(sig_scheme));
+  util::append(tbs, issuer_.encode());
+  {
+    util::Bytes validity;
+    util::append(validity, asn1::encode_time(validity_.not_before));
+    util::append(validity, asn1::encode_time(validity_.not_after));
+    util::append(tbs, asn1::encode_sequence(validity));
+  }
+  util::append(tbs, subject_.encode());
+  {
+    util::Bytes spki;
+    util::append(spki, encode_spki_algorithm(spki_->scheme));
+    util::append(spki, asn1::encode_bit_string(spki_->key));
+    util::append(tbs, asn1::encode_sequence(spki));
+  }
+  if (!extensions_.empty() && raw_version_ != 0) {
+    util::Bytes list;
+    for (const Extension& ext : extensions_) {
+      util::append(list, encode_extension(ext));
+    }
+    const util::Bytes wrapped = asn1::encode_sequence(list);
+    util::append(tbs, asn1::encode_context(3, wrapped));
+  }
+  return asn1::encode_sequence(tbs);
+}
+
+Certificate CertificateBuilder::sign(
+    const crypto::SigningKey& issuer_key) const {
+  if (!spki_) throw std::logic_error("CertificateBuilder: missing public key");
+  const crypto::SigScheme scheme = issuer_key.pub.scheme;
+  const util::Bytes tbs = build_tbs(scheme);
+  const util::Bytes signature = crypto::sign(issuer_key, tbs);
+
+  util::Bytes cert;
+  util::append(cert, tbs);
+  util::append(cert, encode_signature_algorithm(scheme));
+  util::append(cert, asn1::encode_bit_string(signature));
+  const util::Bytes der = asn1::encode_sequence(cert);
+
+  auto parsed = parse_certificate(der);
+  if (!parsed) {
+    throw std::logic_error("CertificateBuilder: self-produced DER not parseable");
+  }
+  return std::move(*parsed);
+}
+
+}  // namespace sm::x509

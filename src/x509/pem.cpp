@@ -1,0 +1,143 @@
+#include "x509/pem.h"
+
+#include <array>
+
+namespace sm::x509 {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decode_table() {
+  std::array<std::int8_t, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::string base64_encode(util::BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t triple =
+        (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8) |
+        data[i + 2];
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3f]);
+    out.push_back(kAlphabet[triple & 0x3f]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t triple = std::uint32_t{data[i]} << 16;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t triple =
+        (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<util::Bytes> base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> kTable = decode_table();
+  util::Bytes out;
+  std::uint32_t accumulator = 0;
+  int bits = 0;
+  int padding = 0;
+  for (const char c : text) {
+    if (is_space(c)) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) return std::nullopt;  // data after padding
+    const std::int8_t value = kTable[static_cast<unsigned char>(c)];
+    if (value < 0) return std::nullopt;
+    accumulator = (accumulator << 6) | static_cast<std::uint32_t>(value);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(accumulator >> bits));
+    }
+  }
+  if (padding > 2) return std::nullopt;
+  // Leftover bits must be zero-padding only.
+  if (bits > 0 && (accumulator & ((1u << bits) - 1)) != 0) {
+    return std::nullopt;
+  }
+  // Validate total length: (chars + padding) must be a 4-multiple.
+  return out;
+}
+
+std::string pem_encode(util::BytesView der, const std::string& label) {
+  const std::string body = base64_encode(der);
+  std::string out = "-----BEGIN " + label + "-----\n";
+  for (std::size_t i = 0; i < body.size(); i += 64) {
+    out += body.substr(i, 64);
+    out.push_back('\n');
+  }
+  out += "-----END " + label + "-----\n";
+  return out;
+}
+
+std::vector<PemBlock> pem_decode_all(const std::string& text) {
+  std::vector<PemBlock> blocks;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t begin = text.find("-----BEGIN ", pos);
+    if (begin == std::string::npos) break;
+    const std::size_t label_start = begin + 11;
+    const std::size_t label_end = text.find("-----", label_start);
+    if (label_end == std::string::npos) break;
+    const std::string label =
+        text.substr(label_start, label_end - label_start);
+    const std::string end_marker = "-----END " + label + "-----";
+    const std::size_t body_start = label_end + 5;
+    const std::size_t end = text.find(end_marker, body_start);
+    if (end == std::string::npos) {
+      pos = body_start;
+      continue;
+    }
+    const auto der =
+        base64_decode(std::string_view(text).substr(body_start,
+                                                    end - body_start));
+    pos = end + end_marker.size();
+    if (!der || der->empty()) continue;
+    blocks.push_back(PemBlock{label, std::move(*der)});
+  }
+  return blocks;
+}
+
+std::string to_pem(const Certificate& cert) {
+  return pem_encode(cert.der, "CERTIFICATE");
+}
+
+std::vector<Certificate> certificates_from_pem(const std::string& text) {
+  std::vector<Certificate> out;
+  for (const PemBlock& block : pem_decode_all(text)) {
+    if (block.label != "CERTIFICATE") continue;
+    if (auto cert = parse_certificate(block.der)) {
+      out.push_back(std::move(*cert));
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::x509

@@ -1,0 +1,47 @@
+// PEM (RFC 7468) armor for certificates, plus the base64 codec beneath it.
+// Real scan corpora and CA bundles arrive PEM-encoded; this is the bridge
+// between them and the DER-level API.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "x509/certificate.h"
+
+namespace sm::x509 {
+
+/// Encodes bytes as standard base64 (RFC 4648, with padding).
+std::string base64_encode(util::BytesView data);
+
+/// Decodes base64; whitespace is ignored. Returns nullopt on any other
+/// non-alphabet character, bad padding, or truncated input.
+std::optional<util::Bytes> base64_decode(std::string_view text);
+
+/// Wraps DER bytes in a PEM block with the given label, 64-column body:
+///   -----BEGIN <label>-----
+///   ...
+///   -----END <label>-----
+std::string pem_encode(util::BytesView der, const std::string& label);
+
+/// One block parsed from PEM text.
+struct PemBlock {
+  std::string label;  ///< e.g. "CERTIFICATE"
+  util::Bytes der;
+};
+
+/// Extracts all well-formed PEM blocks from `text` (ignores surrounding
+/// prose, as real bundles contain comments between blocks). Blocks with
+/// mismatched BEGIN/END labels or undecodable bodies are skipped.
+std::vector<PemBlock> pem_decode_all(const std::string& text);
+
+/// Convenience: the certificate's PEM rendering ("CERTIFICATE" label).
+std::string to_pem(const Certificate& cert);
+
+/// Convenience: parses every CERTIFICATE block in `text`. Structurally
+/// invalid certificates are skipped (count them via the difference with
+/// pem_decode_all if needed).
+std::vector<Certificate> certificates_from_pem(const std::string& text);
+
+}  // namespace sm::x509

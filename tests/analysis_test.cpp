@@ -1,0 +1,399 @@
+// Tests for sm::analysis — the dataset index and every §4/§5 computation,
+// on hand-built archives with known answers plus a simulated tiny world.
+#include <gtest/gtest.h>
+
+#include "analysis/dataset.h"
+#include "analysis/discrepancy.h"
+#include "analysis/diversity.h"
+#include "analysis/longevity.h"
+#include "simworld/world.h"
+
+namespace sm::analysis {
+namespace {
+
+using scan::Campaign;
+using scan::CertId;
+using scan::CertRecord;
+using scan::ScanArchive;
+using scan::ScanEvent;
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+CertRecord make_record(std::uint64_t id, bool valid,
+                       pki::InvalidReason reason) {
+  CertRecord rec;
+  for (int i = 0; i < 8; ++i) {
+    rec.fingerprint[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(id >> (8 * i));
+  }
+  rec.fingerprint[14] = 0xBB;
+  rec.key_fingerprint = 0x9000 + id;
+  rec.subject_cn = "host-" + std::to_string(id);
+  rec.issuer_cn = "issuer-" + std::to_string(id);
+  rec.not_before = util::make_date(2013, 1, 1);
+  rec.not_after = util::make_date(2014, 1, 1);
+  rec.valid = valid;
+  rec.invalid_reason = reason;
+  return rec;
+}
+
+struct TestWorld {
+  ScanArchive archive;
+  net::RoutingHistory routing;
+  net::AsDatabase as_db;
+
+  TestWorld() {
+    net::RouteTable table;
+    table.announce(*net::Prefix::parse("10.1.0.0/16"), 100);
+    table.announce(*net::Prefix::parse("10.2.0.0/16"), 200);
+    routing.add_snapshot(0, table);
+    as_db.add(net::AsInfo{100, "Access A", "USA", net::AsType::kTransitAccess});
+    as_db.add(net::AsInfo{200, "Content B", "DEU", net::AsType::kContent});
+  }
+};
+
+// --- DatasetIndex -------------------------------------------------------------
+
+TEST(DatasetIndex, ComputesPerCertStats) {
+  TestWorld w;
+  const CertId a = w.archive.intern(
+      make_record(1, false, pki::InvalidReason::kSelfSigned));
+  const CertId b = w.archive.intern(
+      make_record(2, true, pki::InvalidReason::kNone));
+  const std::size_t s0 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  const std::size_t s1 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 10 * kDay});
+  // Cert a: 1 IP in scan 0, 2 IPs in scan 1; spans both ASes.
+  w.archive.add_observation(s0, a, 0x0a010001, 1);
+  w.archive.add_observation(s1, a, 0x0a010002, 1);
+  w.archive.add_observation(s1, a, 0x0a020003, 1);
+  // Cert b: same IP twice in one scan (deduped), seen in one scan.
+  w.archive.add_observation(s0, b, 0x0a020001, 2);
+  w.archive.add_observation(s0, b, 0x0a020001, 2);
+
+  const DatasetIndex index(w.archive, w.routing);
+  const CertStats& sa = index.stats(a);
+  EXPECT_EQ(sa.scans_seen, 2u);
+  EXPECT_EQ(sa.first_scan, 0u);
+  EXPECT_EQ(sa.last_scan, 1u);
+  EXPECT_DOUBLE_EQ(sa.avg_ips_per_scan(), 1.5);
+  EXPECT_EQ(sa.max_ips_in_scan, 2u);
+  EXPECT_EQ(sa.min_ips_in_scan, 1u);
+  EXPECT_EQ(sa.distinct_as_count, 2u);
+  EXPECT_EQ(sa.majority_as, 100u);
+  EXPECT_DOUBLE_EQ(index.lifetime_days(a), 11.0);
+
+  const CertStats& sb = index.stats(b);
+  EXPECT_EQ(sb.scans_seen, 1u);
+  EXPECT_DOUBLE_EQ(sb.avg_ips_per_scan(), 1.0);
+  EXPECT_DOUBLE_EQ(index.lifetime_days(b), 1.0);
+  EXPECT_EQ(sb.majority_as, 200u);
+
+  EXPECT_EQ(index.as_of(0, 0x0a010001), 100u);
+  EXPECT_EQ(index.as_of(0, 0x0b000001), 0u);  // unroutable
+}
+
+// --- §4 breakdown ---------------------------------------------------------------
+
+TEST(ValidityBreakdown, CountsReasonsAndMalformed) {
+  TestWorld w;
+  w.archive.intern(make_record(1, false, pki::InvalidReason::kSelfSigned));
+  w.archive.intern(make_record(2, false, pki::InvalidReason::kSelfSigned));
+  w.archive.intern(
+      make_record(3, false, pki::InvalidReason::kUntrustedIssuer));
+  w.archive.intern(make_record(4, false, pki::InvalidReason::kNeverValid));
+  w.archive.intern(make_record(5, true, pki::InvalidReason::kNone));
+  CertRecord malformed =
+      make_record(6, false, pki::InvalidReason::kMalformedVersion);
+  malformed.raw_version = 12;
+  w.archive.intern(malformed);
+
+  const ValidityBreakdown vb = compute_validity_breakdown(w.archive);
+  EXPECT_EQ(vb.total_certs, 5u);
+  EXPECT_EQ(vb.valid_certs, 1u);
+  EXPECT_EQ(vb.invalid_certs, 4u);
+  EXPECT_EQ(vb.self_signed, 2u);
+  EXPECT_EQ(vb.untrusted_issuer, 1u);
+  EXPECT_EQ(vb.other_invalid, 1u);
+  EXPECT_EQ(vb.malformed_version, 1u);
+  EXPECT_DOUBLE_EQ(vb.invalid_fraction(), 0.8);
+}
+
+// --- Figure 2 -----------------------------------------------------------------
+
+TEST(ScanSeries, PerScanUniqueCounts) {
+  TestWorld w;
+  const CertId inv = w.archive.intern(
+      make_record(1, false, pki::InvalidReason::kSelfSigned));
+  const CertId val =
+      w.archive.intern(make_record(2, true, pki::InvalidReason::kNone));
+  const std::size_t s0 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  const std::size_t s1 =
+      w.archive.begin_scan(ScanEvent{Campaign::kRapid7, 7 * kDay});
+  w.archive.add_observation(s0, inv, 0x0a010001, 1);
+  w.archive.add_observation(s0, inv, 0x0a010002, 1);  // same cert, 2 IPs
+  w.archive.add_observation(s0, val, 0x0a020001, 2);
+  w.archive.add_observation(s1, val, 0x0a020001, 2);
+
+  const auto series = compute_scan_series(w.archive);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].invalid, 1u);  // unique certs, not observations
+  EXPECT_EQ(series[0].valid, 1u);
+  EXPECT_DOUBLE_EQ(series[0].invalid_fraction(), 0.5);
+  EXPECT_EQ(series[1].invalid, 0u);
+  EXPECT_EQ(series[1].valid, 1u);
+  EXPECT_EQ(series[1].campaign, Campaign::kRapid7);
+}
+
+// --- Figure 3 -----------------------------------------------------------------
+
+TEST(ValidityPeriods, SplitsAndCountsNegative) {
+  TestWorld w;
+  CertRecord neg = make_record(1, false, pki::InvalidReason::kSelfSigned);
+  neg.not_after = neg.not_before - 5 * kDay;
+  w.archive.intern(neg);
+  CertRecord long_lived = make_record(2, false, pki::InvalidReason::kSelfSigned);
+  long_lived.not_after = long_lived.not_before + 20 * 365 * kDay;
+  w.archive.intern(long_lived);
+  w.archive.intern(make_record(3, true, pki::InvalidReason::kNone));
+
+  const ValidityPeriods vp = compute_validity_periods(w.archive);
+  EXPECT_EQ(vp.valid_days.size(), 1u);
+  EXPECT_NEAR(vp.valid_days.median(), 365.0, 0.5);
+  EXPECT_EQ(vp.invalid_days.size(), 1u);  // negative excluded from CDF
+  EXPECT_NEAR(vp.invalid_days.median(), 7300.0, 1.0);
+  EXPECT_DOUBLE_EQ(vp.invalid_negative_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(vp.valid_negative_fraction, 0.0);
+}
+
+// --- Figures 4 & 5 ---------------------------------------------------------------
+
+TEST(LifetimesAndDeltas, EphemeralDetection) {
+  TestWorld w;
+  // Ephemeral cert issued "just before" the scan.
+  CertRecord fresh = make_record(1, false, pki::InvalidReason::kSelfSigned);
+  fresh.not_before = 100 * kDay - 2 * kDay;
+  const CertId fresh_id = w.archive.intern(fresh);
+  // Ephemeral cert with a 1970 stuck clock.
+  CertRecord stuck = make_record(2, false, pki::InvalidReason::kSelfSigned);
+  stuck.not_before = 0;
+  const CertId stuck_id = w.archive.intern(stuck);
+  // Ephemeral cert with NotBefore in the future.
+  CertRecord ahead = make_record(3, false, pki::InvalidReason::kSelfSigned);
+  ahead.not_before = 100 * kDay + 10 * kDay;
+  const CertId ahead_id = w.archive.intern(ahead);
+  // Multi-scan cert (not ephemeral).
+  const CertId multi = w.archive.intern(
+      make_record(4, false, pki::InvalidReason::kSelfSigned));
+
+  const std::size_t s0 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 100 * kDay});
+  const std::size_t s1 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 110 * kDay});
+  w.archive.add_observation(s0, fresh_id, 0x0a010001, 1);
+  w.archive.add_observation(s0, stuck_id, 0x0a010002, 2);
+  w.archive.add_observation(s0, ahead_id, 0x0a010003, 3);
+  w.archive.add_observation(s0, multi, 0x0a010004, 4);
+  w.archive.add_observation(s1, multi, 0x0a010004, 4);
+
+  const DatasetIndex index(w.archive, w.routing);
+  const Lifetimes lifetimes = compute_lifetimes(index);
+  EXPECT_EQ(lifetimes.invalid_days.size(), 4u);
+  EXPECT_DOUBLE_EQ(lifetimes.invalid_single_scan_fraction, 0.75);
+
+  const NotBeforeDeltas deltas = compute_notbefore_deltas(index);
+  // Three ephemeral certs: fresh (delta 2d), stuck (delta 100d... >1000? no
+  // — 100 days), ahead (negative).
+  EXPECT_EQ(deltas.positive_days.size(), 2u);
+  EXPECT_NEAR(deltas.negative_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(deltas.under_four_days_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(deltas.same_day_fraction, 0.0);
+}
+
+// --- Figure 6 ------------------------------------------------------------------
+
+TEST(KeyDiversity, DetectsSharing) {
+  TestWorld w;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    CertRecord rec = make_record(i, false, pki::InvalidReason::kSelfSigned);
+    if (i <= 3) rec.key_fingerprint = 0x5;  // three certs share one key
+    w.archive.intern(rec);
+  }
+  CertRecord valid = make_record(5, true, pki::InvalidReason::kNone);
+  w.archive.intern(valid);
+
+  const KeyDiversity kd = compute_key_diversity(w.archive);
+  EXPECT_DOUBLE_EQ(kd.invalid_shared_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(kd.valid_shared_fraction, 0.0);
+  EXPECT_EQ(kd.top_invalid_key_certs, 3u);
+  EXPECT_DOUBLE_EQ(kd.top_invalid_key_share, 0.75);
+  ASSERT_FALSE(kd.invalid_curve.empty());
+  // First curve point: the heaviest key (1 of 2 keys) covers 3/4 of certs.
+  EXPECT_DOUBLE_EQ(kd.invalid_curve.front().first, 0.5);
+  EXPECT_DOUBLE_EQ(kd.invalid_curve.front().second, 0.75);
+}
+
+// --- Tables 1-4 -------------------------------------------------------------------
+
+TEST(IssuerDiversity, TopIssuersAndParentKeys) {
+  TestWorld w;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    CertRecord rec = make_record(i, false, pki::InvalidReason::kSelfSigned);
+    rec.issuer_cn = "www.lancom-systems.de";
+    w.archive.intern(rec);
+  }
+  CertRecord empty_issuer =
+      make_record(4, false, pki::InvalidReason::kSelfSigned);
+  empty_issuer.issuer_cn.clear();
+  w.archive.intern(empty_issuer);
+  CertRecord private_ip =
+      make_record(5, false, pki::InvalidReason::kSelfSigned);
+  private_ip.issuer_cn = "192.168.1.1";
+  w.archive.intern(private_ip);
+  CertRecord valid = make_record(6, true, pki::InvalidReason::kNone);
+  valid.issuer_cn = "Go Daddy Secure Certification Authority";
+  valid.aki_hex = "aabbcc";
+  w.archive.intern(valid);
+
+  const IssuerDiversity id = compute_issuer_diversity(w.archive, 3);
+  ASSERT_FALSE(id.top_invalid.empty());
+  EXPECT_EQ(id.top_invalid[0].issuer, "www.lancom-systems.de");
+  EXPECT_EQ(id.top_invalid[0].certs, 3u);
+  bool has_empty = false;
+  for (const IssuerRow& row : id.top_invalid) {
+    if (row.issuer == "(Empty string)") has_empty = true;
+  }
+  EXPECT_TRUE(has_empty);
+  ASSERT_EQ(id.top_valid.size(), 1u);
+  EXPECT_EQ(id.top_valid[0].issuer, "Go Daddy Secure Certification Authority");
+  EXPECT_EQ(id.valid_parent_keys, 1u);
+  EXPECT_DOUBLE_EQ(id.invalid_private_ip_issuer_fraction, 0.2);
+}
+
+TEST(DeviceTypes, ClassifierPatterns) {
+  EXPECT_EQ(classify_issuer("www.lancom-systems.de"), "Home router/cable modem");
+  EXPECT_EQ(classify_issuer("192.168.1.1"), "Home router/cable modem");
+  EXPECT_EQ(classify_issuer("remotewd.com"), "Remote storage");
+  EXPECT_EQ(classify_issuer("VMware"), "Remote administration");
+  EXPECT_EQ(classify_issuer("vpn-gw.corp"), "VPN");
+  EXPECT_EQ(classify_issuer("SonicWALL Firewall DV CA"), "Firewall");
+  EXPECT_EQ(classify_issuer("HikVision Device CA"), "IP camera");
+  EXPECT_EQ(classify_issuer("Cisco SIP Device CA"), "Other");
+  EXPECT_EQ(classify_issuer("PlayBook: AB:CD"), "Unknown");
+}
+
+TEST(DeviceTypes, BreakdownSumsToOne) {
+  TestWorld w;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    CertRecord rec = make_record(i, false, pki::InvalidReason::kSelfSigned);
+    rec.issuer_cn = i <= 6 ? "192.168.1.1" : "remotewd.com";
+    w.archive.intern(rec);
+  }
+  const DeviceTypeBreakdown breakdown = compute_device_types(w.archive, 50);
+  EXPECT_EQ(breakdown.classified_certs, 10u);
+  double total = 0;
+  for (const auto& [type, share] : breakdown.shares) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(breakdown.shares[0].first, "Home router/cable modem");
+  EXPECT_DOUBLE_EQ(breakdown.shares[0].second, 0.6);
+}
+
+// --- AS analyses (Figure 8, Tables 2-3) -------------------------------------------
+
+TEST(AsAnalyses, TypeBreakdownAndTopAses) {
+  TestWorld w;
+  const CertId inv = w.archive.intern(
+      make_record(1, false, pki::InvalidReason::kSelfSigned));
+  const CertId val =
+      w.archive.intern(make_record(2, true, pki::InvalidReason::kNone));
+  const std::size_t s0 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  w.archive.add_observation(s0, inv, 0x0a010001, 1);  // AS 100 transit
+  w.archive.add_observation(s0, val, 0x0a020001, 2);  // AS 200 content
+
+  const DatasetIndex index(w.archive, w.routing);
+  const AsTypeBreakdown breakdown = compute_as_type_breakdown(index, w.as_db);
+  EXPECT_DOUBLE_EQ(
+      breakdown.shares.at(net::AsType::kTransitAccess).second, 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.shares.at(net::AsType::kContent).first, 1.0);
+
+  const TopAses top = compute_top_ases(index, w.as_db, 5);
+  ASSERT_EQ(top.invalid.size(), 1u);
+  EXPECT_EQ(top.invalid[0].asn, 100u);
+  EXPECT_EQ(top.invalid[0].label, "#100 Access A (USA)");
+  ASSERT_EQ(top.valid.size(), 1u);
+  EXPECT_EQ(top.valid[0].asn, 200u);
+
+  const AsDiversity ad = compute_as_diversity(index);
+  EXPECT_DOUBLE_EQ(ad.invalid_top_as_share, 1.0);
+  EXPECT_EQ(ad.invalid_ases_for_70, 1u);
+}
+
+// --- Figure 1 ----------------------------------------------------------------------
+
+TEST(Discrepancy, DetectsCampaignUniqueHosts) {
+  TestWorld w;
+  const CertId cert = w.archive.intern(
+      make_record(1, false, pki::InvalidReason::kSelfSigned));
+  const std::size_t umich =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  const std::size_t rapid7 =
+      w.archive.begin_scan(ScanEvent{Campaign::kRapid7, kDay / 2});
+  // Shared host, one UMich-only host, one Rapid7-only host in another /8.
+  w.archive.add_observation(umich, cert, 0x0a010001, 1);
+  w.archive.add_observation(rapid7, cert, 0x0a010001, 1);
+  w.archive.add_observation(umich, cert, 0x0a010002, 2);
+  w.archive.add_observation(rapid7, cert, 0x14010001, 3);  // 20.1.0.1
+
+  const auto disc = compute_scan_discrepancy(w.archive);
+  ASSERT_TRUE(disc.has_value());
+  EXPECT_EQ(disc->umich_total_hosts, 2u);
+  EXPECT_EQ(disc->rapid7_total_hosts, 2u);
+  EXPECT_EQ(disc->umich_only_hosts, 1u);
+  EXPECT_EQ(disc->rapid7_only_hosts, 1u);
+  ASSERT_EQ(disc->per_slash8.size(), 2u);
+  EXPECT_EQ(disc->per_slash8[0].first_octet, 10u);
+  EXPECT_DOUBLE_EQ(disc->per_slash8[0].umich_unique_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(disc->per_slash8[1].rapid7_unique_fraction, 1.0);
+}
+
+TEST(Discrepancy, RequiresBothCampaigns) {
+  TestWorld w;
+  const CertId cert = w.archive.intern(
+      make_record(1, false, pki::InvalidReason::kSelfSigned));
+  const std::size_t s0 =
+      w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  w.archive.add_observation(s0, cert, 0x0a010001, 1);
+  EXPECT_FALSE(compute_scan_discrepancy(w.archive).has_value());
+}
+
+// --- end-to-end shape sanity on a tiny world -----------------------------------------
+
+TEST(TinyWorldShapes, HeadlineDirectionsHold) {
+  simworld::World world(simworld::WorldConfig::tiny());
+  const simworld::WorldResult r = world.run();
+  const DatasetIndex index(r.archive, r.routing);
+
+  const ValidityBreakdown vb = compute_validity_breakdown(r.archive);
+  EXPECT_GT(vb.invalid_fraction(), 0.7);
+  EXPECT_GT(vb.self_signed, vb.untrusted_issuer);
+
+  const ValidityPeriods vp = compute_validity_periods(r.archive);
+  EXPECT_GT(vp.invalid_days.median(), 5 * vp.valid_days.median());
+  EXPECT_GT(vp.invalid_negative_fraction, 0.0);
+
+  const Lifetimes lifetimes = compute_lifetimes(index);
+  EXPECT_LT(lifetimes.invalid_days.median(), lifetimes.valid_days.median());
+
+  const KeyDiversity kd = compute_key_diversity(r.archive);
+  EXPECT_GT(kd.invalid_shared_fraction, kd.valid_shared_fraction);
+
+  const AsTypeBreakdown breakdown = compute_as_type_breakdown(index, r.as_db);
+  // Invalid certs come overwhelmingly from transit/access networks.
+  EXPECT_GT(breakdown.shares.at(net::AsType::kTransitAccess).second, 0.8);
+}
+
+}  // namespace
+}  // namespace sm::analysis

@@ -1,0 +1,196 @@
+// Tests for sm::scan archive persistence — binary and TSV round-trips,
+// malformed-input rejection, and a full simulated-world round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scan/archive_io.h"
+#include "simworld/world.h"
+
+namespace sm::scan {
+namespace {
+
+CertRecord sample_record(std::uint64_t id) {
+  CertRecord rec;
+  for (int i = 0; i < 8; ++i) {
+    rec.fingerprint[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(id >> (8 * i));
+  }
+  rec.fingerprint[12] = 0xDD;
+  rec.key_fingerprint = 0xABCD0000 + id;
+  rec.subject_cn = "host-" + std::to_string(id);
+  rec.issuer_cn = "issuer with\ttab and\nnewline and % percent";
+  rec.issuer_dn = "CN=" + rec.issuer_cn;
+  rec.serial_hex = "deadbeef";
+  rec.not_before = util::make_date(2013, 4, 1);
+  rec.not_after = util::make_date(2033, 4, 1);
+  rec.san = {"dns:a.example", "ip:192.168.1.1"};
+  rec.aki_hex = "00aa11bb";
+  rec.crl_url = "http://crl.example/x.crl";
+  rec.aia_url = "http://ca.example/ca.crt";
+  rec.ocsp_url = "http://ocsp.example";
+  rec.policy_oid = "1.3.6.1.4.1.99999.2.1";
+  rec.raw_version = 2;
+  rec.is_ca = (id % 2) == 0;
+  rec.valid = (id % 3) == 0;
+  rec.transvalid = (id % 3) == 0 && (id % 2) == 1;
+  rec.invalid_reason =
+      rec.valid ? pki::InvalidReason::kNone : pki::InvalidReason::kSelfSigned;
+  return rec;
+}
+
+ScanArchive sample_archive() {
+  ScanArchive archive;
+  for (std::uint64_t i = 1; i <= 5; ++i) archive.intern(sample_record(i));
+  const std::size_t s0 =
+      archive.begin_scan(ScanEvent{Campaign::kUMich, 1000, 36000});
+  const std::size_t s1 =
+      archive.begin_scan(ScanEvent{Campaign::kRapid7, 700000, 36000});
+  archive.add_observation(s0, 0, 0x0a000001, 1);
+  archive.add_observation(s0, 1, 0x0a000002, 2);
+  archive.add_observation(s1, 0, 0x0a000003, 1);
+  archive.add_observation(s1, 4, 0x0a000004, kNoDevice);
+  return archive;
+}
+
+void expect_equal(const ScanArchive& a, const ScanArchive& b) {
+  ASSERT_EQ(a.certs().size(), b.certs().size());
+  for (std::size_t i = 0; i < a.certs().size(); ++i) {
+    const CertRecord& x = a.certs()[i];
+    const CertRecord& y = b.certs()[i];
+    EXPECT_EQ(x.fingerprint, y.fingerprint);
+    EXPECT_EQ(x.key_fingerprint, y.key_fingerprint);
+    EXPECT_EQ(x.subject_cn, y.subject_cn);
+    EXPECT_EQ(x.issuer_cn, y.issuer_cn);
+    EXPECT_EQ(x.issuer_dn, y.issuer_dn);
+    EXPECT_EQ(x.serial_hex, y.serial_hex);
+    EXPECT_EQ(x.not_before, y.not_before);
+    EXPECT_EQ(x.not_after, y.not_after);
+    EXPECT_EQ(x.san, y.san);
+    EXPECT_EQ(x.aki_hex, y.aki_hex);
+    EXPECT_EQ(x.crl_url, y.crl_url);
+    EXPECT_EQ(x.aia_url, y.aia_url);
+    EXPECT_EQ(x.ocsp_url, y.ocsp_url);
+    EXPECT_EQ(x.policy_oid, y.policy_oid);
+    EXPECT_EQ(x.raw_version, y.raw_version);
+    EXPECT_EQ(x.is_ca, y.is_ca);
+    EXPECT_EQ(x.valid, y.valid);
+    EXPECT_EQ(x.transvalid, y.transvalid);
+    EXPECT_EQ(x.invalid_reason, y.invalid_reason);
+  }
+  ASSERT_EQ(a.scans().size(), b.scans().size());
+  for (std::size_t s = 0; s < a.scans().size(); ++s) {
+    EXPECT_EQ(a.scans()[s].event, b.scans()[s].event);
+    ASSERT_EQ(a.scans()[s].observations.size(),
+              b.scans()[s].observations.size());
+    for (std::size_t i = 0; i < a.scans()[s].observations.size(); ++i) {
+      const Observation& x = a.scans()[s].observations[i];
+      const Observation& y = b.scans()[s].observations[i];
+      EXPECT_EQ(x.cert, y.cert);
+      EXPECT_EQ(x.ip, y.ip);
+      EXPECT_EQ(x.device, y.device);
+    }
+  }
+}
+
+TEST(BinaryFormat, RoundTrip) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  save_archive(original, buffer);
+  const auto loaded = load_archive(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(BinaryFormat, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOPE" << std::string(64, '\0');
+  EXPECT_FALSE(load_archive(buffer).has_value());
+}
+
+TEST(BinaryFormat, RejectsTruncation) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  save_archive(original, buffer);
+  const std::string full = buffer.str();
+  // Truncate at several points; none may crash, all must fail cleanly.
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{10}, full.size() / 2, full.size() - 3}) {
+    std::stringstream cut_buffer(full.substr(0, cut));
+    EXPECT_FALSE(load_archive(cut_buffer).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryFormat, RejectsOutOfRangeCertIndex) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  save_archive(original, buffer);
+  std::string bytes = buffer.str();
+  // The last observation's cert index lives near the end; blast it.
+  bytes[bytes.size() - 12] = static_cast<char>(0xff);
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(load_archive(corrupted).has_value());
+}
+
+TEST(BinaryFormat, FileRoundTrip) {
+  const ScanArchive original = sample_archive();
+  const std::string path = "/tmp/sm_archive_io_test.smar";
+  ASSERT_TRUE(save_archive_file(original, path));
+  const auto loaded = load_archive_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+  EXPECT_FALSE(load_archive_file("/tmp/does-not-exist.smar").has_value());
+}
+
+TEST(TsvFormat, RoundTrip) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  export_tsv(original, buffer);
+  const auto loaded = import_tsv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(TsvFormat, EscapesSpecialCharacters) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  export_tsv(original, buffer);
+  // Raw tab/newline inside a field would corrupt the format; the escaped
+  // encodings must appear instead.
+  EXPECT_NE(buffer.str().find("%09"), std::string::npos);
+  EXPECT_NE(buffer.str().find("%0a"), std::string::npos);
+  EXPECT_NE(buffer.str().find("%25"), std::string::npos);
+}
+
+TEST(TsvFormat, RejectsGarbage) {
+  std::stringstream garbage("X\tnot\ta\tvalid\trow\n");
+  EXPECT_FALSE(import_tsv(garbage).has_value());
+  std::stringstream bad_cert("C\tzz\t1\n");
+  EXPECT_FALSE(import_tsv(bad_cert).has_value());
+  std::stringstream bad_obs("O\t0\t9\t0\t0\t0\t0\t0\n");
+  EXPECT_FALSE(import_tsv(bad_obs).has_value());
+}
+
+TEST(TsvFormat, CommentsAndBlankLinesIgnored) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  buffer << "# a comment\n\n";
+  export_tsv(original, buffer);
+  const auto loaded = import_tsv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+}
+
+TEST(RoundTrip, SimulatedWorldSurvives) {
+  simworld::WorldConfig config = simworld::WorldConfig::tiny();
+  config.device_count = 80;
+  config.website_count = 30;
+  const simworld::WorldResult world = simworld::World(config).run();
+  std::stringstream buffer;
+  save_archive(world.archive, buffer);
+  const auto loaded = load_archive(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(world.archive, *loaded);
+}
+
+}  // namespace
+}  // namespace sm::scan

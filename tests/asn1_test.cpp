@@ -1,0 +1,332 @@
+// Tests for sm::asn1 — DER encode/decode round-trips, known encodings, and
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+#include "asn1/print.h"
+#include "asn1/oid.h"
+#include "util/datetime.h"
+#include "util/hex.h"
+
+namespace sm::asn1 {
+namespace {
+
+using util::Bytes;
+using util::hex_encode;
+
+// --- OIDs -------------------------------------------------------------------
+
+TEST(Oid, DottedStringRoundTrip) {
+  const auto oid = Oid::from_string("1.2.840.113549.1.1.11");
+  ASSERT_TRUE(oid.has_value());
+  EXPECT_EQ(oid->to_string(), "1.2.840.113549.1.1.11");
+}
+
+TEST(Oid, FromStringRejectsBadInput) {
+  EXPECT_FALSE(Oid::from_string("").has_value());
+  EXPECT_FALSE(Oid::from_string("1").has_value());
+  EXPECT_FALSE(Oid::from_string("3.1").has_value());     // first arc > 2
+  EXPECT_FALSE(Oid::from_string("1.40").has_value());    // second arc >= 40
+  EXPECT_FALSE(Oid::from_string("1.2.x").has_value());
+}
+
+TEST(Oid, KnownEncoding) {
+  // sha256WithRSAEncryption: 06 09 2a 86 48 86 f7 0d 01 01 0b
+  EXPECT_EQ(hex_encode(oids::sha256_with_rsa().encode()),
+            "2a864886f70d01010b");
+  // id-at-commonName: 55 04 03
+  EXPECT_EQ(hex_encode(oids::common_name().encode()), "550403");
+}
+
+TEST(Oid, EncodeDecodeRoundTrip) {
+  for (const Oid& oid :
+       {oids::common_name(), oids::subject_alt_name(), oids::ad_ocsp(),
+        oids::sim_signature(), oids::authority_info_access()}) {
+    const auto back = Oid::decode(oid.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, oid);
+  }
+}
+
+TEST(Oid, DecodeRejectsTruncatedBase128) {
+  // A continuation byte with nothing after it.
+  EXPECT_FALSE(Oid::decode(Bytes{0x2a, 0x86}).has_value());
+  EXPECT_FALSE(Oid::decode(Bytes{}).has_value());
+}
+
+// --- primitive encodings ------------------------------------------------------
+
+TEST(Der, IntegerKnownEncodings) {
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{0})), "020100");
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{127})), "02017f");
+  // 128 needs a leading zero octet to stay positive.
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{128})), "02020080");
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{-1})), "0201ff");
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{-129})), "0202ff7f");
+}
+
+TEST(Der, BigIntegerPadsHighBit) {
+  const auto der = encode_integer(bignum::BigUint::from_hex("80"));
+  EXPECT_EQ(hex_encode(der), "02020080");
+}
+
+TEST(Der, BooleanAndNull) {
+  EXPECT_EQ(hex_encode(encode_boolean(true)), "0101ff");
+  EXPECT_EQ(hex_encode(encode_boolean(false)), "010100");
+  EXPECT_EQ(hex_encode(encode_null()), "0500");
+}
+
+TEST(Der, LongFormLength) {
+  const Bytes content(200, 0xab);
+  const Bytes der = encode_octet_string(content);
+  // 04 81 C8 <200 bytes>
+  EXPECT_EQ(der[0], 0x04);
+  EXPECT_EQ(der[1], 0x81);
+  EXPECT_EQ(der[2], 200);
+  EXPECT_EQ(der.size(), 203u);
+}
+
+TEST(Der, VeryLongFormLength) {
+  const Bytes content(70000, 0x01);
+  const Bytes der = encode_octet_string(content);
+  EXPECT_EQ(der[1], 0x83);  // three length octets
+  Reader r(der);
+  const auto tlv = r.read(Tag::kOctetString);
+  ASSERT_TRUE(tlv.has_value());
+  EXPECT_EQ(tlv->content.size(), 70000u);
+}
+
+TEST(Der, BitStringPrependsUnusedBits) {
+  const Bytes der = encode_bit_string(Bytes{0xde, 0xad});
+  EXPECT_EQ(hex_encode(der), "030300dead");
+}
+
+// --- reader ------------------------------------------------------------------
+
+TEST(Reader, ReadsNestedSequence) {
+  Bytes inner;
+  util::append(inner, encode_integer(std::int64_t{42}));
+  util::append(inner, encode_boolean(true));
+  const Bytes der = encode_sequence(inner);
+  Reader r(der);
+  const auto seq = r.read(Tag::kSequence);
+  ASSERT_TRUE(seq.has_value());
+  EXPECT_TRUE(r.at_end());
+  Reader body(seq->content);
+  EXPECT_EQ(body.read_small_integer(), 42);
+  EXPECT_EQ(body.read_boolean(), true);
+  EXPECT_TRUE(body.at_end());
+}
+
+TEST(Reader, TagMismatchDoesNotConsume) {
+  const Bytes der = encode_boolean(true);
+  Reader r(der);
+  EXPECT_FALSE(r.read(Tag::kInteger).has_value());
+  EXPECT_EQ(r.read_boolean(), true);  // still readable
+}
+
+TEST(Reader, RejectsTruncatedLength) {
+  Bytes der = encode_octet_string(Bytes(200, 1));
+  der.resize(2);  // tag + first length byte, missing the rest
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().has_value());
+}
+
+TEST(Reader, RejectsContentOverrun) {
+  Bytes der = {0x04, 0x05, 0x01, 0x02};  // claims 5 bytes, has 2
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().has_value());
+}
+
+TEST(Reader, RejectsIndefiniteLength) {
+  const Bytes der = {0x30, 0x80, 0x00, 0x00};
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().has_value());
+}
+
+TEST(Reader, RejectsHighTagNumberForm) {
+  const Bytes der = {0x1f, 0x81, 0x01, 0x00};
+  Reader r(der);
+  EXPECT_FALSE(r.read_any().has_value());
+}
+
+TEST(Reader, IntegerRejectsNegativeAsBignum) {
+  const Bytes der = encode_integer(std::int64_t{-5});
+  Reader r(der);
+  EXPECT_FALSE(r.read_integer().has_value());
+}
+
+TEST(Reader, SmallIntegerSignExtends) {
+  const Bytes der = encode_integer(std::int64_t{-42});
+  Reader r(der);
+  EXPECT_EQ(r.read_small_integer(), -42);
+}
+
+TEST(Reader, FullBufferParseRejectsTrailing) {
+  Bytes der = encode_null();
+  der.push_back(0x00);
+  EXPECT_FALSE(parse_single(der).has_value());
+}
+
+// --- time --------------------------------------------------------------------
+
+TEST(DerTime, UtcTimeRange) {
+  const util::UnixTime t = util::make_date(2014, 7, 1) + 3661;
+  const Bytes der = encode_time(t);
+  EXPECT_EQ(der[0], static_cast<std::uint8_t>(Tag::kUtcTime));
+  Reader r(der);
+  EXPECT_EQ(r.read_time(), t);
+}
+
+TEST(DerTime, GeneralizedTimeBefore1950) {
+  const util::UnixTime t = util::make_date(1940, 1, 2);
+  const Bytes der = encode_time(t);
+  EXPECT_EQ(der[0], static_cast<std::uint8_t>(Tag::kGeneralizedTime));
+  Reader r(der);
+  EXPECT_EQ(r.read_time(), t);
+}
+
+TEST(DerTime, GeneralizedTimeFarFuture) {
+  const util::UnixTime t = util::make_date(3000, 6, 15);
+  const Bytes der = encode_time(t);
+  EXPECT_EQ(der[0], static_cast<std::uint8_t>(Tag::kGeneralizedTime));
+  Reader r(der);
+  EXPECT_EQ(r.read_time(), t);
+}
+
+TEST(DerTime, Year10000ClampsTo9999) {
+  const util::UnixTime t = util::make_date(12000, 1, 1);
+  const Bytes der = encode_time(t);
+  Reader r(der);
+  const auto back = r.read_time();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(util::from_unix(*back).year, 9999);
+}
+
+TEST(DerTime, UtcTimeCenturyPivot) {
+  // YY >= 50 is 19YY, YY < 50 is 20YY (RFC 5280).
+  {
+    const Bytes der = encode_time(util::make_date(1975, 3, 3));
+    Reader r(der);
+    EXPECT_EQ(util::from_unix(*r.read_time()).year, 1975);
+  }
+  {
+    const Bytes der = encode_time(util::make_date(2049, 3, 3));
+    Reader r(der);
+    EXPECT_EQ(util::from_unix(*r.read_time()).year, 2049);
+  }
+}
+
+TEST(DerTime, RejectsMalformedTimeStrings) {
+  // Hand-build a UTCTime with a bad month.
+  const std::string bad = "149913073000Z";  // month 99... wait: YYMMDD
+  Bytes der;
+  der.push_back(static_cast<std::uint8_t>(Tag::kUtcTime));
+  der.push_back(static_cast<std::uint8_t>(bad.size()));
+  for (char c : bad) der.push_back(static_cast<std::uint8_t>(c));
+  Reader r(der);
+  EXPECT_FALSE(r.read_time().has_value());
+}
+
+// Property sweep: encode_time/read_time round-trips across eras.
+class TimeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeRoundTrip, RoundTrips) {
+  const util::UnixTime t =
+      util::make_date(GetParam(), 5, 17) + 11 * 3600 + 22 * 60 + 33;
+  const Bytes der = encode_time(t);
+  Reader r(der);
+  EXPECT_EQ(r.read_time(), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, TimeRoundTrip,
+                         ::testing::Values(1951, 1970, 1999, 2000, 2012, 2049,
+                                           2050, 2100, 3000, 4750, 9999));
+
+// --- context tags --------------------------------------------------------------
+
+TEST(Der, ContextTags) {
+  const Bytes inner = encode_integer(std::int64_t{2});
+  const Bytes wrapped = encode_context(0, inner);
+  EXPECT_EQ(wrapped[0], 0xa0);
+  Reader r(wrapped);
+  const auto tlv = r.read_tag(context_constructed(0));
+  ASSERT_TRUE(tlv.has_value());
+  Reader body(tlv->content);
+  EXPECT_EQ(body.read_small_integer(), 2);
+}
+
+TEST(Der, StringTypes) {
+  const Bytes utf8_der = encode_utf8_string("fritz.box");
+  Reader utf8(utf8_der);
+  EXPECT_EQ(utf8.read_string(), "fritz.box");
+  const Bytes printable_der = encode_printable_string("US");
+  Reader printable(printable_der);
+  EXPECT_EQ(printable.read_string(), "US");
+  const Bytes ia5_der = encode_ia5_string("http://crl.example.com");
+  Reader ia5(ia5_der);
+  EXPECT_EQ(ia5.read_string(), "http://crl.example.com");
+}
+
+TEST(Der, TlvFullCoversHeaderAndContent) {
+  const Bytes der = encode_octet_string(Bytes{1, 2, 3});
+  Reader r(der);
+  const auto tlv = r.read_any();
+  ASSERT_TRUE(tlv.has_value());
+  EXPECT_EQ(tlv->full.size(), der.size());
+  EXPECT_EQ(tlv->content.size(), 3u);
+}
+
+// --- pretty-printer -------------------------------------------------------------
+
+TEST(Print, TagNames) {
+  EXPECT_EQ(tag_name(0x30), "SEQUENCE");
+  EXPECT_EQ(tag_name(0x02), "INTEGER");
+  EXPECT_EQ(tag_name(0xa0), "[0]");
+  EXPECT_EQ(tag_name(0x82), "[2] (primitive)");
+  EXPECT_EQ(tag_name(0x7f), "tag 0x7f");
+}
+
+TEST(Print, RendersDecodedPrimitives) {
+  Bytes children;
+  util::append(children, encode_integer(std::int64_t{12345}));
+  util::append(children, encode_oid(oids::common_name()));
+  util::append(children, encode_utf8_string("fritz.box"));
+  util::append(children, encode_boolean(true));
+  util::append(children, encode_time(util::make_date(2014, 7, 1)));
+  const Bytes der = encode_sequence(children);
+  const std::string text = to_text(der);
+  EXPECT_NE(text.find("SEQUENCE"), std::string::npos);
+  EXPECT_NE(text.find("INTEGER 12345"), std::string::npos);
+  EXPECT_NE(text.find("OBJECT IDENTIFIER 2.5.4.3"), std::string::npos);
+  EXPECT_NE(text.find("UTF8String \"fritz.box\""), std::string::npos);
+  EXPECT_NE(text.find("BOOLEAN TRUE"), std::string::npos);
+  EXPECT_NE(text.find("2014-07-01"), std::string::npos);
+  // Children are indented under the sequence.
+  EXPECT_NE(text.find("\n  INTEGER"), std::string::npos);
+}
+
+TEST(Print, MalformedDegradesToHex) {
+  const Bytes junk = {0x30, 0x10, 0x02};  // sequence claiming 16 bytes
+  const std::string text = to_text(junk);
+  EXPECT_NE(text.find("!malformed"), std::string::npos);
+}
+
+TEST(Print, DepthGuard) {
+  Bytes der = encode_null();
+  for (int i = 0; i < 40; ++i) der = encode_sequence(der);
+  PrintOptions options;
+  options.max_depth = 5;
+  const std::string text = to_text(der, options);
+  EXPECT_NE(text.find("(max depth)"), std::string::npos);
+}
+
+TEST(Print, LongValuesTruncated) {
+  const Bytes der = encode_octet_string(Bytes(100, 0xab));
+  const std::string text = to_text(der);
+  EXPECT_NE(text.find(".."), std::string::npos);
+  EXPECT_NE(text.find("(100 bytes)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sm::asn1

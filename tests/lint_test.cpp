@@ -1,0 +1,230 @@
+// Tests for sm::pki::lint — each check fires on exactly the pathology it
+// codifies, clean certificates pass, and the aggregate summary counts.
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "pki/lint.h"
+#include "util/prng.h"
+#include "x509/builder.h"
+
+namespace sm::pki {
+namespace {
+
+using crypto::SigScheme;
+using x509::CertificateBuilder;
+using x509::Name;
+
+crypto::SigningKey sim_key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::generate_keypair(SigScheme::kSimSha256, rng);
+}
+
+bool has_check(const std::vector<LintFinding>& findings, LintCheck check) {
+  for (const LintFinding& finding : findings) {
+    if (finding.check == check) return true;
+  }
+  return false;
+}
+
+CertificateBuilder clean_leaf_builder(const crypto::SigningKey& key) {
+  CertificateBuilder builder;
+  builder.set_serial(bignum::BigUint(0xc0ffee))
+      .set_issuer(Name::with_common_name("Issuing CA"))
+      .set_subject(Name::with_common_name("www.example.com"))
+      .set_validity(util::make_date(2014, 1, 1), util::make_date(2015, 1, 1))
+      .set_public_key(key.pub)
+      .set_subject_alt_names({{x509::GeneralName::Kind::kDns,
+                               "www.example.com"}})
+      .set_authority_key_id({1, 2, 3});
+  return builder;
+}
+
+TEST(Lint, CleanLeafHasNoFindings) {
+  const auto key = sim_key(1);
+  const auto cert = clean_leaf_builder(key).sign(key);
+  const auto findings = lint_certificate(cert);
+  EXPECT_TRUE(findings.empty())
+      << "unexpected: " << to_string(findings.front().check);
+}
+
+TEST(Lint, NegativeValidityIsError) {
+  const auto key = sim_key(2);
+  const auto cert = clean_leaf_builder(key)
+                        .set_validity(util::make_date(2015, 1, 1),
+                                      util::make_date(2014, 1, 1))
+                        .sign(key);
+  const auto findings = lint_certificate(cert);
+  ASSERT_TRUE(has_check(findings, LintCheck::kNegativeValidity));
+  EXPECT_EQ(findings.front().severity, LintSeverity::kError);
+  // A never-valid cert is not additionally nagged about length ceilings.
+  EXPECT_FALSE(has_check(findings, LintCheck::kLongValidity));
+}
+
+TEST(Lint, TwentyYearDeviceCertFlagsLongAndEpochAndFuture) {
+  const auto key = sim_key(3);
+  const auto cert =
+      clean_leaf_builder(key)
+          .set_validity(0, util::make_date(2100, 1, 1))
+          .sign(key);
+  const auto findings = lint_certificate(cert);
+  EXPECT_TRUE(has_check(findings, LintCheck::kLongValidity));
+  EXPECT_TRUE(has_check(findings, LintCheck::kAbsurdValidity));
+  EXPECT_TRUE(has_check(findings, LintCheck::kEpochNotBefore));
+  EXPECT_TRUE(has_check(findings, LintCheck::kFarFutureNotAfter));
+}
+
+TEST(Lint, EmptyNamesAndSelfIssued) {
+  const auto key = sim_key(4);
+  const auto empty_cert = CertificateBuilder()
+                              .set_serial(bignum::BigUint(2))
+                              .set_issuer(Name{})
+                              .set_subject(Name{})
+                              .set_validity(util::make_date(2014, 1, 1),
+                                            util::make_date(2015, 1, 1))
+                              .set_public_key(key.pub)
+                              .sign(key);
+  const auto findings = lint_certificate(empty_cert);
+  EXPECT_TRUE(has_check(findings, LintCheck::kEmptySubject));
+  EXPECT_TRUE(has_check(findings, LintCheck::kEmptyIssuer));
+  // Empty == empty, but "self-issued" only fires on non-empty names.
+  EXPECT_FALSE(has_check(findings, LintCheck::kSelfIssued));
+
+  const auto self_issued =
+      CertificateBuilder()
+          .set_serial(bignum::BigUint(3))
+          .set_issuer(Name::with_common_name("fritz.box"))
+          .set_subject(Name::with_common_name("fritz.box"))
+          .set_validity(util::make_date(2014, 1, 1),
+                        util::make_date(2015, 1, 1))
+          .set_public_key(key.pub)
+          .set_subject_alt_names({{x509::GeneralName::Kind::kDns, "fritz.box"}})
+          .sign(key);
+  EXPECT_TRUE(
+      has_check(lint_certificate(self_issued), LintCheck::kSelfIssued));
+}
+
+TEST(Lint, IpCommonNames) {
+  const auto key = sim_key(5);
+  const auto make_with_cn = [&](const std::string& cn) {
+    return CertificateBuilder()
+        .set_serial(bignum::BigUint(7))
+        .set_issuer(Name::with_common_name("ca"))
+        .set_subject(Name::with_common_name(cn))
+        .set_validity(util::make_date(2014, 1, 1),
+                      util::make_date(2015, 1, 1))
+        .set_public_key(key.pub)
+        .set_authority_key_id({1})
+        .sign(key);
+  };
+  EXPECT_TRUE(has_check(lint_certificate(make_with_cn("192.168.1.1")),
+                        LintCheck::kPrivateIpCommonName));
+  EXPECT_TRUE(has_check(lint_certificate(make_with_cn("8.8.8.8")),
+                        LintCheck::kIpAddressCommonName));
+  // An IP CN is not nagged about missing SANs.
+  EXPECT_FALSE(has_check(lint_certificate(make_with_cn("192.168.1.1")),
+                         LintCheck::kMissingSan));
+}
+
+TEST(Lint, FixedSerialAndMissingSanAndAki) {
+  const auto key = sim_key(6);
+  const auto cert = CertificateBuilder()
+                        .set_serial(bignum::BigUint(1))
+                        .set_issuer(Name::with_common_name("vendor ca"))
+                        .set_subject(Name::with_common_name("device.local"))
+                        .set_validity(util::make_date(2014, 1, 1),
+                                      util::make_date(2015, 1, 1))
+                        .set_public_key(key.pub)
+                        .sign(key);
+  const auto findings = lint_certificate(cert);
+  EXPECT_TRUE(has_check(findings, LintCheck::kFixedSerialNumber));
+  EXPECT_TRUE(has_check(findings, LintCheck::kMissingSan));
+  EXPECT_TRUE(has_check(findings, LintCheck::kMissingAki));
+}
+
+TEST(Lint, IllegalVersion) {
+  const auto key = sim_key(7);
+  const auto cert = clean_leaf_builder(key).set_raw_version(12).sign(key);
+  const auto findings = lint_certificate(cert);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_TRUE(has_check(findings, LintCheck::kIllegalVersion));
+  EXPECT_EQ(findings.front().severity, LintSeverity::kError);
+}
+
+TEST(Lint, CaWithoutSki) {
+  const auto key = sim_key(8);
+  const auto ca = CertificateBuilder()
+                      .set_serial(bignum::BigUint(100))
+                      .set_issuer(Name::with_common_name("Root"))
+                      .set_subject(Name::with_common_name("Root"))
+                      .set_validity(util::make_date(2010, 1, 1),
+                                    util::make_date(2035, 1, 1))
+                      .set_public_key(key.pub)
+                      .set_basic_constraints(true)
+                      .sign(key);
+  EXPECT_TRUE(has_check(lint_certificate(ca),
+                        LintCheck::kCaWithoutKeyIdentifier));
+  // CA certs are exempt from the 39-month leaf ceiling.
+  EXPECT_FALSE(has_check(lint_certificate(ca), LintCheck::kLongValidity));
+}
+
+TEST(Lint, WeakRsaKey) {
+  util::Rng rng(9);
+  const auto weak_key =
+      crypto::generate_keypair(SigScheme::kRsaSha256, rng, 512);
+  const auto cert = clean_leaf_builder(weak_key).sign(weak_key);
+  EXPECT_TRUE(has_check(lint_certificate(cert), LintCheck::kWeakRsaKey));
+  LintOptions lax;
+  lax.min_rsa_bits = 512;
+  EXPECT_FALSE(has_check(lint_certificate(cert, lax), LintCheck::kWeakRsaKey));
+}
+
+TEST(Lint, FindingsSortedBySeverity) {
+  const auto key = sim_key(10);
+  const auto cert = CertificateBuilder()
+                        .set_raw_version(12)
+                        .set_serial(bignum::BigUint(1))
+                        .set_issuer(Name{})
+                        .set_subject(Name{})
+                        .set_validity(util::make_date(2015, 1, 1),
+                                      util::make_date(2014, 1, 1))
+                        .set_public_key(key.pub)
+                        .sign(key);
+  const auto findings = lint_certificate(cert);
+  ASSERT_GE(findings.size(), 3u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(static_cast<int>(findings[i - 1].severity),
+              static_cast<int>(findings[i].severity));
+  }
+}
+
+TEST(Lint, SummaryAggregates) {
+  const auto key = sim_key(11);
+  std::vector<x509::Certificate> certs;
+  certs.push_back(clean_leaf_builder(key).sign(key));  // clean
+  certs.push_back(clean_leaf_builder(key)
+                      .set_validity(util::make_date(2015, 1, 1),
+                                    util::make_date(2014, 1, 1))
+                      .sign(key));  // error
+  certs.push_back(clean_leaf_builder(key)
+                      .set_serial(bignum::BigUint(1))
+                      .sign(key));  // warning
+  const LintSummary summary = lint_all(certs);
+  EXPECT_EQ(summary.certificates, 3u);
+  EXPECT_EQ(summary.with_errors, 1u);
+  EXPECT_EQ(summary.with_warnings, 1u);  // only the fixed-serial cert warns
+  EXPECT_EQ(summary.by_check[static_cast<std::size_t>(
+                LintCheck::kNegativeValidity)],
+            1u);
+  EXPECT_EQ(summary.by_check[static_cast<std::size_t>(
+                LintCheck::kFixedSerialNumber)],
+            1u);
+}
+
+TEST(Lint, Names) {
+  EXPECT_EQ(to_string(LintCheck::kNegativeValidity), "negative-validity");
+  EXPECT_EQ(to_string(LintCheck::kWeakRsaKey), "weak-rsa-key");
+  EXPECT_EQ(to_string(LintSeverity::kError), "error");
+}
+
+}  // namespace
+}  // namespace sm::pki

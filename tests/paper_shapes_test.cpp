@@ -1,0 +1,215 @@
+// Golden-shape integration test: runs the full pipeline on a medium world
+// and asserts that every headline result from the paper holds in direction
+// and rough magnitude. This is the regression net for the calibrated
+// vendor/ISP models — if a refactor bends a distribution, it fails here
+// before it reaches EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "analysis/discrepancy.h"
+#include "analysis/diversity.h"
+#include "analysis/longevity.h"
+#include "linking/linker.h"
+#include "simworld/world.h"
+#include "tracking/tracker.h"
+
+namespace sm {
+namespace {
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The full experiment configuration: shape assertions are calibrated
+    // against it and several (AS concentration, §6.4.4's single-scan drop)
+    // are scale-sensitive below a few thousand devices.
+    const simworld::WorldConfig config = simworld::WorldConfig::paper();
+    world_ = new simworld::WorldResult(simworld::World(config).run());
+    index_ = new analysis::DatasetIndex(world_->archive, world_->routing);
+    linker_ = new linking::Linker(*index_);
+    linked_ = new linking::IterativeResult(linker_->link_iteratively());
+  }
+  static void TearDownTestSuite() {
+    delete linked_;
+    delete linker_;
+    delete index_;
+    delete world_;
+    linked_ = nullptr;
+    linker_ = nullptr;
+    index_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static simworld::WorldResult* world_;
+  static analysis::DatasetIndex* index_;
+  static linking::Linker* linker_;
+  static linking::IterativeResult* linked_;
+};
+
+simworld::WorldResult* PaperShapes::world_ = nullptr;
+analysis::DatasetIndex* PaperShapes::index_ = nullptr;
+linking::Linker* PaperShapes::linker_ = nullptr;
+linking::IterativeResult* PaperShapes::linked_ = nullptr;
+
+TEST_F(PaperShapes, Section42ValidityBreakdown) {
+  const auto vb = analysis::compute_validity_breakdown(world_->archive);
+  // Paper: 87.9% invalid; 88.0% self-signed / 11.99% untrusted / 0.01%
+  // other among invalid.
+  EXPECT_GT(vb.invalid_fraction(), 0.80);
+  EXPECT_LT(vb.invalid_fraction(), 0.95);
+  const double denom = static_cast<double>(vb.invalid_certs);
+  EXPECT_NEAR(static_cast<double>(vb.self_signed) / denom, 0.88, 0.06);
+  EXPECT_NEAR(static_cast<double>(vb.untrusted_issuer) / denom, 0.12, 0.06);
+  EXPECT_LT(static_cast<double>(vb.other_invalid) / denom, 0.01);
+}
+
+TEST_F(PaperShapes, Figure2PerScanFractions) {
+  const auto series = analysis::compute_scan_series(world_->archive);
+  double fraction_sum = 0;
+  for (const auto& row : series) fraction_sum += row.invalid_fraction();
+  const double mean = fraction_sum / static_cast<double>(series.size());
+  // Paper: per-scan invalid fraction averages 65.0%, range 59.6-73.7%.
+  EXPECT_GT(mean, 0.55);
+  EXPECT_LT(mean, 0.75);
+}
+
+TEST_F(PaperShapes, Figure3ValidityPeriods) {
+  const auto vp = analysis::compute_validity_periods(world_->archive);
+  // Paper: valid median 1.1y; invalid median 20y; 5.38% negative.
+  EXPECT_NEAR(vp.valid_days.median() / 365.0, 1.1, 0.3);
+  EXPECT_NEAR(vp.invalid_days.median() / 365.0, 20.0, 3.0);
+  EXPECT_GT(vp.invalid_negative_fraction, 0.02);
+  EXPECT_LT(vp.invalid_negative_fraction, 0.09);
+  EXPECT_GT(vp.invalid_days.max(), 300000);  // year-3000 tail
+}
+
+TEST_F(PaperShapes, Figure4Lifetimes) {
+  const auto lt = analysis::compute_lifetimes(*index_);
+  // Paper: valid median 274d; invalid median one day; ~60% single-scan.
+  EXPECT_EQ(lt.invalid_days.median(), 1.0);
+  EXPECT_GT(lt.valid_days.median(), 100.0);
+  EXPECT_GT(lt.invalid_single_scan_fraction, 0.5);
+  EXPECT_LT(lt.invalid_single_scan_fraction, 0.8);
+}
+
+TEST_F(PaperShapes, Figure5NotBeforeDeltas) {
+  const auto nb = analysis::compute_notbefore_deltas(*index_);
+  // Paper: bimodal — most under 4 days, a stuck-clock mode over 1000 days,
+  // and a small negative tail.
+  EXPECT_GT(nb.under_four_days_fraction, 0.4);
+  EXPECT_GT(nb.over_thousand_days_fraction, 0.08);
+  EXPECT_GT(nb.negative_fraction, 0.0);
+  EXPECT_LT(nb.negative_fraction, 0.08);
+}
+
+TEST_F(PaperShapes, Figure6KeySharing) {
+  const auto kd = analysis::compute_key_diversity(world_->archive);
+  // Paper: >47% of invalid share keys; one key (Lancom) alone holds 6.5%.
+  EXPECT_GT(kd.invalid_shared_fraction, 0.35);
+  EXPECT_GT(kd.top_invalid_key_share, 0.03);
+  EXPECT_LT(kd.top_invalid_key_share, 0.20);
+  // Invalid certs share keys more than valid ones.
+  EXPECT_GT(kd.invalid_shared_fraction, kd.valid_shared_fraction);
+}
+
+TEST_F(PaperShapes, Figures7And8HostAndAsDiversity) {
+  const auto hd = analysis::compute_host_diversity(*index_);
+  // Paper: invalid p99 = 2.0 IPs vs valid 11.3 (CDN replication).
+  EXPECT_LE(hd.invalid_p99, 2.5);
+  EXPECT_GT(hd.valid_p99, 3.0);
+  EXPECT_GT(hd.valid_avg_ips.max(), hd.invalid_avg_ips.max());
+
+  const auto ad = analysis::compute_as_diversity(*index_);
+  // Invalid certs are more AS-concentrated than valid ones.
+  EXPECT_LE(ad.invalid_ases_for_70, ad.valid_ases_for_70 + 1);
+}
+
+TEST_F(PaperShapes, Table1TopIssuers) {
+  const auto id = analysis::compute_issuer_diversity(world_->archive);
+  ASSERT_GE(id.top_invalid.size(), 3u);
+  // Lancom leads, with 192.168.1.1 and the empty string close behind.
+  EXPECT_EQ(id.top_invalid[0].issuer, "www.lancom-systems.de");
+  std::set<std::string> top3 = {id.top_invalid[0].issuer,
+                                id.top_invalid[1].issuer,
+                                id.top_invalid[2].issuer};
+  EXPECT_TRUE(top3.contains("192.168.1.1"));
+  EXPECT_TRUE(top3.contains("(Empty string)"));
+  // Valid issuers are the familiar CAs.
+  ASSERT_FALSE(id.top_valid.empty());
+  EXPECT_EQ(id.top_valid[0].issuer, "Go Daddy Secure Certification Authority");
+}
+
+TEST_F(PaperShapes, Table2AsTypes) {
+  const auto breakdown =
+      analysis::compute_as_type_breakdown(*index_, world_->as_db);
+  // Paper: 94.1% of invalid from transit/access; content ASes mostly valid.
+  EXPECT_GT(breakdown.shares.at(net::AsType::kTransitAccess).second, 0.85);
+  EXPECT_GT(breakdown.shares.at(net::AsType::kContent).first,
+            breakdown.shares.at(net::AsType::kContent).second);
+}
+
+TEST_F(PaperShapes, Table6LinkingShapes) {
+  const auto fields = linker_->evaluate_all_fields();
+  const auto find = [&](linking::Feature f) -> const linking::FieldResult& {
+    for (const auto& field : fields) {
+      if (field.feature == f) return field;
+    }
+    throw std::logic_error("missing");
+  };
+  const auto& pk = find(linking::Feature::kPublicKey);
+  const auto& cn = find(linking::Feature::kCommonName);
+  // Paper: Public Key links the most; AS-consistency far above IP-level.
+  EXPECT_GE(pk.total_linked + 1000, cn.total_linked);
+  EXPECT_GT(pk.consistency.as_level, 0.9);
+  EXPECT_GT(pk.consistency.as_level, pk.consistency.ip + 0.2);
+  EXPECT_GE(pk.consistency.slash24, pk.consistency.ip);
+}
+
+TEST_F(PaperShapes, Section64LinkingGain) {
+  const auto gain = linker_->compare_with_original(*linked_);
+  // Paper: linking merges ~39.4% of certs and lifts the mean lifetime.
+  const double linked_fraction =
+      static_cast<double>(linked_->linked_certs) /
+      static_cast<double>(linker_->eligible_count());
+  EXPECT_GT(linked_fraction, 0.3);
+  EXPECT_LT(linked_fraction, 0.65);
+  EXPECT_GT(gain.mean_lifetime_after_days, gain.mean_lifetime_before_days);
+  EXPECT_LT(gain.single_scan_fraction_after,
+            gain.single_scan_fraction_before);
+  // Ground-truth precision stays essentially perfect.
+  const auto truth = linker_->score_against_truth(*linked_);
+  EXPECT_GE(truth.precision(), 0.99);
+}
+
+TEST_F(PaperShapes, Section7Tracking) {
+  const tracking::DeviceTracker tracker(*index_, *linker_, *linked_,
+                                        world_->as_db);
+  const auto summary = tracker.summary();
+  // Paper: +17.2% trackable devices from linking.
+  EXPECT_GT(summary.trackable_with_linking,
+            summary.trackable_without_linking);
+  EXPECT_LT(summary.improvement(), 0.8);
+
+  const auto movement = tracker.movement();
+  EXPECT_GT(movement.devices_with_as_change, 0u);
+  // Paper: most movers move exactly once.
+  EXPECT_GT(movement.single_move_fraction, 0.5);
+
+  const auto reassignment = tracker.reassignment();
+  EXPECT_GT(reassignment.per_as.size(), 10u);
+  // Paper: a majority-ish of ASes are >=90% static, and a handful of
+  // fully-dynamic ASes exist.
+  EXPECT_GT(static_cast<double>(reassignment.ases_90pct_static) /
+                static_cast<double>(reassignment.per_as.size()),
+            0.3);
+  EXPECT_FALSE(reassignment.most_dynamic.empty());
+}
+
+TEST_F(PaperShapes, Figure1Discrepancy) {
+  const auto disc = analysis::compute_scan_discrepancy(world_->archive);
+  ASSERT_TRUE(disc.has_value());
+  // Rapid7's blacklist is larger, so its scans see fewer hosts.
+  EXPECT_LT(disc->rapid7_total_hosts, disc->umich_total_hosts);
+  EXPECT_GT(disc->per_slash8.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sm

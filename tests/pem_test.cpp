@@ -1,0 +1,132 @@
+// Tests for sm::x509 PEM/base64 — codec vectors, armor round-trips, and
+// lenient multi-block parsing of messy bundles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/signature.h"
+#include "util/prng.h"
+#include "x509/builder.h"
+#include "x509/pem.h"
+
+namespace sm::x509 {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+// --- base64 (RFC 4648 vectors) ------------------------------------------------
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), to_bytes("foobar"));
+  EXPECT_EQ(base64_decode("Zg=="), to_bytes("f"));
+  EXPECT_EQ(base64_decode(""), Bytes{});
+}
+
+TEST(Base64, IgnoresWhitespace) {
+  EXPECT_EQ(base64_decode("Zm9v\nYmFy"), to_bytes("foobar"));
+  EXPECT_EQ(base64_decode("  Zm9v YmFy \r\n"), to_bytes("foobar"));
+}
+
+TEST(Base64, RejectsBadInput) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());  // data after padding
+  EXPECT_FALSE(base64_decode("====").has_value());
+}
+
+TEST(Base64, RoundTripBinary) {
+  util::Rng rng(5);
+  for (std::size_t size : {1u, 2u, 3u, 4u, 31u, 32u, 33u, 255u, 1000u}) {
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto back = base64_decode(base64_encode(data));
+    ASSERT_TRUE(back.has_value()) << size;
+    EXPECT_EQ(*back, data) << size;
+  }
+}
+
+// --- PEM --------------------------------------------------------------------
+
+Certificate sample_cert() {
+  util::Rng rng(9);
+  const auto key =
+      crypto::generate_keypair(crypto::SigScheme::kSimSha256, rng);
+  return CertificateBuilder()
+      .set_serial(bignum::BigUint(5))
+      .set_issuer(Name::with_common_name("pem test"))
+      .set_subject(Name::with_common_name("pem test"))
+      .set_validity(0, util::make_date(2033, 1, 1))
+      .set_public_key(key.pub)
+      .sign(key);
+}
+
+TEST(Pem, CertificateRoundTrip) {
+  const Certificate cert = sample_cert();
+  const std::string pem = to_pem(cert);
+  EXPECT_EQ(pem.rfind("-----BEGIN CERTIFICATE-----\n", 0), 0u);
+  EXPECT_NE(pem.find("-----END CERTIFICATE-----"), std::string::npos);
+  // Body lines wrapped at 64 columns.
+  std::size_t line_start = pem.find('\n') + 1;
+  const std::size_t line_end = pem.find('\n', line_start);
+  EXPECT_LE(line_end - line_start, 64u);
+
+  const auto certs = certificates_from_pem(pem);
+  ASSERT_EQ(certs.size(), 1u);
+  EXPECT_EQ(certs[0].der, cert.der);
+  EXPECT_EQ(certs[0].subject.common_name(), "pem test");
+}
+
+TEST(Pem, MultipleBlocksWithProse) {
+  const Certificate cert = sample_cert();
+  const std::string bundle = "# Root bundle, updated 2014\n" + to_pem(cert) +
+                             "\nsome commentary between blocks\n" +
+                             to_pem(cert) + "trailing junk";
+  const auto blocks = pem_decode_all(bundle);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].label, "CERTIFICATE");
+  EXPECT_EQ(blocks[0].der, cert.der);
+  EXPECT_EQ(certificates_from_pem(bundle).size(), 2u);
+}
+
+TEST(Pem, NonCertificateBlocksAreSkippedByCertParser) {
+  const std::string key_block =
+      pem_encode(to_bytes("not really a key"), "PRIVATE KEY");
+  const auto blocks = pem_decode_all(key_block);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].label, "PRIVATE KEY");
+  EXPECT_TRUE(certificates_from_pem(key_block).empty());
+}
+
+TEST(Pem, MalformedBlocksSkipped) {
+  // Unterminated block, garbage body, and label mismatch.
+  EXPECT_TRUE(pem_decode_all("-----BEGIN CERTIFICATE-----\nZm9v").empty());
+  EXPECT_TRUE(
+      pem_decode_all("-----BEGIN CERTIFICATE-----\n!!!\n"
+                     "-----END CERTIFICATE-----\n")
+          .empty());
+  const Certificate cert = sample_cert();
+  std::string wrong_label = to_pem(cert);
+  const std::size_t end = wrong_label.find("-----END CERTIFICATE-----");
+  wrong_label.replace(end, std::strlen("-----END CERTIFICATE-----"),
+                      "-----END X509 CRL-----");
+  EXPECT_TRUE(pem_decode_all(wrong_label).empty());
+}
+
+TEST(Pem, StructurallyInvalidCertificateSkipped) {
+  const std::string pem = pem_encode(to_bytes("not der at all"), "CERTIFICATE");
+  EXPECT_EQ(pem_decode_all(pem).size(), 1u);   // block decodes...
+  EXPECT_TRUE(certificates_from_pem(pem).empty());  // ...cert parse fails
+}
+
+}  // namespace
+}  // namespace sm::x509

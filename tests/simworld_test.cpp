@@ -1,0 +1,307 @@
+// Tests for sm::simworld — topology construction, vendor profiles, and
+// end-to-end properties of a small simulated world: determinism, the
+// invalid/valid mix, vendor pathologies (shared keys, German churn,
+// negative validity), and scan-duplicate artifacts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "simworld/isp.h"
+#include "simworld/vendor.h"
+#include "simworld/world.h"
+
+namespace sm::simworld {
+namespace {
+
+// --- ISPs / topology ---------------------------------------------------------
+
+TEST(Isps, DefaultTopologyIsSane) {
+  const auto isps = default_isps();
+  EXPECT_GT(isps.size(), 60u);
+  std::set<net::Asn> asns;
+  std::set<std::uint32_t> pool_starts;
+  for (const IspConfig& isp : isps) {
+    EXPECT_TRUE(asns.insert(isp.asn).second) << "duplicate ASN " << isp.asn;
+    EXPECT_FALSE(isp.pools.empty());
+    EXPECT_GE(isp.static_fraction, 0.0);
+    EXPECT_LE(isp.static_fraction, 1.0);
+    EXPECT_GT(isp.lease_seconds, 0);
+    for (const net::Prefix& pool : isp.pools) {
+      EXPECT_TRUE(pool_starts.insert(pool.address().value()).second)
+          << "overlapping pool " << pool.to_string();
+      EXPECT_EQ(pool.length(), 16u);
+      const std::uint32_t first_octet = pool.address().value() >> 24;
+      EXPECT_NE(first_octet, 10u);
+      EXPECT_NE(first_octet, 127u);
+      EXPECT_LT(first_octet, 224u);
+    }
+  }
+  // The paper's named ASes are present with correct metadata.
+  const auto find = [&](net::Asn a) -> const IspConfig* {
+    for (const IspConfig& isp : isps) {
+      if (isp.asn == a) return &isp;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find(asn::kDeutscheTelekom), nullptr);
+  EXPECT_EQ(find(asn::kDeutscheTelekom)->country, "DEU");
+  EXPECT_LT(find(asn::kDeutscheTelekom)->static_fraction, 0.3);
+  ASSERT_NE(find(asn::kComcast), nullptr);
+  EXPECT_GE(find(asn::kComcast)->static_fraction, 0.9);
+  ASSERT_NE(find(asn::kGoDaddy), nullptr);
+  EXPECT_EQ(find(asn::kGoDaddy)->type, net::AsType::kContent);
+}
+
+TEST(Isps, TransfersReferenceRealPools) {
+  const auto isps = default_isps();
+  const auto transfers = default_transfers(isps);
+  EXPECT_GE(transfers.size(), 2u);
+  for (const PrefixTransfer& t : transfers) {
+    bool found = false;
+    for (const IspConfig& isp : isps) {
+      if (isp.asn != t.from) continue;
+      for (const net::Prefix& pool : isp.pools) {
+        if (pool == t.prefix) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << t.prefix.to_string();
+  }
+}
+
+TEST(Isps, RoutingHistoryAppliesTransfers) {
+  const auto isps = default_isps();
+  const auto transfers = default_transfers(isps);
+  const auto history =
+      build_routing_history(isps, transfers, util::make_date(2012, 1, 1));
+  ASSERT_GE(history.snapshot_count(), transfers.size());
+  const PrefixTransfer& t = transfers.front();
+  const net::Ipv4Address probe(t.prefix.address().value() + 5);
+  EXPECT_EQ(history.at(t.when - 1)->lookup(probe), t.from);
+  EXPECT_EQ(history.at(t.when + 1)->lookup(probe), t.to);
+}
+
+TEST(Isps, AsDatabaseCoversAll) {
+  const auto isps = default_isps();
+  const auto db = build_as_database(isps);
+  EXPECT_EQ(db.size(), isps.size());
+  EXPECT_EQ(db.type_of(asn::kDeutscheTelekom), net::AsType::kTransitAccess);
+}
+
+// --- vendors ------------------------------------------------------------------
+
+TEST(Vendors, ProfilesCoverPaperPathologies) {
+  const auto vendors = default_vendor_profiles();
+  std::set<std::string> names;
+  bool has_global_shared = false, has_stable = false, has_fresh = false;
+  bool has_vendor_ca = false, has_empty = false, has_mac_issuer = false;
+  bool has_ip_cn = false, has_dyndns = false;
+  for (const VendorProfile& v : vendors) {
+    EXPECT_TRUE(names.insert(v.name).second);
+    EXPECT_GT(v.weight, 0.0);
+    has_global_shared |= v.key_policy == KeyPolicy::kGlobalShared;
+    has_stable |= v.key_policy == KeyPolicy::kStablePerDevice;
+    has_fresh |= v.key_policy == KeyPolicy::kFreshPerReissue;
+    has_vendor_ca |= v.issuer_policy == IssuerPolicy::kVendorCa;
+    has_empty |= v.cn_policy == CnPolicy::kEmpty;
+    has_mac_issuer |= v.issuer_policy == IssuerPolicy::kDeviceMac;
+    has_ip_cn |= v.cn_policy == CnPolicy::kPublicIp;
+    has_dyndns |= v.cn_policy == CnPolicy::kDynDns;
+  }
+  EXPECT_TRUE(has_global_shared);  // Lancom
+  EXPECT_TRUE(has_stable);         // FRITZ!Box
+  EXPECT_TRUE(has_fresh);          // generic routers
+  EXPECT_TRUE(has_vendor_ca);      // untrusted-issuer population
+  EXPECT_TRUE(has_empty);          // empty-string issuers
+  EXPECT_TRUE(has_mac_issuer);     // PlayBook
+  EXPECT_TRUE(has_ip_cn);          // IP-as-CN devices
+  EXPECT_TRUE(has_dyndns);         // myfritz.net names
+}
+
+TEST(Vendors, WebsiteProfilesAreTrustedAndReplicated) {
+  const auto sites = default_website_profiles();
+  EXPECT_GT(sites.size(), 10u);
+  bool has_cdn = false;
+  for (const VendorProfile& v : sites) {
+    EXPECT_EQ(v.issuer_policy, IssuerPolicy::kTrustedCa);
+    EXPECT_FALSE(v.fixed_issuer.empty());
+    has_cdn |= v.replication_max > 10;
+  }
+  EXPECT_TRUE(has_cdn);
+}
+
+// --- end-to-end world ------------------------------------------------------------
+
+class TinyWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    World world(WorldConfig::tiny());
+    result_ = new WorldResult(world.run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const WorldResult& result() { return *result_; }
+
+ private:
+  static WorldResult* result_;
+};
+
+WorldResult* TinyWorld::result_ = nullptr;
+
+TEST_F(TinyWorld, ProducesScansAndObservations) {
+  const auto& r = result();
+  EXPECT_GT(r.schedule.size(), 10u);
+  EXPECT_EQ(r.archive.scans().size(), r.schedule.size());
+  EXPECT_GT(r.archive.observation_count(), 1000u);
+  EXPECT_GT(r.archive.certs().size(), 200u);
+  // Issuance events can exceed unique certs: factory-identical
+  // certificates intern to a single record.
+  EXPECT_GE(r.issued_certificates, r.archive.certs().size());
+  EXPECT_EQ(r.roots.size(), 3u);
+}
+
+TEST_F(TinyWorld, InvalidCertsDominate) {
+  const auto& certs = result().archive.certs();
+  std::size_t invalid = 0;
+  for (const auto& cert : certs) {
+    if (!cert.valid) ++invalid;
+  }
+  const double frac =
+      static_cast<double>(invalid) / static_cast<double>(certs.size());
+  // Paper: 87.9% of unique certs are invalid. Loose band for a tiny world.
+  EXPECT_GT(frac, 0.70);
+  EXPECT_LT(frac, 0.99);
+}
+
+TEST_F(TinyWorld, SelfSignedDominateInvalids) {
+  std::size_t self_signed = 0, untrusted = 0, other = 0;
+  for (const auto& cert : result().archive.certs()) {
+    if (cert.valid) continue;
+    switch (cert.invalid_reason) {
+      case pki::InvalidReason::kSelfSigned:
+        ++self_signed;
+        break;
+      case pki::InvalidReason::kUntrustedIssuer:
+        ++untrusted;
+        break;
+      default:
+        ++other;
+    }
+  }
+  // Paper: 88.0% self-signed, 11.99% untrusted, 0.01% other.
+  EXPECT_GT(self_signed, untrusted);
+  EXPECT_GT(untrusted, 0u);
+  EXPECT_LT(other, self_signed / 5 + 10);
+}
+
+TEST_F(TinyWorld, SharedKeysExist) {
+  // The Lancom pathology: one key fingerprint spanning many certificates.
+  std::map<scan::KeyFingerprint, std::size_t> key_counts;
+  for (const auto& cert : result().archive.certs()) {
+    if (!cert.valid) ++key_counts[cert.key_fingerprint];
+  }
+  std::size_t max_count = 0;
+  for (const auto& [key, count] : key_counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, 20u);
+}
+
+TEST_F(TinyWorld, ObservationsCarryGroundTruth) {
+  std::set<scan::DeviceId> devices;
+  for (const auto& scan : result().archive.scans()) {
+    for (const auto& obs : scan.observations) {
+      EXPECT_NE(obs.device, scan::kNoDevice);
+      devices.insert(obs.device);
+    }
+  }
+  // Most of the simulated population should eventually be observed.
+  EXPECT_GT(devices.size(),
+            (result().true_device_count + result().true_website_count) / 2);
+}
+
+TEST_F(TinyWorld, ScanDuplicatesExist) {
+  // Devices changing IP mid-scan must occasionally be seen at two
+  // addresses in one scan — the artifact §6.2's filter handles.
+  std::size_t multi_ip_device_scans = 0;
+  for (const auto& scan : result().archive.scans()) {
+    std::map<scan::DeviceId, std::set<std::uint32_t>> ips_per_device;
+    for (const auto& obs : scan.observations) {
+      ips_per_device[obs.device].insert(obs.ip);
+    }
+    for (const auto& [device, ips] : ips_per_device) {
+      if (ips.size() >= 2) ++multi_ip_device_scans;
+    }
+  }
+  EXPECT_GT(multi_ip_device_scans, 0u);
+}
+
+TEST_F(TinyWorld, NegativeValidityExists) {
+  std::size_t negative = 0;
+  for (const auto& cert : result().archive.certs()) {
+    if (cert.not_after < cert.not_before) ++negative;
+  }
+  EXPECT_GT(negative, 0u);
+}
+
+TEST_F(TinyWorld, EveryObservedIpResolvesToAnAs) {
+  const auto& r = result();
+  for (const auto& scan : r.archive.scans()) {
+    const net::RouteTable* table = r.routing.at(scan.event.start);
+    ASSERT_NE(table, nullptr);
+    for (const auto& obs : scan.observations) {
+      EXPECT_TRUE(table->lookup(net::Ipv4Address(obs.ip)).has_value());
+    }
+  }
+}
+
+TEST_F(TinyWorld, BlacklistedIpsNeverObserved) {
+  const auto& r = result();
+  for (const auto& scan : r.archive.scans()) {
+    const scan::PrefixSet& blacklist =
+        scan.event.campaign == scan::Campaign::kUMich ? r.umich_blacklist
+                                                      : r.rapid7_blacklist;
+    for (const auto& obs : scan.observations) {
+      EXPECT_FALSE(blacklist.covers(net::Ipv4Address(obs.ip)));
+    }
+  }
+}
+
+TEST(WorldDeterminism, SameSeedSameWorld) {
+  WorldConfig config = WorldConfig::tiny();
+  config.device_count = 60;
+  config.website_count = 25;
+  config.schedule.scale = 0.08;
+  World w1(config), w2(config);
+  const WorldResult r1 = w1.run();
+  const WorldResult r2 = w2.run();
+  ASSERT_EQ(r1.archive.observation_count(), r2.archive.observation_count());
+  ASSERT_EQ(r1.archive.certs().size(), r2.archive.certs().size());
+  for (std::size_t s = 0; s < r1.archive.scans().size(); ++s) {
+    const auto& obs1 = r1.archive.scans()[s].observations;
+    const auto& obs2 = r2.archive.scans()[s].observations;
+    ASSERT_EQ(obs1.size(), obs2.size());
+    for (std::size_t i = 0; i < obs1.size(); ++i) {
+      EXPECT_EQ(obs1[i].cert, obs2[i].cert);
+      EXPECT_EQ(obs1[i].ip, obs2[i].ip);
+      EXPECT_EQ(obs1[i].device, obs2[i].device);
+    }
+  }
+}
+
+TEST(WorldDeterminism, DifferentSeedsDiffer) {
+  WorldConfig a = WorldConfig::tiny();
+  a.device_count = 60;
+  a.website_count = 25;
+  a.schedule.scale = 0.08;
+  WorldConfig b = a;
+  b.seed = a.seed + 1;
+  const WorldResult ra = World(a).run();
+  const WorldResult rb = World(b).run();
+  EXPECT_NE(ra.archive.observation_count(), rb.archive.observation_count());
+}
+
+}  // namespace
+}  // namespace sm::simworld

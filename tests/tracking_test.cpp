@@ -1,0 +1,257 @@
+// Tests for sm::tracking — entity construction, trackability, AS movement
+// and bulk transfers, country crossings, and reassignment inference.
+#include <gtest/gtest.h>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "simworld/world.h"
+#include "tracking/tracker.h"
+
+namespace sm::tracking {
+namespace {
+
+using scan::Campaign;
+using scan::CertId;
+using scan::CertRecord;
+using scan::ScanArchive;
+using scan::ScanEvent;
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+CertRecord make_record(std::uint64_t id, std::uint64_t key = 0) {
+  CertRecord rec;
+  for (int i = 0; i < 8; ++i) {
+    rec.fingerprint[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(id >> (8 * i));
+  }
+  rec.fingerprint[13] = 0xCC;
+  rec.key_fingerprint = key ? key : 0x4000 + id;
+  rec.subject_cn = "dev-" + std::to_string(id);
+  rec.not_before = 0;
+  rec.not_after = util::make_date(2033, 1, 1);
+  rec.valid = false;
+  rec.invalid_reason = pki::InvalidReason::kSelfSigned;
+  return rec;
+}
+
+struct TestWorld {
+  ScanArchive archive;
+  net::RoutingHistory routing;
+  net::AsDatabase as_db;
+
+  TestWorld() {
+    net::RouteTable table;
+    table.announce(*net::Prefix::parse("10.1.0.0/16"), 100);
+    table.announce(*net::Prefix::parse("10.2.0.0/16"), 200);
+    table.announce(*net::Prefix::parse("10.3.0.0/16"), 300);
+    routing.add_snapshot(0, table);
+    as_db.add(net::AsInfo{100, "ISP A", "USA", net::AsType::kTransitAccess});
+    as_db.add(net::AsInfo{200, "ISP B", "DEU", net::AsType::kTransitAccess});
+    as_db.add(net::AsInfo{300, "ISP C", "USA", net::AsType::kTransitAccess});
+  }
+
+  std::size_t add_scan(int day) {
+    return archive.begin_scan(
+        ScanEvent{Campaign::kUMich, day * kDay, 10 * 3600});
+  }
+};
+
+struct Pipeline {
+  analysis::DatasetIndex index;
+  linking::Linker linker;
+  linking::IterativeResult linked;
+
+  explicit Pipeline(const TestWorld& w)
+      : index(w.archive, w.routing),
+        linker(index),
+        linked(linker.link_iteratively()) {}
+};
+
+// --- trackability ---------------------------------------------------------------
+
+TEST(Tracker, SingleLongLivedCertIsTrackableWithoutLinking) {
+  TestWorld w;
+  const CertId cert = w.archive.intern(make_record(1));
+  for (int day : {0, 100, 200, 300, 400}) {
+    const std::size_t s = w.add_scan(day);
+    w.archive.add_observation(s, cert, 0x0a010005, 1);
+  }
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db);
+  const TrackableSummary summary = tracker.summary();
+  EXPECT_EQ(summary.trackable_without_linking, 1u);
+  EXPECT_EQ(summary.trackable_with_linking, 1u);
+}
+
+TEST(Tracker, LinkingExtendsTrackability) {
+  // Two 200-day certs from one device (shared key): individually under a
+  // year, linked they span 400 days.
+  TestWorld w;
+  const CertId c1 = w.archive.intern(make_record(1, 0x77));
+  const CertId c2 = w.archive.intern(make_record(2, 0x77));
+  for (int day : {0, 100, 200}) {
+    w.archive.add_observation(w.add_scan(day), c1, 0x0a010005, 1);
+  }
+  for (int day : {210, 300, 400}) {
+    w.archive.add_observation(w.add_scan(day), c2, 0x0a010005, 1);
+  }
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db);
+  const TrackableSummary summary = tracker.summary();
+  EXPECT_EQ(summary.trackable_without_linking, 0u);
+  EXPECT_EQ(summary.trackable_with_linking, 1u);
+}
+
+TEST(Tracker, ShortLivedEntitiesNotTrackable) {
+  TestWorld w;
+  const CertId cert = w.archive.intern(make_record(1));
+  w.archive.add_observation(w.add_scan(0), cert, 0x0a010005, 1);
+  w.archive.add_observation(w.add_scan(30), cert, 0x0a010005, 1);
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db);
+  EXPECT_TRUE(tracker.trackable().empty());
+  EXPECT_FALSE(tracker.entities().empty());
+}
+
+// --- movement -------------------------------------------------------------------
+
+TEST(Tracker, DetectsAsTransitionsAndCountryCrossing) {
+  TestWorld w;
+  const CertId cert = w.archive.intern(make_record(1));
+  // AS 100 (USA) for two scans, then AS 200 (DEU) for the rest of a year+.
+  w.archive.add_observation(w.add_scan(0), cert, 0x0a010001, 1);
+  w.archive.add_observation(w.add_scan(100), cert, 0x0a010001, 1);
+  w.archive.add_observation(w.add_scan(200), cert, 0x0a020001, 1);
+  w.archive.add_observation(w.add_scan(380), cert, 0x0a020002, 1);
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db);
+  const MovementStats movement = tracker.movement();
+  EXPECT_EQ(movement.tracked_devices, 1u);
+  EXPECT_EQ(movement.devices_with_as_change, 1u);
+  EXPECT_EQ(movement.total_as_transitions, 1u);
+  EXPECT_DOUBLE_EQ(movement.single_move_fraction, 1.0);
+  EXPECT_EQ(movement.devices_crossing_countries, 1u);
+}
+
+TEST(Tracker, BulkTransferDetection) {
+  // 20 devices hop from AS 100 to AS 300 between scans 1 and 2 — a prefix
+  // transfer signature.
+  TestWorld w;
+  TrackerConfig config;
+  config.bulk_transfer_min_devices = 15;
+  std::vector<CertId> certs;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    certs.push_back(w.archive.intern(make_record(100 + i)));
+  }
+  const std::size_t s0 = w.add_scan(0);
+  const std::size_t s1 = w.add_scan(200);
+  const std::size_t s2 = w.add_scan(400);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    w.archive.add_observation(s0, certs[i], 0x0a010000 + i, i);
+    w.archive.add_observation(s1, certs[i], 0x0a010000 + i, i);
+    w.archive.add_observation(s2, certs[i], 0x0a030000 + i, i);
+  }
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db, config);
+  const MovementStats movement = tracker.movement();
+  ASSERT_EQ(movement.bulk_transfers.size(), 1u);
+  EXPECT_EQ(movement.bulk_transfers[0].from, 100u);
+  EXPECT_EQ(movement.bulk_transfers[0].to, 300u);
+  EXPECT_EQ(movement.bulk_transfers[0].devices, 20u);
+  EXPECT_EQ(movement.bulk_transfers[0].scan, 2u);
+}
+
+// --- reassignment ------------------------------------------------------------------
+
+TEST(Tracker, ReassignmentSeparatesStaticAndDynamic) {
+  TestWorld w;
+  TrackerConfig config;
+  config.min_devices_per_as = 2;
+  // AS 100: two static devices; AS 200: two always-changing devices.
+  std::vector<CertId> certs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    certs.push_back(w.archive.intern(make_record(200 + i)));
+  }
+  const int days[] = {0, 150, 300, 430};
+  for (int d = 0; d < 4; ++d) {
+    const std::size_t s = w.add_scan(days[d]);
+    // Static devices: fixed IPs in AS 100.
+    w.archive.add_observation(s, certs[0], 0x0a010010, 1);
+    w.archive.add_observation(s, certs[1], 0x0a010011, 2);
+    // Dynamic devices: fresh IP per scan in AS 200.
+    w.archive.add_observation(
+        s, certs[2], 0x0a020000 + static_cast<std::uint32_t>(d), 3);
+    w.archive.add_observation(
+        s, certs[3], 0x0a020100 + static_cast<std::uint32_t>(d), 4);
+  }
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db, config);
+  const ReassignmentStats stats = tracker.reassignment();
+  ASSERT_EQ(stats.per_as.size(), 2u);
+  for (const AsReassignment& as_stats : stats.per_as) {
+    if (as_stats.asn == 100) {
+      EXPECT_DOUBLE_EQ(as_stats.static_fraction(), 1.0);
+      EXPECT_DOUBLE_EQ(as_stats.always_changing_fraction(), 0.0);
+    } else {
+      EXPECT_EQ(as_stats.asn, 200u);
+      EXPECT_DOUBLE_EQ(as_stats.static_fraction(), 0.0);
+      EXPECT_DOUBLE_EQ(as_stats.always_changing_fraction(), 1.0);
+    }
+  }
+  EXPECT_EQ(stats.ases_90pct_static, 1u);
+  ASSERT_EQ(stats.most_dynamic.size(), 1u);
+  EXPECT_EQ(stats.most_dynamic[0].asn, 200u);
+}
+
+TEST(Tracker, MoversExcludedFromReassignment) {
+  TestWorld w;
+  TrackerConfig config;
+  config.min_devices_per_as = 1;
+  const CertId mover = w.archive.intern(make_record(1));
+  w.archive.add_observation(w.add_scan(0), mover, 0x0a010001, 1);
+  w.archive.add_observation(w.add_scan(200), mover, 0x0a020001, 1);
+  w.archive.add_observation(w.add_scan(400), mover, 0x0a020001, 1);
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db, config);
+  EXPECT_TRUE(tracker.reassignment().per_as.empty());
+  EXPECT_EQ(tracker.movement().devices_with_as_change, 1u);
+}
+
+TEST(Tracker, SameDayDualScansDoNotBreakAlwaysChanging) {
+  TestWorld w;
+  TrackerConfig config;
+  config.min_devices_per_as = 1;
+  const CertId cert = w.archive.intern(make_record(1));
+  // Dual-scan day: same IP twice on day 0 (same lease), then new IPs.
+  const std::size_t s0 = w.archive.begin_scan(ScanEvent{Campaign::kUMich, 0});
+  const std::size_t s0b = w.archive.begin_scan(
+      ScanEvent{Campaign::kRapid7, 6 * 3600});
+  w.archive.add_observation(s0, cert, 0x0a020001, 1);
+  w.archive.add_observation(s0b, cert, 0x0a020001, 1);
+  w.archive.add_observation(w.add_scan(200), cert, 0x0a020002, 1);
+  w.archive.add_observation(w.add_scan(400), cert, 0x0a020003, 1);
+  Pipeline p(w);
+  const DeviceTracker tracker(p.index, p.linker, p.linked, w.as_db, config);
+  const ReassignmentStats stats = tracker.reassignment();
+  ASSERT_EQ(stats.per_as.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.per_as[0].always_changing_fraction(), 1.0);
+}
+
+// --- end-to-end on the simulated world ----------------------------------------------
+
+TEST(TrackerWorld, LinkingImprovesTrackingOnTinyWorld) {
+  simworld::World world(simworld::WorldConfig::tiny());
+  const simworld::WorldResult r = world.run();
+  const analysis::DatasetIndex index(r.archive, r.routing);
+  const linking::Linker linker(index);
+  const linking::IterativeResult linked = linker.link_iteratively();
+  const DeviceTracker tracker(index, linker, linked, r.as_db);
+  const TrackableSummary summary = tracker.summary();
+  EXPECT_GT(summary.trackable_with_linking, 0u);
+  EXPECT_GE(summary.trackable_with_linking, summary.trackable_without_linking);
+  const MovementStats movement = tracker.movement();
+  EXPECT_EQ(movement.tracked_devices, summary.trackable_with_linking);
+}
+
+}  // namespace
+}  // namespace sm::tracking
