@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linker.dir/bench_ablation_linker.cpp.o"
+  "CMakeFiles/bench_ablation_linker.dir/bench_ablation_linker.cpp.o.d"
+  "bench_ablation_linker"
+  "bench_ablation_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_scan_discrepancy.dir/bench_fig01_scan_discrepancy.cpp.o"
+  "CMakeFiles/bench_fig01_scan_discrepancy.dir/bench_fig01_scan_discrepancy.cpp.o.d"
+  "bench_fig01_scan_discrepancy"
+  "bench_fig01_scan_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_scan_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

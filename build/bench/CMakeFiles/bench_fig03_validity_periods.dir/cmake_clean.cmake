@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_validity_periods.dir/bench_fig03_validity_periods.cpp.o"
+  "CMakeFiles/bench_fig03_validity_periods.dir/bench_fig03_validity_periods.cpp.o.d"
+  "bench_fig03_validity_periods"
+  "bench_fig03_validity_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_validity_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

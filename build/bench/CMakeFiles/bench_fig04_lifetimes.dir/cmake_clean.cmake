@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_lifetimes.dir/bench_fig04_lifetimes.cpp.o"
+  "CMakeFiles/bench_fig04_lifetimes.dir/bench_fig04_lifetimes.cpp.o.d"
+  "bench_fig04_lifetimes"
+  "bench_fig04_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

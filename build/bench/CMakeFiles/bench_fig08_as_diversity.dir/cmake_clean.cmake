@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_as_diversity.dir/bench_fig08_as_diversity.cpp.o"
+  "CMakeFiles/bench_fig08_as_diversity.dir/bench_fig08_as_diversity.cpp.o.d"
+  "bench_fig08_as_diversity"
+  "bench_fig08_as_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_as_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

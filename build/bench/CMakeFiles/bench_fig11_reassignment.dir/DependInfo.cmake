@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_reassignment.cpp" "bench/CMakeFiles/bench_fig11_reassignment.dir/bench_fig11_reassignment.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_reassignment.dir/bench_fig11_reassignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/sm_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/linking/CMakeFiles/sm_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/simworld/CMakeFiles/sm_simworld.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/sm_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/sm_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/sm_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/sm_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sm_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

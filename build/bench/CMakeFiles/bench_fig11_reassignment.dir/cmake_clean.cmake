@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_reassignment.dir/bench_fig11_reassignment.cpp.o"
+  "CMakeFiles/bench_fig11_reassignment.dir/bench_fig11_reassignment.cpp.o.d"
+  "bench_fig11_reassignment"
+  "bench_fig11_reassignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_reassignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_validity_breakdown.dir/bench_sec4_validity_breakdown.cpp.o"
+  "CMakeFiles/bench_sec4_validity_breakdown.dir/bench_sec4_validity_breakdown.cpp.o.d"
+  "bench_sec4_validity_breakdown"
+  "bench_sec4_validity_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_validity_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

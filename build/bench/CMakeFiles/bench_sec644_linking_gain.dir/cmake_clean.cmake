@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec644_linking_gain.dir/bench_sec644_linking_gain.cpp.o"
+  "CMakeFiles/bench_sec644_linking_gain.dir/bench_sec644_linking_gain.cpp.o.d"
+  "bench_sec644_linking_gain"
+  "bench_sec644_linking_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec644_linking_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

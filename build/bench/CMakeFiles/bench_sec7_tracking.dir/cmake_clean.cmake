@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_tracking.dir/bench_sec7_tracking.cpp.o"
+  "CMakeFiles/bench_sec7_tracking.dir/bench_sec7_tracking.cpp.o.d"
+  "bench_sec7_tracking"
+  "bench_sec7_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

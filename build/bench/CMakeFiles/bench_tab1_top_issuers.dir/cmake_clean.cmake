@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_top_issuers.dir/bench_tab1_top_issuers.cpp.o"
+  "CMakeFiles/bench_tab1_top_issuers.dir/bench_tab1_top_issuers.cpp.o.d"
+  "bench_tab1_top_issuers"
+  "bench_tab1_top_issuers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_top_issuers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

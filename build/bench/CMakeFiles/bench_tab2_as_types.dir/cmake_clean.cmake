@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_as_types.dir/bench_tab2_as_types.cpp.o"
+  "CMakeFiles/bench_tab2_as_types.dir/bench_tab2_as_types.cpp.o.d"
+  "bench_tab2_as_types"
+  "bench_tab2_as_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_as_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

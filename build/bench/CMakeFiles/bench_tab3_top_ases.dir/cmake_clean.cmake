@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_top_ases.dir/bench_tab3_top_ases.cpp.o"
+  "CMakeFiles/bench_tab3_top_ases.dir/bench_tab3_top_ases.cpp.o.d"
+  "bench_tab3_top_ases"
+  "bench_tab3_top_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_top_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

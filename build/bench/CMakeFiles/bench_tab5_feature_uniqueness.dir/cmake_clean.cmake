@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_feature_uniqueness.dir/bench_tab5_feature_uniqueness.cpp.o"
+  "CMakeFiles/bench_tab5_feature_uniqueness.dir/bench_tab5_feature_uniqueness.cpp.o.d"
+  "bench_tab5_feature_uniqueness"
+  "bench_tab5_feature_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_feature_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

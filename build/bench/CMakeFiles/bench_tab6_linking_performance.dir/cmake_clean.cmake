@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_linking_performance.dir/bench_tab6_linking_performance.cpp.o"
+  "CMakeFiles/bench_tab6_linking_performance.dir/bench_tab6_linking_performance.cpp.o.d"
+  "bench_tab6_linking_performance"
+  "bench_tab6_linking_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_linking_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sm_bench_common.dir/common.cpp.o.d"
+  "libsm_bench_common.a"
+  "libsm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_forensics.dir/cert_forensics.cpp.o"
+  "CMakeFiles/cert_forensics.dir/cert_forensics.cpp.o.d"
+  "cert_forensics"
+  "cert_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

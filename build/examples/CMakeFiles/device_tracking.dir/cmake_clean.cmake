@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_tracking.dir/device_tracking.cpp.o"
+  "CMakeFiles/device_tracking.dir/device_tracking.cpp.o.d"
+  "device_tracking"
+  "device_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

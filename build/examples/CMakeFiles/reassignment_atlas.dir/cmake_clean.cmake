@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassignment_atlas.dir/reassignment_atlas.cpp.o"
+  "CMakeFiles/reassignment_atlas.dir/reassignment_atlas.cpp.o.d"
+  "reassignment_atlas"
+  "reassignment_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassignment_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reassignment_atlas.
+# This may be replaced when dependencies are built.

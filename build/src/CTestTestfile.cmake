@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("bignum")
+subdirs("crypto")
+subdirs("asn1")
+subdirs("x509")
+subdirs("pki")
+subdirs("net")
+subdirs("scan")
+subdirs("simworld")
+subdirs("analysis")
+subdirs("linking")
+subdirs("tracking")
+subdirs("report")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/sm_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/sm_analysis.dir/discrepancy.cpp.o"
+  "CMakeFiles/sm_analysis.dir/discrepancy.cpp.o.d"
+  "CMakeFiles/sm_analysis.dir/diversity.cpp.o"
+  "CMakeFiles/sm_analysis.dir/diversity.cpp.o.d"
+  "CMakeFiles/sm_analysis.dir/longevity.cpp.o"
+  "CMakeFiles/sm_analysis.dir/longevity.cpp.o.d"
+  "libsm_analysis.a"
+  "libsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

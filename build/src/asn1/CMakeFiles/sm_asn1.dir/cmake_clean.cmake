@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_asn1.dir/der_reader.cpp.o"
+  "CMakeFiles/sm_asn1.dir/der_reader.cpp.o.d"
+  "CMakeFiles/sm_asn1.dir/der_writer.cpp.o"
+  "CMakeFiles/sm_asn1.dir/der_writer.cpp.o.d"
+  "CMakeFiles/sm_asn1.dir/oid.cpp.o"
+  "CMakeFiles/sm_asn1.dir/oid.cpp.o.d"
+  "CMakeFiles/sm_asn1.dir/print.cpp.o"
+  "CMakeFiles/sm_asn1.dir/print.cpp.o.d"
+  "libsm_asn1.a"
+  "libsm_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

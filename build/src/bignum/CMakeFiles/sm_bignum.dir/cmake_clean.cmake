@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_bignum.dir/biguint.cpp.o"
+  "CMakeFiles/sm_bignum.dir/biguint.cpp.o.d"
+  "CMakeFiles/sm_bignum.dir/prime.cpp.o"
+  "CMakeFiles/sm_bignum.dir/prime.cpp.o.d"
+  "libsm_bignum.a"
+  "libsm_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

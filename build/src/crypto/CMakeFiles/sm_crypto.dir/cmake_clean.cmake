@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/sm_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/sm_crypto.dir/signature.cpp.o"
+  "CMakeFiles/sm_crypto.dir/signature.cpp.o.d"
+  "libsm_crypto.a"
+  "libsm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_linking.dir/feature.cpp.o"
+  "CMakeFiles/sm_linking.dir/feature.cpp.o.d"
+  "CMakeFiles/sm_linking.dir/linker.cpp.o"
+  "CMakeFiles/sm_linking.dir/linker.cpp.o.d"
+  "libsm_linking.a"
+  "libsm_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_net.dir/as_database.cpp.o"
+  "CMakeFiles/sm_net.dir/as_database.cpp.o.d"
+  "CMakeFiles/sm_net.dir/ipv4.cpp.o"
+  "CMakeFiles/sm_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/sm_net.dir/route_table.cpp.o"
+  "CMakeFiles/sm_net.dir/route_table.cpp.o.d"
+  "libsm_net.a"
+  "libsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

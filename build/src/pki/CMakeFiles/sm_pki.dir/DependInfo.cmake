@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/crl_store.cpp" "src/pki/CMakeFiles/sm_pki.dir/crl_store.cpp.o" "gcc" "src/pki/CMakeFiles/sm_pki.dir/crl_store.cpp.o.d"
+  "/root/repo/src/pki/lint.cpp" "src/pki/CMakeFiles/sm_pki.dir/lint.cpp.o" "gcc" "src/pki/CMakeFiles/sm_pki.dir/lint.cpp.o.d"
+  "/root/repo/src/pki/root_store.cpp" "src/pki/CMakeFiles/sm_pki.dir/root_store.cpp.o" "gcc" "src/pki/CMakeFiles/sm_pki.dir/root_store.cpp.o.d"
+  "/root/repo/src/pki/verifier.cpp" "src/pki/CMakeFiles/sm_pki.dir/verifier.cpp.o" "gcc" "src/pki/CMakeFiles/sm_pki.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x509/CMakeFiles/sm_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/sm_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/sm_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_pki.dir/crl_store.cpp.o"
+  "CMakeFiles/sm_pki.dir/crl_store.cpp.o.d"
+  "CMakeFiles/sm_pki.dir/lint.cpp.o"
+  "CMakeFiles/sm_pki.dir/lint.cpp.o.d"
+  "CMakeFiles/sm_pki.dir/root_store.cpp.o"
+  "CMakeFiles/sm_pki.dir/root_store.cpp.o.d"
+  "CMakeFiles/sm_pki.dir/verifier.cpp.o"
+  "CMakeFiles/sm_pki.dir/verifier.cpp.o.d"
+  "libsm_pki.a"
+  "libsm_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_report.dir/report.cpp.o"
+  "CMakeFiles/sm_report.dir/report.cpp.o.d"
+  "libsm_report.a"
+  "libsm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_scan.dir/archive.cpp.o"
+  "CMakeFiles/sm_scan.dir/archive.cpp.o.d"
+  "CMakeFiles/sm_scan.dir/archive_io.cpp.o"
+  "CMakeFiles/sm_scan.dir/archive_io.cpp.o.d"
+  "CMakeFiles/sm_scan.dir/cert_record.cpp.o"
+  "CMakeFiles/sm_scan.dir/cert_record.cpp.o.d"
+  "CMakeFiles/sm_scan.dir/permutation.cpp.o"
+  "CMakeFiles/sm_scan.dir/permutation.cpp.o.d"
+  "CMakeFiles/sm_scan.dir/prefix_set.cpp.o"
+  "CMakeFiles/sm_scan.dir/prefix_set.cpp.o.d"
+  "CMakeFiles/sm_scan.dir/schedule.cpp.o"
+  "CMakeFiles/sm_scan.dir/schedule.cpp.o.d"
+  "libsm_scan.a"
+  "libsm_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_simworld.dir/isp.cpp.o"
+  "CMakeFiles/sm_simworld.dir/isp.cpp.o.d"
+  "CMakeFiles/sm_simworld.dir/vendor.cpp.o"
+  "CMakeFiles/sm_simworld.dir/vendor.cpp.o.d"
+  "CMakeFiles/sm_simworld.dir/world.cpp.o"
+  "CMakeFiles/sm_simworld.dir/world.cpp.o.d"
+  "CMakeFiles/sm_simworld.dir/world_io.cpp.o"
+  "CMakeFiles/sm_simworld.dir/world_io.cpp.o.d"
+  "libsm_simworld.a"
+  "libsm_simworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_simworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_tracking.dir/tracker.cpp.o"
+  "CMakeFiles/sm_tracking.dir/tracker.cpp.o.d"
+  "libsm_tracking.a"
+  "libsm_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/datetime.cpp" "src/util/CMakeFiles/sm_util.dir/datetime.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/datetime.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/util/CMakeFiles/sm_util.dir/hex.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/hex.cpp.o.d"
+  "/root/repo/src/util/md5.cpp" "src/util/CMakeFiles/sm_util.dir/md5.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/md5.cpp.o.d"
+  "/root/repo/src/util/sha1.cpp" "src/util/CMakeFiles/sm_util.dir/sha1.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/sha1.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "src/util/CMakeFiles/sm_util.dir/sha256.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/sha256.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/sm_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/sm_util.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_util.dir/datetime.cpp.o"
+  "CMakeFiles/sm_util.dir/datetime.cpp.o.d"
+  "CMakeFiles/sm_util.dir/hex.cpp.o"
+  "CMakeFiles/sm_util.dir/hex.cpp.o.d"
+  "CMakeFiles/sm_util.dir/md5.cpp.o"
+  "CMakeFiles/sm_util.dir/md5.cpp.o.d"
+  "CMakeFiles/sm_util.dir/sha1.cpp.o"
+  "CMakeFiles/sm_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/sm_util.dir/sha256.cpp.o"
+  "CMakeFiles/sm_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/sm_util.dir/stats.cpp.o"
+  "CMakeFiles/sm_util.dir/stats.cpp.o.d"
+  "libsm_util.a"
+  "libsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

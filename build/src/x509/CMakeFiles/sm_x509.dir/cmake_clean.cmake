@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_x509.dir/builder.cpp.o"
+  "CMakeFiles/sm_x509.dir/builder.cpp.o.d"
+  "CMakeFiles/sm_x509.dir/certificate.cpp.o"
+  "CMakeFiles/sm_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/sm_x509.dir/crl.cpp.o"
+  "CMakeFiles/sm_x509.dir/crl.cpp.o.d"
+  "CMakeFiles/sm_x509.dir/general_name.cpp.o"
+  "CMakeFiles/sm_x509.dir/general_name.cpp.o.d"
+  "CMakeFiles/sm_x509.dir/name.cpp.o"
+  "CMakeFiles/sm_x509.dir/name.cpp.o.d"
+  "CMakeFiles/sm_x509.dir/pem.cpp.o"
+  "CMakeFiles/sm_x509.dir/pem.cpp.o.d"
+  "libsm_x509.a"
+  "libsm_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

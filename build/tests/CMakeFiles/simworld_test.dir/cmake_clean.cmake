@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simworld_test.dir/simworld_test.cpp.o"
+  "CMakeFiles/simworld_test.dir/simworld_test.cpp.o.d"
+  "simworld_test"
+  "simworld_test.pdb"
+  "simworld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simworld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

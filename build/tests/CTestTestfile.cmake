@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/asn1_test[1]_include.cmake")
+include("/root/repo/build/tests/x509_test[1]_include.cmake")
+include("/root/repo/build/tests/pki_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/simworld_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/linking_test[1]_include.cmake")
+include("/root/repo/build/tests/tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_io_test[1]_include.cmake")
+include("/root/repo/build/tests/world_io_test[1]_include.cmake")
+include("/root/repo/build/tests/pem_test[1]_include.cmake")
+include("/root/repo/build/tests/lint_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/crl_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+add_test(paper_shapes_test "/root/repo/build/tests/paper_shapes_test")
+set_tests_properties(paper_shapes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_survey.dir/sm_survey.cpp.o"
+  "CMakeFiles/sm_survey.dir/sm_survey.cpp.o.d"
+  "sm_survey"
+  "sm_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
