@@ -100,6 +100,7 @@ BENCHMARK(BM_FullPipeline);
 }  // namespace
 
 int main(int argc, char** argv) {
+  sm::bench::configure_threads(&argc, argv);
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

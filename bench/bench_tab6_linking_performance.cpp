@@ -116,6 +116,7 @@ BENCHMARK(BM_LinkPublicKeyField);
 }  // namespace
 
 int main(int argc, char** argv) {
+  sm::bench::configure_threads(&argc, argv);
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

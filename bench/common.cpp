@@ -1,6 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/thread_pool.h"
 
 namespace sm::bench {
 
@@ -13,6 +18,43 @@ Context::Context()
 const Context& context() {
   static const Context ctx;
   return ctx;
+}
+
+namespace {
+
+std::size_t parse_threads(const char* text) {
+  char* end = nullptr;
+  const std::size_t threads = std::strtoull(text, &end, 10);
+  if (*text == '\0' || end == nullptr || *end != '\0' || threads > 4096) {
+    std::fprintf(stderr, "invalid thread count '%s' (want 0-4096)\n", text);
+    std::exit(2);
+  }
+  return threads;
+}
+
+}  // namespace
+
+void configure_threads(int* argc, char** argv) {
+  std::size_t threads = 0;  // 0 = hardware default
+  bool configured = false;
+  if (const char* env = std::getenv("SM_THREADS")) {
+    threads = parse_threads(env);
+    configured = true;
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      threads = parse_threads(argv[++i]);
+      configured = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = parse_threads(argv[i] + 10);
+      configured = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (configured) sm::util::ThreadPool::set_global_threads(threads);
 }
 
 void print_banner(const std::string& experiment, const std::string& title) {

@@ -31,6 +31,11 @@ struct Context {
 /// The process-wide context (built on first use; ~2 s).
 const Context& context();
 
+/// Configures the global ThreadPool from the SM_THREADS environment
+/// variable and a `--threads N` / `--threads=N` argument (stripped from
+/// argv so google-benchmark never sees it). Call before `context()`.
+void configure_threads(int* argc, char** argv);
+
 /// Prints the experiment banner.
 void print_banner(const std::string& experiment, const std::string& title);
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build exercising the concurrency-bearing tests
+# (thread pool, linking pipeline, dataset index, tracker).
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+
+echo "== tier 1: standard build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tier 1: TSan build (thread pool + linking/analysis/tracking) =="
+  cmake -B build-tsan -S . -DSM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target \
+    thread_pool_test linking_parallel_test linking_test \
+    analysis_test tracking_test util_test >/dev/null
+  for t in thread_pool_test linking_parallel_test linking_test \
+           analysis_test tracking_test util_test; do
+    echo "-- $t (tsan)"
+    ./build-tsan/tests/"$t" --gtest_brief=1
+  done
+fi
+
+echo "tier 1 OK"

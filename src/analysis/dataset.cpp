@@ -6,8 +6,10 @@
 namespace sm::analysis {
 
 DatasetIndex::DatasetIndex(const scan::ScanArchive& archive,
-                           const net::RoutingHistory& routing)
+                           const net::RoutingHistory& routing,
+                           util::ThreadPool* pool)
     : archive_(&archive), routing_(&routing) {
+  if (pool == nullptr) pool = &util::ThreadPool::global();
   const auto& scans = archive.scans();
   const std::size_t cert_count = archive.certs().size();
   stats_.assign(cert_count, CertStats{});
@@ -19,24 +21,45 @@ DatasetIndex::DatasetIndex(const scan::ScanArchive& archive,
     scan_tables_.push_back(routing.at(scan.event.start));
   }
 
+  // Per-scan derivation (AS lookups + unique-(cert, ip) dedup) is
+  // independent across scans: run it on the pool into per-scan slots, then
+  // merge serially in scan order so the stats are thread-count-invariant.
+  struct ScanDerived {
+    std::vector<std::pair<scan::CertId, std::uint32_t>> unique_pairs;
+    std::vector<std::pair<scan::CertId, net::Asn>> as_pairs;
+  };
+  std::vector<ScanDerived> derived(scans.size());
+  pool->parallel_for(scans.size(), 1, [&](std::size_t begin,
+                                          std::size_t end) {
+    for (std::size_t scan_index = begin; scan_index < end; ++scan_index) {
+      const auto& observations = scans[scan_index].observations;
+      ScanDerived& out = derived[scan_index];
+      out.unique_pairs.reserve(observations.size());
+      out.as_pairs.reserve(observations.size());
+      for (const scan::Observation& obs : observations) {
+        out.unique_pairs.emplace_back(obs.cert, obs.ip);
+        out.as_pairs.emplace_back(obs.cert, as_of(scan_index, obs.ip));
+      }
+      std::sort(out.unique_pairs.begin(), out.unique_pairs.end());
+      out.unique_pairs.erase(
+          std::unique(out.unique_pairs.begin(), out.unique_pairs.end()),
+          out.unique_pairs.end());
+    }
+  });
+
   std::vector<bool> seen(cert_count, false);
   // (cert, asn) pairs across all observations, deduplicated at the end to
   // produce distinct-AS counts and majority ASes.
   std::vector<std::pair<scan::CertId, net::Asn>> cert_as_pairs;
   cert_as_pairs.reserve(archive.observation_count());
 
-  std::vector<std::pair<scan::CertId, std::uint32_t>> scan_pairs;
   for (std::size_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
-    const auto& observations = scans[scan_index].observations;
-    scan_pairs.clear();
-    scan_pairs.reserve(observations.size());
-    for (const scan::Observation& obs : observations) {
-      scan_pairs.emplace_back(obs.cert, obs.ip);
-      cert_as_pairs.emplace_back(obs.cert, as_of(scan_index, obs.ip));
-    }
-    std::sort(scan_pairs.begin(), scan_pairs.end());
-    scan_pairs.erase(std::unique(scan_pairs.begin(), scan_pairs.end()),
-                     scan_pairs.end());
+    const auto& scan_pairs = derived[scan_index].unique_pairs;
+    auto& as_pairs = derived[scan_index].as_pairs;
+    cert_as_pairs.insert(cert_as_pairs.end(), as_pairs.begin(),
+                         as_pairs.end());
+    as_pairs.clear();
+    as_pairs.shrink_to_fit();
     // Count unique IPs per cert in this scan.
     for (std::size_t i = 0; i < scan_pairs.size();) {
       const scan::CertId cert = scan_pairs[i].first;

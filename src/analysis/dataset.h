@@ -9,6 +9,7 @@
 
 #include "net/route_table.h"
 #include "scan/archive.h"
+#include "util/thread_pool.h"
 
 namespace sm::analysis {
 
@@ -38,9 +39,12 @@ struct CertStats {
 class DatasetIndex {
  public:
   /// Builds the index; resolves every observation's IP to its origin AS via
-  /// the routing snapshot in effect at each scan's start.
+  /// the routing snapshot in effect at each scan's start. Per-scan work
+  /// (AS resolution, unique-IP dedup) runs on `pool` (the process-global
+  /// pool when null); the result is identical for every thread count.
   DatasetIndex(const scan::ScanArchive& archive,
-               const net::RoutingHistory& routing);
+               const net::RoutingHistory& routing,
+               util::ThreadPool* pool = nullptr);
 
   const scan::ScanArchive& archive() const { return *archive_; }
 

@@ -12,10 +12,17 @@ bool version_legal(const scan::CertRecord& cert) {
   return cert.raw_version >= 0 && cert.raw_version <= 2;
 }
 
+/// Chunk size for parallel loops over groups: groups are cheap
+/// individually, so batch enough of them to amortize scheduling.
+constexpr std::size_t kGroupChunk = 32;
+
 }  // namespace
 
-Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config)
-    : index_(&index), config_(config) {
+Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config,
+               util::ThreadPool* pool)
+    : index_(&index),
+      config_(config),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {
   const auto& archive = index.archive();
   const auto& certs = archive.certs();
   const std::size_t n = certs.size();
@@ -60,31 +67,26 @@ Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config)
       }
     }
   }
+
+  features_.emplace(certs, eligible_, config_.exclude_ip_common_names, pool_);
 }
 
 std::vector<FeatureUniqueness> Linker::feature_uniqueness() const {
-  const auto& certs = index_->archive().certs();
-  std::vector<FeatureUniqueness> out;
-  for (const Feature feature : kAllFeatures) {
-    std::unordered_map<std::string, std::uint32_t> counts;
+  // Single pass over the interned CSR lists: `applicable` is the number of
+  // interned (eligible, non-empty) certs, `non_unique` the members of
+  // values carried by >= 2 certs.
+  std::vector<FeatureUniqueness> out(kAllFeatures.size());
+  for (std::size_t fi = 0; fi < kAllFeatures.size(); ++fi) {
+    const Feature feature = kAllFeatures[fi];
     std::uint64_t applicable = 0;
-    for (scan::CertId id = 0; id < certs.size(); ++id) {
-      if (!eligible_[id]) continue;
-      const std::string value =
-          feature_value(certs[id], feature, config_.exclude_ip_common_names);
-      if (value.empty()) continue;
-      ++applicable;
-      ++counts[value];
-    }
     std::uint64_t non_unique = 0;
-    for (scan::CertId id = 0; id < certs.size(); ++id) {
-      if (!eligible_[id]) continue;
-      const std::string value =
-          feature_value(certs[id], feature, config_.exclude_ip_common_names);
-      if (value.empty()) continue;
-      if (counts[value] >= 2) ++non_unique;
+    const std::uint32_t values = features_->value_count(feature);
+    for (std::uint32_t v = 0; v < values; ++v) {
+      const std::uint32_t members = features_->multiplicity(feature, v);
+      applicable += members;
+      if (members >= 2) non_unique += members;
     }
-    out.push_back(FeatureUniqueness{feature, applicable, non_unique});
+    out[fi] = FeatureUniqueness{feature, applicable, non_unique};
   }
   return out;
 }
@@ -116,25 +118,50 @@ bool Linker::group_passes_overlap_rule(
 
 FieldResult Linker::link_field(Feature feature,
                                const std::vector<bool>& mask) const {
-  const auto& certs = index_->archive().certs();
-  std::unordered_map<std::string, std::vector<scan::CertId>> by_value;
-  for (scan::CertId id = 0; id < certs.size(); ++id) {
-    if (!mask[id]) continue;
-    std::string value =
-        feature_value(certs[id], feature, config_.exclude_ip_common_names);
-    if (value.empty()) continue;
-    by_value[std::move(value)].push_back(id);
+  // Phase 1 (serial, integer-only): candidate groups from the interned CSR
+  // lists, in value-id order — deterministic by construction.
+  std::vector<std::vector<scan::CertId>> candidates;
+  const std::uint32_t values = features_->value_count(feature);
+  for (std::uint32_t v = 0; v < values; ++v) {
+    const FeatureIndex::CertSpan span = features_->certs_with_value(feature, v);
+    if (span.size() < 2) continue;
+    std::vector<scan::CertId> group_certs;
+    group_certs.reserve(span.size());
+    for (const scan::CertId id : span) {
+      if (mask[id]) group_certs.push_back(id);
+    }
+    if (group_certs.size() < 2) continue;
+    candidates.push_back(std::move(group_certs));
   }
+
+  // Phase 2 (parallel): the per-group work — overlap rule + modal-location
+  // counting — into index-addressed slots.
+  struct Evaluated {
+    bool accepted = false;
+    GroupCounts counts;
+  };
+  std::vector<Evaluated> evaluated(candidates.size());
+  pool_->parallel_for(
+      candidates.size(), kGroupChunk, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t g = begin; g < end; ++g) {
+          if (!group_passes_overlap_rule(candidates[g])) continue;
+          evaluated[g].accepted = true;
+          evaluated[g].counts = group_counts(candidates[g]);
+        }
+      });
+
+  // Phase 3 (serial): reduce in candidate order.
   FieldResult out;
   out.feature = feature;
   std::uint64_t ip_max = 0, slash24_max = 0, as_max = 0, total_scans = 0;
-  for (auto& [value, group_certs] : by_value) {
-    if (group_certs.size() < 2) continue;
-    if (!group_passes_overlap_rule(group_certs)) continue;
-    LinkedGroup group{feature, std::move(group_certs)};
-    out.total_linked += group.certs.size();
-    accumulate_consistency(group, ip_max, slash24_max, as_max, total_scans);
-    out.groups.push_back(std::move(group));
+  for (std::size_t g = 0; g < candidates.size(); ++g) {
+    if (!evaluated[g].accepted) continue;
+    out.total_linked += candidates[g].size();
+    ip_max += evaluated[g].counts.ip_modal;
+    slash24_max += evaluated[g].counts.slash24_modal;
+    as_max += evaluated[g].counts.as_modal;
+    total_scans += evaluated[g].counts.scans;
+    out.groups.push_back(LinkedGroup{feature, std::move(candidates[g])});
   }
   if (total_scans > 0) {
     const double denom = static_cast<double>(total_scans);
@@ -145,20 +172,15 @@ FieldResult Linker::link_field(Feature feature,
   return out;
 }
 
-void Linker::accumulate_consistency(const LinkedGroup& group,
-                                    std::uint64_t& ip_max,
-                                    std::uint64_t& slash24_max,
-                                    std::uint64_t& as_max,
-                                    std::uint64_t& total_scans) const {
+Linker::GroupCounts Linker::group_counts(
+    const std::vector<scan::CertId>& certs) const {
   // Per scan, the set of locations where the group was seen; consistency
   // counts the scans containing the modal location.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> ip_scans,
-      s24_scans, as_scans;
-  std::uint32_t scan_count = 0;
-  std::uint32_t last_scan_seen = 0xffffffff;
-  // Gather (scan, location) pairs, dedup per scan via sort.
+  std::unordered_map<std::uint32_t, std::uint32_t> ip_scans, s24_scans,
+      as_scans;
+  // Gather (scan, location) tuples, segment per scan via sort.
   std::vector<ObsRef> all;
-  for (const scan::CertId id : group.certs) {
+  for (const scan::CertId id : certs) {
     for (std::uint32_t i = obs_offsets_[id]; i < obs_offsets_[id + 1]; ++i) {
       all.push_back(obs_[i]);
     }
@@ -166,56 +188,66 @@ void Linker::accumulate_consistency(const LinkedGroup& group,
   std::sort(all.begin(), all.end(), [](const ObsRef& a, const ObsRef& b) {
     return a.scan < b.scan;
   });
-  // For each scan, record each distinct location once.
+  // For each scan, count each distinct location once.
+  GroupCounts out;
+  std::vector<std::uint32_t> ips, s24s, ases;
+  const auto count_unique = [](std::vector<std::uint32_t>& keys,
+                               std::unordered_map<std::uint32_t, std::uint32_t>&
+                                   counter) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const std::uint32_t key : keys) ++counter[key];
+    keys.clear();
+  };
   std::size_t i = 0;
   while (i < all.size()) {
     const std::uint32_t scan = all[i].scan;
     std::size_t j = i;
-    std::map<std::uint32_t, bool> ips, s24s, ases;
     while (j < all.size() && all[j].scan == scan) {
-      ips[all[j].ip] = true;
-      s24s[all[j].ip & 0xffffff00] = true;
-      ases[all[j].asn] = true;
+      ips.push_back(all[j].ip);
+      s24s.push_back(all[j].ip & 0xffffff00);
+      ases.push_back(all[j].asn);
       ++j;
     }
-    for (const auto& [ip, unused] : ips) ++ip_scans[{0, ip}];
-    for (const auto& [s24, unused] : s24s) ++s24_scans[{0, s24}];
-    for (const auto& [asn, unused] : ases) ++as_scans[{0, asn}];
-    ++scan_count;
-    last_scan_seen = scan;
+    count_unique(ips, ip_scans);
+    count_unique(s24s, s24_scans);
+    count_unique(ases, as_scans);
+    ++out.scans;
     i = j;
   }
-  (void)last_scan_seen;
   const auto modal = [](const auto& counter) {
     std::uint32_t best = 0;
     for (const auto& [key, count] : counter) best = std::max(best, count);
     return best;
   };
-  ip_max += modal(ip_scans);
-  slash24_max += modal(s24_scans);
-  as_max += modal(as_scans);
-  total_scans += scan_count;
+  out.ip_modal = modal(ip_scans);
+  out.slash24_modal = modal(s24_scans);
+  out.as_modal = modal(as_scans);
+  return out;
 }
 
 Consistency Linker::group_consistency(const LinkedGroup& group) const {
-  std::uint64_t ip_max = 0, slash24_max = 0, as_max = 0, total = 0;
-  accumulate_consistency(group, ip_max, slash24_max, as_max, total);
+  const GroupCounts counts = group_counts(group.certs);
   Consistency out;
-  if (total > 0) {
-    const double denom = static_cast<double>(total);
-    out.ip = static_cast<double>(ip_max) / denom;
-    out.slash24 = static_cast<double>(slash24_max) / denom;
-    out.as_level = static_cast<double>(as_max) / denom;
+  if (counts.scans > 0) {
+    const double denom = static_cast<double>(counts.scans);
+    out.ip = static_cast<double>(counts.ip_modal) / denom;
+    out.slash24 = static_cast<double>(counts.slash24_modal) / denom;
+    out.as_level = static_cast<double>(counts.as_modal) / denom;
   }
   return out;
 }
 
 std::vector<FieldResult> Linker::evaluate_all_fields() const {
-  std::vector<FieldResult> results;
-  results.reserve(kAllFeatures.size());
-  for (const Feature feature : kAllFeatures) {
-    results.push_back(link_field(feature, eligible_));
-  }
+  // One field per chunk; each field's own group loop parallelizes too when
+  // called standalone (nested regions run inline on the worker).
+  std::vector<FieldResult> results(kAllFeatures.size());
+  pool_->parallel_for(kAllFeatures.size(), 1,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t fi = begin; fi < end; ++fi) {
+                          results[fi] = link_field(kAllFeatures[fi], eligible_);
+                        }
+                      });
   // Uniquely-linked: certificates appearing in exactly one field's groups.
   const std::size_t n = index_->archive().certs().size();
   std::vector<std::uint8_t> link_count(n, 0);

@@ -22,11 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/dataset.h"
 #include "linking/feature.h"
+#include "linking/feature_index.h"
+#include "util/thread_pool.h"
 
 namespace sm::linking {
 
@@ -113,10 +116,18 @@ struct TruthScore {
 };
 
 /// The linking engine. Construct once per dataset; all methods are const.
+///
+/// Construction interns every feature value into a FeatureIndex, and the
+/// hot paths (per-field grouping, consistency evaluation) run on a
+/// ThreadPool. Results are bit-identical for every thread count: parallel
+/// regions write index-addressed slots and are reduced in deterministic
+/// order.
 class Linker {
  public:
+  /// `pool` is borrowed for the linker's lifetime; null means the
+  /// process-global pool.
   explicit Linker(const analysis::DatasetIndex& index,
-                  LinkerConfig config = {});
+                  LinkerConfig config = {}, util::ThreadPool* pool = nullptr);
 
   /// Which certificates are linking-eligible: invalid, observed, legal
   /// version, and passing the §6.2 duplicate filter.
@@ -162,21 +173,30 @@ class Linker {
     net::Asn asn = 0;
   };
 
+  /// One group's modal-location counts: scans where the group sat at its
+  /// modal IP / /24 / AS, and the scans it was observed in at all.
+  struct GroupCounts {
+    std::uint64_t ip_modal = 0;
+    std::uint64_t slash24_modal = 0;
+    std::uint64_t as_modal = 0;
+    std::uint64_t scans = 0;
+  };
+
   bool group_passes_overlap_rule(const std::vector<scan::CertId>& certs) const;
 
-  /// Accumulates one group's modal-location counts into (max, total).
-  void accumulate_consistency(const LinkedGroup& group, std::uint64_t& ip_max,
-                              std::uint64_t& slash24_max, std::uint64_t& as_max,
-                              std::uint64_t& total_scans) const;
+  GroupCounts group_counts(const std::vector<scan::CertId>& certs) const;
 
   const analysis::DatasetIndex* index_;
   LinkerConfig config_;
+  util::ThreadPool* pool_;
   std::vector<bool> eligible_;
   std::uint64_t eligible_count_ = 0;
   // Per-cert observation lists (CSR layout).
   std::vector<std::uint32_t> obs_offsets_;
   std::vector<ObsRef> obs_;
   std::vector<scan::DeviceId> cert_device_;
+  // Interned feature values over the eligible set (set last in the ctor).
+  std::optional<FeatureIndex> features_;
 };
 
 }  // namespace sm::linking

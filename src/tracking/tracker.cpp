@@ -10,8 +10,9 @@ DeviceTracker::DeviceTracker(const analysis::DatasetIndex& index,
                              const linking::Linker& linker,
                              const linking::IterativeResult& linking_result,
                              const net::AsDatabase& as_db,
-                             TrackerConfig config)
+                             TrackerConfig config, util::ThreadPool* pool)
     : index_(&index), as_db_(&as_db), config_(config) {
+  if (pool == nullptr) pool = &util::ThreadPool::global();
   // Build the per-cert observation index first.
   const std::size_t cert_count = index.archive().certs().size();
   std::vector<std::uint32_t> counts(cert_count, 0);
@@ -33,16 +34,31 @@ DeviceTracker::DeviceTracker(const analysis::DatasetIndex& index,
     }
   }
 
+  // Entity specs first (groups in linking order, then lone eligible certs
+  // in id order), then parallel timeline assembly into indexed slots.
   std::vector<bool> in_group(index.archive().certs().size(), false);
   for (const linking::LinkedGroup& group : linking_result.groups) {
     for (const scan::CertId id : group.certs) in_group[id] = true;
-    entities_.push_back(build_entity(group.certs, true));
   }
   const std::vector<bool>& eligible = linker.eligible();
+  std::vector<scan::CertId> singles;
   for (scan::CertId id = 0; id < eligible.size(); ++id) {
     if (!eligible[id] || in_group[id]) continue;
-    entities_.push_back(build_entity({id}, false));
+    singles.push_back(id);
   }
+  const std::size_t group_count = linking_result.groups.size();
+  entities_.resize(group_count + singles.size());
+  pool->parallel_for(
+      entities_.size(), 64, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          if (e < group_count) {
+            entities_[e] =
+                build_entity(linking_result.groups[e].certs, true);
+          } else {
+            entities_[e] = build_entity({singles[e - group_count]}, false);
+          }
+        }
+      });
   // §7.2's baseline: devices trackable *without* linking are single
   // certificates observed for over a year.
   for (scan::CertId id = 0; id < eligible.size(); ++id) {

@@ -11,6 +11,7 @@
 #include "linking/linker.h"
 #include "net/as_database.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace sm::tracking {
 
@@ -109,10 +110,14 @@ struct ReassignmentStats {
 /// section's questions.
 class DeviceTracker {
  public:
+  /// Entity construction (timeline assembly per linked group / lone cert)
+  /// runs on `pool` (the process-global pool when null); the entity list
+  /// is identical for every thread count.
   DeviceTracker(const analysis::DatasetIndex& index,
                 const linking::Linker& linker,
                 const linking::IterativeResult& linking_result,
-                const net::AsDatabase& as_db, TrackerConfig config = {});
+                const net::AsDatabase& as_db, TrackerConfig config = {},
+                util::ThreadPool* pool = nullptr);
 
   /// All entities (linked groups + lone eligible certificates).
   const std::vector<TrackedEntity>& entities() const { return entities_; }

@@ -53,8 +53,15 @@ std::vector<std::pair<double, double>> EmpiricalCdf::curve(
     pts.emplace_back(sorted_[i],
                      static_cast<double>(i + 1) / static_cast<double>(n));
   }
-  if (pts.back().first != sorted_.back()) {
-    pts.emplace_back(sorted_.back(), 1.0);
+  // Close the curve on y, not x: with repeated samples the subsampled last
+  // point can sit at x == max with F < 1 (e.g. {1, 1} at max_points 1
+  // yields (1, 0.5)), and an x-based guard would leave the CDF short.
+  if (pts.back().second != 1.0) {
+    if (pts.back().first == sorted_.back()) {
+      pts.back().second = 1.0;
+    } else {
+      pts.emplace_back(sorted_.back(), 1.0);
+    }
   }
   return pts;
 }
@@ -101,7 +108,7 @@ std::size_t Counter::keys_to_cover(double fraction) const {
 std::vector<std::pair<double, double>> coverage_curve(
     std::vector<std::uint64_t> multiplicities, std::size_t max_points) {
   std::vector<std::pair<double, double>> pts;
-  if (multiplicities.empty()) return pts;
+  if (multiplicities.empty() || max_points == 0) return pts;
   // Greedily take the heaviest keys first: x = fraction of keys used,
   // y = fraction of items covered.
   std::sort(multiplicities.begin(), multiplicities.end(), std::greater<>());
@@ -132,11 +139,15 @@ TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: row wider than header");
+  }
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
 }
 
 std::string TextTable::str() const {
+  if (headers_.empty()) return {};
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();

@@ -88,10 +88,12 @@ class TextTable {
   /// Creates a table with the given column headers.
   explicit TextTable(std::vector<std::string> headers);
 
-  /// Appends a row; missing cells render empty, extra cells are dropped.
+  /// Appends a row; missing cells render empty. Throws
+  /// std::invalid_argument if the row is wider than the header.
   void add_row(std::vector<std::string> cells);
 
   /// Renders with aligned columns, a header rule, and trailing newline.
+  /// A table constructed with no headers renders as the empty string.
   std::string str() const;
 
  private:

@@ -1,0 +1,154 @@
+// Determinism of the parallel linking pipeline: on a seeded simworld
+// archive, DatasetIndex, Linker, evaluate_all_fields(), and
+// link_iteratively() must produce byte-identical results at 1, 2, and 8
+// threads (the 1-thread pool IS the serial path — it never spawns).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "simworld/world.h"
+#include "tracking/tracker.h"
+#include "util/thread_pool.h"
+
+namespace sm::linking {
+namespace {
+
+void expect_same_field_results(const std::vector<FieldResult>& a,
+                               const std::vector<FieldResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].feature, b[i].feature);
+    EXPECT_EQ(a[i].total_linked, b[i].total_linked);
+    EXPECT_EQ(a[i].uniquely_linked, b[i].uniquely_linked);
+    EXPECT_DOUBLE_EQ(a[i].consistency.ip, b[i].consistency.ip);
+    EXPECT_DOUBLE_EQ(a[i].consistency.slash24, b[i].consistency.slash24);
+    EXPECT_DOUBLE_EQ(a[i].consistency.as_level, b[i].consistency.as_level);
+    ASSERT_EQ(a[i].groups.size(), b[i].groups.size());
+    for (std::size_t g = 0; g < a[i].groups.size(); ++g) {
+      EXPECT_EQ(a[i].groups[g].feature, b[i].groups[g].feature);
+      EXPECT_EQ(a[i].groups[g].certs, b[i].groups[g].certs);
+    }
+  }
+}
+
+void expect_same_iterative(const IterativeResult& a, const IterativeResult& b) {
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.linked_certs, b.linked_certs);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].feature, b.groups[g].feature);
+    EXPECT_EQ(a.groups[g].certs, b.groups[g].certs);
+  }
+}
+
+class LinkingDeterminism : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new simworld::WorldResult(
+        simworld::World(simworld::WorldConfig::tiny()).run());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static simworld::WorldResult* world_;
+};
+
+simworld::WorldResult* LinkingDeterminism::world_ = nullptr;
+
+TEST_F(LinkingDeterminism, IdenticalAcrossThreadCounts) {
+  std::optional<std::vector<FieldResult>> reference_fields;
+  std::optional<IterativeResult> reference_linked;
+  std::optional<std::vector<analysis::CertStats>> reference_stats;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const analysis::DatasetIndex index(world_->archive, world_->routing,
+                                       &pool);
+    const Linker linker(index, LinkerConfig{}, &pool);
+    const std::vector<FieldResult> fields = linker.evaluate_all_fields();
+    const IterativeResult linked = linker.link_iteratively();
+    if (!reference_fields) {
+      reference_stats = index.all_stats();
+      reference_fields = fields;
+      reference_linked = linked;
+      // The serial run must actually link something, or this test proves
+      // nothing.
+      EXPECT_GT(linked.linked_certs, 0u);
+      continue;
+    }
+    // DatasetIndex stats are thread-count-invariant.
+    ASSERT_EQ(reference_stats->size(), index.all_stats().size());
+    for (std::size_t i = 0; i < reference_stats->size(); ++i) {
+      const analysis::CertStats& r = (*reference_stats)[i];
+      const analysis::CertStats& s = index.all_stats()[i];
+      EXPECT_EQ(r.scans_seen, s.scans_seen);
+      EXPECT_EQ(r.first_scan, s.first_scan);
+      EXPECT_EQ(r.last_scan, s.last_scan);
+      EXPECT_EQ(r.total_ip_scan_slots, s.total_ip_scan_slots);
+      EXPECT_EQ(r.max_ips_in_scan, s.max_ips_in_scan);
+      EXPECT_EQ(r.min_ips_in_scan, s.min_ips_in_scan);
+      EXPECT_EQ(r.distinct_as_count, s.distinct_as_count);
+      EXPECT_EQ(r.majority_as, s.majority_as);
+    }
+    expect_same_field_results(*reference_fields, fields);
+    expect_same_iterative(*reference_linked, linked);
+  }
+}
+
+TEST_F(LinkingDeterminism, FeatureUniquenessAndTruthScoreStable) {
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(8);
+  const analysis::DatasetIndex index_s(world_->archive, world_->routing,
+                                       &serial);
+  const analysis::DatasetIndex index_w(world_->archive, world_->routing,
+                                       &wide);
+  const Linker linker_s(index_s, LinkerConfig{}, &serial);
+  const Linker linker_w(index_w, LinkerConfig{}, &wide);
+
+  const auto uniq_s = linker_s.feature_uniqueness();
+  const auto uniq_w = linker_w.feature_uniqueness();
+  ASSERT_EQ(uniq_s.size(), uniq_w.size());
+  for (std::size_t i = 0; i < uniq_s.size(); ++i) {
+    EXPECT_EQ(uniq_s[i].feature, uniq_w[i].feature);
+    EXPECT_EQ(uniq_s[i].applicable, uniq_w[i].applicable);
+    EXPECT_EQ(uniq_s[i].non_unique, uniq_w[i].non_unique);
+  }
+
+  const IterativeResult linked_s = linker_s.link_iteratively();
+  const IterativeResult linked_w = linker_w.link_iteratively();
+  const TruthScore truth_s = linker_s.score_against_truth(linked_s);
+  const TruthScore truth_w = linker_w.score_against_truth(linked_w);
+  EXPECT_EQ(truth_s.linked_pairs, truth_w.linked_pairs);
+  EXPECT_EQ(truth_s.correct_pairs, truth_w.correct_pairs);
+  EXPECT_EQ(truth_s.possible_pairs, truth_w.possible_pairs);
+}
+
+TEST_F(LinkingDeterminism, TrackerEntitiesStableAcrossThreadCounts) {
+  std::optional<std::uint64_t> reference_with, reference_without;
+  std::optional<std::size_t> reference_entities;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const analysis::DatasetIndex index(world_->archive, world_->routing,
+                                       &pool);
+    const Linker linker(index, LinkerConfig{}, &pool);
+    const IterativeResult linked = linker.link_iteratively();
+    const tracking::DeviceTracker tracker(index, linker, linked,
+                                          world_->as_db, {}, &pool);
+    const auto summary = tracker.summary();
+    if (!reference_entities) {
+      reference_entities = tracker.entities().size();
+      reference_with = summary.trackable_with_linking;
+      reference_without = summary.trackable_without_linking;
+      continue;
+    }
+    EXPECT_EQ(tracker.entities().size(), *reference_entities);
+    EXPECT_EQ(summary.trackable_with_linking, *reference_with);
+    EXPECT_EQ(summary.trackable_without_linking, *reference_without);
+  }
+}
+
+}  // namespace
+}  // namespace sm::linking

@@ -296,6 +296,36 @@ TEST(EmpiricalCdf, CurveEndsAtOne) {
   EXPECT_DOUBLE_EQ(pts.back().first, 5.0);
 }
 
+TEST(EmpiricalCdf, CurveClosesOnYWithRepeatedSamples) {
+  // Regression: {1, 1} at max_points 1 subsamples to a single point
+  // (1, 0.5); the old x-based closing guard saw x == max and skipped the
+  // closing point, leaving a CDF that never reached 1.
+  const EmpiricalCdf cdf({1, 1});
+  const auto pts = cdf.curve(1);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, CurveMonotoneAndClosedUnderSubsampling) {
+  const EmpiricalCdf cdf({1, 1, 2, 2, 2, 3, 7, 7, 7, 7, 9});
+  for (const std::size_t max_points : {1u, 2u, 3u, 5u, 100u}) {
+    const auto pts = cdf.curve(max_points);
+    ASSERT_FALSE(pts.empty());
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(pts.back().first, 9.0);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      EXPECT_GE(pts[i].first, pts[i - 1].first);
+      EXPECT_GE(pts[i].second, pts[i - 1].second);
+    }
+  }
+}
+
+TEST(EmpiricalCdf, CurveZeroPointsIsEmpty) {
+  const EmpiricalCdf cdf({1, 2, 3});
+  EXPECT_TRUE(cdf.curve(0).empty());
+}
+
 TEST(Counter, TopAndTotals) {
   Counter c;
   c.add("godaddy", 5);
@@ -335,6 +365,12 @@ TEST(CoverageCurve, SharedKeysBendAboveDiagonal) {
   EXPECT_DOUBLE_EQ(pts.front().second, 0.97);
 }
 
+TEST(CoverageCurve, ZeroMaxPointsIsEmpty) {
+  // Regression: max_points == 0 divided by zero in the step computation.
+  EXPECT_TRUE(coverage_curve({3, 2, 1}, 0).empty());
+  EXPECT_TRUE(coverage_curve({}, 0).empty());
+}
+
 TEST(Percent, Formatting) {
   EXPECT_EQ(percent(0.879), "87.9%");
   EXPECT_EQ(percent(0.0), "0.0%");
@@ -348,6 +384,22 @@ TEST(TextTable, AlignsColumns) {
   const std::string s = t.str();
   EXPECT_NE(s.find("name"), std::string::npos);
   EXPECT_NE(s.find("lancom  4691873"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderTableRendersEmpty) {
+  // Regression: zero headers made the rule length underflow to SIZE_MAX
+  // and str() tried to build a multi-exabyte string of dashes.
+  TextTable t({});
+  EXPECT_EQ(t.str(), "");
+}
+
+TEST(TextTable, OverWideRowThrows) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+  // Narrow rows still pad to the header width.
+  TextTable u({"a", "b"});
+  u.add_row({"x"});
+  EXPECT_NE(u.str().find("x"), std::string::npos);
 }
 
 }  // namespace

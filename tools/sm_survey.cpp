@@ -46,6 +46,7 @@
 #include "simworld/world.h"
 #include "simworld/world_io.h"
 #include "tracking/tracker.h"
+#include "util/thread_pool.h"
 #include "x509/pem.h"
 
 namespace {
@@ -63,6 +64,7 @@ struct Options {
   std::string tsv_path;
   std::string outdir = "figures";
   std::string pem_path;
+  std::size_t threads = 0;  // 0 = one per hardware thread
 };
 
 void usage() {
@@ -76,7 +78,10 @@ void usage() {
       "  --out FILE     (simulate) write a world bundle\n"
       "  --tsv FILE     (simulate) export the archive as TSV\n"
       "  --outdir DIR   (figures) output directory (default ./figures)\n"
-      "  --pem FILE     (lint) PEM bundle to lint");
+      "  --pem FILE     (lint) PEM bundle to lint\n"
+      "  --threads N    worker threads for analysis/linking/tracking\n"
+      "                 (default: one per hardware thread; results are\n"
+      "                 identical for every N)");
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -110,6 +115,16 @@ std::optional<Options> parse(int argc, char** argv) {
       opts.outdir = value();
     } else if (arg == "--pem") {
       opts.pem_path = value();
+    } else if (arg == "--threads") {
+      const char* v = value();
+      char* end = nullptr;
+      opts.threads = std::strtoull(v, &end, 10);
+      if (*v == '\0' || end == nullptr || *end != '\0' ||
+          opts.threads > 4096) {
+        std::fprintf(stderr, "invalid --threads value '%s' (want 0-4096)\n",
+                     v);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -489,6 +504,9 @@ int main(int argc, char** argv) {
   if (!opts) {
     usage();
     return 2;
+  }
+  if (opts->threads != 0) {
+    util::ThreadPool::set_global_threads(opts->threads);
   }
   if (opts->command == "simulate") return cmd_simulate(*opts);
   if (opts->command == "report") return cmd_report(*opts);
