@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build exercising the concurrency-bearing tests
-# (thread pool, linking pipeline, dataset index, tracker).
+# (thread pool, linking pipeline, dataset index, tracker), then an
+# AddressSanitizer build running the archive I/O corruption harness
+# (exhaustive truncation + bit-flip sweeps over hostile input).
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then run_tsan=0; fi
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier 1: standard build + ctest =="
 cmake -B build -S . >/dev/null
@@ -25,6 +34,17 @@ if [[ "$run_tsan" == 1 ]]; then
            analysis_test tracking_test util_test; do
     echo "-- $t (tsan)"
     ./build-tsan/tests/"$t" --gtest_brief=1
+  done
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== tier 1: ASan build (archive I/O corruption harness) =="
+  cmake -B build-asan -S . -DSM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target \
+    archive_corruption_test archive_io_test >/dev/null
+  for t in archive_corruption_test archive_io_test; do
+    echo "-- $t (asan)"
+    ./build-asan/tests/"$t" --gtest_brief=1
   done
 fi
 

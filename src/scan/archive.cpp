@@ -1,6 +1,7 @@
 #include "scan/archive.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sm::scan {
 
@@ -10,6 +11,15 @@ CertId ScanArchive::intern(const CertRecord& record) {
   const CertId id = static_cast<CertId>(certs_.size());
   by_fingerprint_.emplace(record.fingerprint, id);
   certs_.push_back(record);
+  return id;
+}
+
+CertId ScanArchive::intern(CertRecord&& record) {
+  const auto it = by_fingerprint_.find(record.fingerprint);
+  if (it != by_fingerprint_.end()) return it->second;
+  const CertId id = static_cast<CertId>(certs_.size());
+  by_fingerprint_.emplace(record.fingerprint, id);
+  certs_.push_back(std::move(record));
   return id;
 }
 
@@ -31,6 +41,19 @@ std::size_t ScanArchive::begin_scan(const ScanEvent& event) {
 void ScanArchive::add_observation(std::size_t scan_index, CertId cert,
                                   std::uint32_t ip, DeviceId device) {
   scans_.at(scan_index).observations.push_back(Observation{cert, ip, device});
+}
+
+std::size_t ScanArchive::add_scan(ScanData&& scan) {
+  if (!scans_.empty() && scan.event.start < scans_.back().event.start) {
+    throw std::logic_error("scans must be appended chronologically");
+  }
+  scans_.push_back(std::move(scan));
+  return scans_.size() - 1;
+}
+
+void ScanArchive::reserve_certs(std::size_t n) {
+  certs_.reserve(n);
+  by_fingerprint_.reserve(n);
 }
 
 std::size_t ScanArchive::observation_count() const {

@@ -45,6 +45,7 @@ class ScanArchive {
   /// Interns a certificate record, returning its stable id. Records with a
   /// previously-seen fingerprint are deduplicated.
   CertId intern(const CertRecord& record);
+  CertId intern(CertRecord&& record);
 
   /// Looks up an interned certificate by fingerprint; returns false when
   /// unknown.
@@ -57,6 +58,14 @@ class ScanArchive {
   /// Appends one observation to scan `scan_index`.
   void add_observation(std::size_t scan_index, CertId cert, std::uint32_t ip,
                        DeviceId device);
+
+  /// Appends a fully-built scan (event + observations) in one move — the
+  /// bulk path the parallel archive loader uses. Same chronological
+  /// requirement as begin_scan. Returns the new scan's index.
+  std::size_t add_scan(ScanData&& scan);
+
+  /// Pre-sizes the certificate table (a load-time optimization).
+  void reserve_certs(std::size_t n);
 
   const std::vector<CertRecord>& certs() const { return certs_; }
   const std::vector<ScanData>& scans() const { return scans_; }

@@ -67,7 +67,11 @@ bool get_prefix_set(std::istream& in, scan::PrefixSet& set) {
 void save_world_bundle(const WorldResult& world, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   put(out, kVersion);
-  scan::save_archive(world.archive, out);
+  if (!scan::save_archive(world.archive, out)) {
+    // A format-limit overflow must not produce a silently corrupt bundle.
+    out.setstate(std::ios::failbit);
+    return;
+  }
 
   // Routing history: reconstructed snapshot by snapshot from the tables in
   // effect at each scan (plus one pre-study snapshot). We re-derive the

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum used
+// by gzip/zip/PNG. The archive v2 format frames every section with it so
+// silent corruption (bit rot, truncated copies, bad transfers) is detected
+// at load time instead of flowing into the analyses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sm::util {
+
+/// Computes the CRC-32 of `size` bytes at `data`. Pass a previous result as
+/// `crc` to continue incrementally over a split buffer (crc of empty input
+/// is 0, so the default starts a fresh checksum).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+inline std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0) {
+  return crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace sm::util

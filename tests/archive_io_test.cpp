@@ -1,11 +1,20 @@
-// Tests for sm::scan archive persistence — binary and TSV round-trips,
-// malformed-input rejection, and a full simulated-world round-trip.
+// Tests for sm::scan archive persistence — v1/v2 binary and TSV
+// round-trips, hostile-string (adversarial) round-trip properties, format
+// limit enforcement, v1 byte-format pinning + v1→v2 migration, parallel
+// determinism, trailing-garbage detection, the streaming ArchiveReader,
+// and a full simulated-world round-trip. The truncation/bit-flip
+// corruption sweeps live in archive_corruption_test.cpp.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "scan/archive_io.h"
 #include "simworld/world.h"
+#include "util/thread_pool.h"
 
 namespace sm::scan {
 namespace {
@@ -39,6 +48,27 @@ CertRecord sample_record(std::uint64_t id) {
   return rec;
 }
 
+// A record whose every string field attacks the TSV escaping: embedded
+// delimiters, escape sequences that must not double-decode, and SAN
+// entries containing the '|' join character, tabs, newlines, percent
+// signs, and emptiness.
+CertRecord hostile_record(std::uint64_t id) {
+  CertRecord rec = sample_record(id);
+  rec.fingerprint[15] = static_cast<std::uint8_t>(0xA0 + id);
+  rec.subject_cn = "a|b\tc\nd%e%7cf";
+  rec.issuer_cn = "%";
+  rec.issuer_dn = "";
+  rec.serial_hex = "%25%09%0a";
+  rec.san = {"", "dns:pipe|inside", "tab\tentry", "line\nentry",
+             "pct%entry", "%7c", "|", "trailing|"};
+  rec.aki_hex = "aki\twith\ttabs|and%pipes\n";
+  rec.crl_url = "||";
+  rec.aia_url = "%%";
+  rec.ocsp_url = "\t\n%|";
+  rec.policy_oid = "1.2.3";
+  return rec;
+}
+
 ScanArchive sample_archive() {
   ScanArchive archive;
   for (std::uint64_t i = 1; i <= 5; ++i) archive.intern(sample_record(i));
@@ -50,6 +80,21 @@ ScanArchive sample_archive() {
   archive.add_observation(s0, 1, 0x0a000002, 2);
   archive.add_observation(s1, 0, 0x0a000003, 1);
   archive.add_observation(s1, 4, 0x0a000004, kNoDevice);
+  return archive;
+}
+
+ScanArchive hostile_archive() {
+  ScanArchive archive;
+  for (std::uint64_t i = 1; i <= 4; ++i) archive.intern(hostile_record(i));
+  CertRecord empty_san = sample_record(50);
+  empty_san.san.clear();  // must stay distinct from {""}
+  archive.intern(empty_san);
+  CertRecord one_empty_san = sample_record(51);
+  one_empty_san.san = {""};
+  archive.intern(one_empty_san);
+  const std::size_t s0 =
+      archive.begin_scan(ScanEvent{Campaign::kUMich, 2000, 36000});
+  for (CertId c = 0; c < 6; ++c) archive.add_observation(s0, c, 100 + c, c);
   return archive;
 }
 
@@ -93,13 +138,45 @@ void expect_equal(const ScanArchive& a, const ScanArchive& b) {
   }
 }
 
+std::string save_to_string(const ScanArchive& archive,
+                           ArchiveVersion version = ArchiveVersion::kV2) {
+  std::stringstream buffer;
+  EXPECT_TRUE(save_archive(archive, buffer, version));
+  return buffer.str();
+}
+
+// --- binary: v2 (default) ----------------------------------------------------
+
 TEST(BinaryFormat, RoundTrip) {
   const ScanArchive original = sample_archive();
   std::stringstream buffer;
-  save_archive(original, buffer);
+  ASSERT_TRUE(save_archive(original, buffer));
   const auto loaded = load_archive(buffer);
   ASSERT_TRUE(loaded.has_value());
   expect_equal(original, *loaded);
+}
+
+TEST(BinaryFormat, HostileStringsRoundTrip) {
+  const ScanArchive original = hostile_archive();
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream buffer(save_to_string(original, version));
+    const auto loaded = load_archive(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    expect_equal(original, *loaded);
+  }
+}
+
+TEST(BinaryFormat, EmptyArchiveRoundTrip) {
+  const ScanArchive empty;
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream buffer(save_to_string(empty, version));
+    const auto loaded = load_archive(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->certs().empty());
+    EXPECT_TRUE(loaded->scans().empty());
+  }
 }
 
 TEST(BinaryFormat, RejectsBadMagic) {
@@ -108,12 +185,19 @@ TEST(BinaryFormat, RejectsBadMagic) {
   EXPECT_FALSE(load_archive(buffer).has_value());
 }
 
-TEST(BinaryFormat, RejectsTruncation) {
-  const ScanArchive original = sample_archive();
+TEST(BinaryFormat, RejectsUnsupportedVersion) {
   std::stringstream buffer;
-  save_archive(original, buffer);
-  const std::string full = buffer.str();
+  buffer << "SMAR";
+  const std::uint32_t version = 3;
+  buffer.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  buffer << std::string(64, '\0');
+  EXPECT_FALSE(load_archive(buffer).has_value());
+}
+
+TEST(BinaryFormat, RejectsTruncation) {
+  const std::string full = save_to_string(sample_archive());
   // Truncate at several points; none may crash, all must fail cleanly.
+  // (The exhaustive sweep lives in archive_corruption_test.cpp.)
   for (const std::size_t cut :
        {std::size_t{3}, std::size_t{10}, full.size() / 2, full.size() - 3}) {
     std::stringstream cut_buffer(full.substr(0, cut));
@@ -122,11 +206,10 @@ TEST(BinaryFormat, RejectsTruncation) {
 }
 
 TEST(BinaryFormat, RejectsOutOfRangeCertIndex) {
-  const ScanArchive original = sample_archive();
-  std::stringstream buffer;
-  save_archive(original, buffer);
-  std::string bytes = buffer.str();
-  // The last observation's cert index lives near the end; blast it.
+  // v1 has no checksums, so this exercises the cert-index bound itself
+  // (in v2 the frame CRC would already catch the mutation).
+  std::string bytes = save_to_string(sample_archive(), ArchiveVersion::kV1);
+  // The last observation's cert index is 12 bytes from the end.
   bytes[bytes.size() - 12] = static_cast<char>(0xff);
   std::stringstream corrupted(bytes);
   EXPECT_FALSE(load_archive(corrupted).has_value());
@@ -142,6 +225,278 @@ TEST(BinaryFormat, FileRoundTrip) {
   EXPECT_FALSE(load_archive_file("/tmp/does-not-exist.smar").has_value());
 }
 
+TEST(BinaryFormat, EmbeddedArchiveLeavesRemainderReadable) {
+  // world_io embeds archives in a larger stream: the loader must consume
+  // exactly the archive's bytes, for both versions.
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream buffer(save_to_string(sample_archive(), version) +
+                             "REMAINDER");
+    const auto loaded = load_archive(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    std::string rest;
+    buffer >> rest;
+    EXPECT_EQ(rest, "REMAINDER");
+  }
+}
+
+TEST(BinaryFormat, ReportsTrailingBytes) {
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream clean(save_to_string(sample_archive(), version));
+    ArchiveLoadReport report;
+    ASSERT_TRUE(load_archive(clean, &report).has_value());
+    EXPECT_EQ(report.version, static_cast<std::uint32_t>(version));
+    EXPECT_FALSE(report.trailing_bytes);
+
+    std::stringstream tail(save_to_string(sample_archive(), version) + "x");
+    ArchiveLoadReport tail_report;
+    ASSERT_TRUE(load_archive(tail, &tail_report).has_value());
+    EXPECT_TRUE(tail_report.trailing_bytes);
+  }
+}
+
+TEST(BinaryFormat, FileLoadRejectsTrailingGarbage) {
+  const std::string path = "/tmp/sm_archive_io_trailing.smar";
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::ofstream out(path, std::ios::binary);
+    const std::string bytes = save_to_string(sample_archive(), version);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out << "trailing garbage";
+    out.close();
+    EXPECT_FALSE(load_archive_file(path).has_value());
+  }
+}
+
+TEST(BinaryFormat, SaveRejectsOverLimitSanCount) {
+  // A SAN list beyond the format limit must fail the save loudly instead
+  // of writing a file the loader would reject (v1 previously truncated
+  // counts via static_cast).
+  ScanArchive archive;
+  CertRecord rec = sample_record(1);
+  rec.san.assign((1u << 16) + 1, "x");
+  archive.intern(rec);
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream buffer;
+    EXPECT_FALSE(save_archive(archive, buffer, version));
+  }
+  const std::string path = "/tmp/sm_archive_io_overlimit.smar";
+  EXPECT_FALSE(save_archive_file(archive, path));
+}
+
+TEST(BinaryFormat, RejectsNonChronologicalScans) {
+  // Hand-build a v1 stream whose second scan starts before the first; the
+  // loader must reject it (it used to throw out of begin_scan).
+  std::string bytes;
+  const auto put32 = [&](std::uint32_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto put64 = [&](std::int64_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  bytes += "SMAR";
+  put32(1);  // version
+  put32(0);  // no certs
+  put32(2);  // two scans
+  bytes.push_back(0);
+  put64(5000);  // first scan at t=5000
+  put64(36000);
+  put32(0);
+  bytes.push_back(0);
+  put64(1000);  // second scan at t=1000: out of order
+  put64(36000);
+  put32(0);
+  std::stringstream in(bytes);
+  EXPECT_FALSE(load_archive(in).has_value());
+}
+
+// --- binary: v1 compatibility ------------------------------------------------
+
+// A v1 archive serialized by the pre-v2 writer (1 cert, 1 scan, 1
+// observation). Pins the v1 byte format: the v1 writer must still emit
+// exactly these bytes and the loader must parse them.
+constexpr char kGoldenV1Hex[] =
+    "534d415201000000010000000102030405060708090a0b0c0d0e0f10887766554433"
+    "22110c0000006465766963652e6c6f63616c0b0000003139322e3136382e312e310e"
+    "000000434e3d3139322e3136382e312e31080000003062616463306465808aa85100"
+    "00000000943577000000000200000010000000646e733a6465766963652e6c6f6361"
+    "6c0b00000069703a31302e302e302e310400000061316232180000006874"
+    "74703a2f2f63726c2e6578616d706c652f632e63726c000000001300000068747470"
+    "3a2f2f6f6373702e6578616d706c6507000000312e322e332e340200000000010100"
+    "00000080e3d34f00000000a08c00000000000001000000000000000100000a070000"
+    "00";
+
+ScanArchive golden_archive() {
+  ScanArchive archive;
+  CertRecord rec;
+  rec.fingerprint = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  rec.key_fingerprint = 0x1122334455667788ull;
+  rec.subject_cn = "device.local";
+  rec.issuer_cn = "192.168.1.1";
+  rec.issuer_dn = "CN=192.168.1.1";
+  rec.serial_hex = "0badc0de";
+  rec.not_before = 1370000000;
+  rec.not_after = 2000000000;
+  rec.san = {"dns:device.local", "ip:10.0.0.1"};
+  rec.aki_hex = "a1b2";
+  rec.crl_url = "http://crl.example/c.crl";
+  rec.aia_url = "";
+  rec.ocsp_url = "http://ocsp.example";
+  rec.policy_oid = "1.2.3.4";
+  rec.raw_version = 2;
+  rec.is_ca = false;
+  rec.valid = false;
+  rec.transvalid = false;
+  rec.invalid_reason = pki::InvalidReason::kSelfSigned;
+  archive.intern(rec);
+  const std::size_t s =
+      archive.begin_scan(ScanEvent{Campaign::kUMich, 1339286400, 36000});
+  archive.add_observation(s, 0, 0x0a000001, 7);
+  return archive;
+}
+
+std::string unhex(const std::string& hex) {
+  std::string out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    const auto nibble = [&](char c) {
+      return c <= '9' ? c - '0' : c - 'a' + 10;
+    };
+    out.push_back(
+        static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+TEST(V1Compat, GoldenBytesStillLoad) {
+  std::stringstream in(unhex(kGoldenV1Hex));
+  const auto loaded = load_archive(in);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(golden_archive(), *loaded);
+}
+
+TEST(V1Compat, WriterIsByteIdenticalToGolden) {
+  EXPECT_EQ(save_to_string(golden_archive(), ArchiveVersion::kV1),
+            unhex(kGoldenV1Hex));
+}
+
+TEST(V1Compat, V1RoundTrip) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer(save_to_string(original, ArchiveVersion::kV1));
+  const auto loaded = load_archive(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(V1Compat, V1ToV2Migration) {
+  const ScanArchive original = sample_archive();
+  std::stringstream v1(save_to_string(original, ArchiveVersion::kV1));
+  const auto from_v1 = load_archive(v1);
+  ASSERT_TRUE(from_v1.has_value());
+  std::stringstream v2(save_to_string(*from_v1, ArchiveVersion::kV2));
+  const auto from_v2 = load_archive(v2);
+  ASSERT_TRUE(from_v2.has_value());
+  expect_equal(original, *from_v2);
+}
+
+// --- parallel determinism ----------------------------------------------------
+
+TEST(ParallelArchiveIo, BitIdenticalAcrossThreadCounts) {
+  // Sized to span several cert frames would be too slow here; several
+  // scans is enough to exercise the per-frame parallel schedule.
+  simworld::WorldConfig config = simworld::WorldConfig::tiny();
+  config.device_count = 120;
+  config.website_count = 40;
+  const simworld::WorldResult world = simworld::World(config).run();
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    const std::string bytes = save_to_string(world.archive);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+    std::stringstream in(bytes);
+    const auto loaded = load_archive(in);
+    ASSERT_TRUE(loaded.has_value()) << "threads=" << threads;
+    expect_equal(world.archive, *loaded);
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+
+// --- streaming reader --------------------------------------------------------
+
+TEST(ArchiveReaderTest, StreamsCertsAndScans) {
+  const ScanArchive original = sample_archive();
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream in(save_to_string(original, version));
+    ArchiveReader reader(in);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.version(), static_cast<std::uint32_t>(version));
+    EXPECT_EQ(reader.cert_count(), original.certs().size());
+
+    std::vector<CertRecord> certs;
+    ASSERT_TRUE(reader.for_each_cert(
+        [&](CertId id, const CertRecord& cert) {
+          EXPECT_EQ(id, certs.size());
+          certs.push_back(cert);
+        }));
+    EXPECT_EQ(certs.size(), original.certs().size());
+    EXPECT_EQ(reader.scan_count(), original.scans().size());
+
+    std::vector<ScanData> scans;
+    ASSERT_TRUE(reader.for_each_scan(
+        [&](const ScanData& scan) { scans.push_back(scan); }));
+    EXPECT_TRUE(reader.finished());
+
+    // The streamed view must match the materialized archive exactly.
+    ScanArchive streamed;
+    for (CertRecord& cert : certs) streamed.intern(std::move(cert));
+    for (ScanData& scan : scans) streamed.add_scan(std::move(scan));
+    expect_equal(original, streamed);
+  }
+}
+
+TEST(ArchiveReaderTest, ScanOnlyVisitSkipsCertSection) {
+  const ScanArchive original = sample_archive();
+  for (const ArchiveVersion version :
+       {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    std::stringstream in(save_to_string(original, version));
+    ArchiveReader reader(in);
+    ASSERT_TRUE(reader.ok());
+    std::size_t observations = 0;
+    ASSERT_TRUE(reader.for_each_scan(
+        [&](const ScanData& scan) { observations += scan.observations.size(); }));
+    EXPECT_EQ(observations, original.observation_count());
+    EXPECT_TRUE(reader.finished());
+    // The cert section is behind us now.
+    EXPECT_FALSE(reader.for_each_cert(ArchiveReader::CertFn()));
+  }
+}
+
+TEST(ArchiveReaderTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not an archive at all");
+  ArchiveReader bad(garbage);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.for_each_cert(ArchiveReader::CertFn()));
+  EXPECT_FALSE(bad.for_each_scan(ArchiveReader::ScanFn()));
+
+  const std::string full = save_to_string(sample_archive());
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  ArchiveReader reader(cut);
+  ASSERT_TRUE(reader.ok());  // header intact
+  EXPECT_TRUE(reader.for_each_cert(ArchiveReader::CertFn()));
+  EXPECT_FALSE(reader.for_each_scan(ArchiveReader::ScanFn()));
+  EXPECT_FALSE(reader.finished());
+  EXPECT_FALSE(reader.ok());
+}
+
+// --- TSV ---------------------------------------------------------------------
+
 TEST(TsvFormat, RoundTrip) {
   const ScanArchive original = sample_archive();
   std::stringstream buffer;
@@ -149,6 +504,79 @@ TEST(TsvFormat, RoundTrip) {
   const auto loaded = import_tsv(buffer);
   ASSERT_TRUE(loaded.has_value());
   expect_equal(original, *loaded);
+}
+
+TEST(TsvFormat, HostileStringsRoundTrip) {
+  const ScanArchive original = hostile_archive();
+  std::stringstream buffer;
+  export_tsv(original, buffer);
+  const auto loaded = import_tsv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(TsvFormat, SanEntriesWithPipesRoundTrip) {
+  // The '|' join delimiter used to pass through unescaped, silently
+  // splitting one SAN entry into several on import.
+  ScanArchive archive;
+  CertRecord rec = sample_record(1);
+  rec.san = {"dns:a|b.example", "uri:http://x/?q=1|2"};
+  archive.intern(rec);
+  std::stringstream buffer;
+  export_tsv(archive, buffer);
+  const auto loaded = import_tsv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->certs().size(), 1u);
+  EXPECT_EQ(loaded->certs()[0].san, rec.san);
+}
+
+TEST(TsvFormat, LegacySanEncodingStillImports) {
+  // Pre-escaping exports joined entries with bare '|' and no terminator.
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  export_tsv(original, buffer);
+  std::string tsv = buffer.str();
+  // Rewrite the current terminated encoding of sample SANs back to the
+  // legacy join to simulate an old file.
+  const std::string current = "dns:a.example|ip:192.168.1.1|";
+  const std::string legacy = "dns:a.example|ip:192.168.1.1";
+  for (std::size_t pos = 0; (pos = tsv.find(current, pos)) != std::string::npos;) {
+    tsv.replace(pos, current.size(), legacy);
+    pos += legacy.size();
+  }
+  std::stringstream rewritten(tsv);
+  const auto loaded = import_tsv(rewritten);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal(original, *loaded);
+}
+
+TEST(TsvFormat, AkiEscapingIsSymmetric) {
+  // aki_hex used to be written raw and read without unescape(): a tab
+  // inside it corrupted the row, and escaped exports re-imported wrong.
+  ScanArchive archive;
+  CertRecord rec = sample_record(1);
+  rec.aki_hex = "00aa\t11bb%7c";
+  archive.intern(rec);
+  std::stringstream buffer;
+  export_tsv(archive, buffer);
+  EXPECT_EQ(buffer.str().find('\t' + std::string("00aa\t")), std::string::npos);
+  const auto loaded = import_tsv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->certs().size(), 1u);
+  EXPECT_EQ(loaded->certs()[0].aki_hex, rec.aki_hex);
+}
+
+TEST(TsvFormat, RejectsMalformedEscapes) {
+  const ScanArchive original = sample_archive();
+  std::stringstream buffer;
+  export_tsv(original, buffer);
+  std::string tsv = buffer.str();
+  // Corrupt the aki field of the first cert row with a bad escape.
+  const std::size_t aki = tsv.find("00aa11bb");
+  ASSERT_NE(aki, std::string::npos);
+  tsv.replace(aki, 8, "%zz");
+  std::stringstream corrupted(tsv);
+  EXPECT_FALSE(import_tsv(corrupted).has_value());
 }
 
 TEST(TsvFormat, EscapesSpecialCharacters) {
@@ -171,6 +599,17 @@ TEST(TsvFormat, RejectsGarbage) {
   EXPECT_FALSE(import_tsv(bad_obs).has_value());
 }
 
+TEST(TsvFormat, RejectsNonChronologicalScans) {
+  // Scan 1 starting before scan 0 must fail the import (it used to throw
+  // out of begin_scan).
+  std::stringstream ordered(
+      "C\tffffffffffffffffffffffffffffffff\t1\ts\ti\td\tsn\t0\t1\t\t\t\t\t\t"
+      "\t2\t0\t0\t0\t1\n"
+      "O\t0\t0\t5000\t36000\t0\t1\t1\n"
+      "O\t1\t0\t1000\t36000\t0\t1\t1\n");
+  EXPECT_FALSE(import_tsv(ordered).has_value());
+}
+
 TEST(TsvFormat, CommentsAndBlankLinesIgnored) {
   const ScanArchive original = sample_archive();
   std::stringstream buffer;
@@ -180,13 +619,15 @@ TEST(TsvFormat, CommentsAndBlankLinesIgnored) {
   ASSERT_TRUE(loaded.has_value());
 }
 
+// --- end-to-end --------------------------------------------------------------
+
 TEST(RoundTrip, SimulatedWorldSurvives) {
   simworld::WorldConfig config = simworld::WorldConfig::tiny();
   config.device_count = 80;
   config.website_count = 30;
   const simworld::WorldResult world = simworld::World(config).run();
   std::stringstream buffer;
-  save_archive(world.archive, buffer);
+  ASSERT_TRUE(save_archive(world.archive, buffer));
   const auto loaded = load_archive(buffer);
   ASSERT_TRUE(loaded.has_value());
   expect_equal(world.archive, *loaded);

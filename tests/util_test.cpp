@@ -2,9 +2,12 @@
 // civil-date conversions, PRNG behaviour, and statistics helpers.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
+#include <string_view>
 
 #include "util/bytes.h"
+#include "util/crc32.h"
 #include "util/datetime.h"
 #include "util/hex.h"
 #include "util/md5.h"
@@ -400,6 +403,56 @@ TEST(TextTable, OverWideRowThrows) {
   TextTable u({"a", "b"});
   u.add_row({"x"});
   EXPECT_NE(u.str().find("x"), std::string::npos);
+}
+
+TEST(Crc32, StandardVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0x00000000u);
+  EXPECT_EQ(crc32(std::string_view("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(std::string_view(
+                "The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data =
+      "a longer buffer whose crc is computed in pieces of varying size to "
+      "exercise the sliced fast path and the byte tail together.";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  // Every split point must agree with the one-shot value, including splits
+  // that leave the second half unaligned for the 8-byte fold.
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t c = crc32(data.data(), split);
+    c = crc32(data.data() + split, data.size() - split, c);
+    EXPECT_EQ(c, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32, EveryLengthAndOffset) {
+  // Cross-check the sliced implementation against a reference bytewise
+  // loop for every small length at every alignment offset.
+  std::array<unsigned char, 96> data{};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(31 * i + 7);
+  }
+  const auto reference = [](const unsigned char* p, std::size_t n) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i) {
+      c ^= p[i];
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  for (std::size_t offset = 0; offset < 8; ++offset) {
+    for (std::size_t len = 0; len + offset <= data.size(); ++len) {
+      EXPECT_EQ(crc32(data.data() + offset, len),
+                reference(data.data() + offset, len))
+          << "offset=" << offset << " len=" << len;
+    }
+  }
 }
 
 }  // namespace

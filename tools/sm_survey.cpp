@@ -21,12 +21,19 @@
 //       Writes gnuplot-ready .dat series for every figure in the paper
 //       plus a plots.gp script that renders them.
 //
+//   sm_survey stat --archive FILE
+//       Streams a binary certificate archive (v1 or v2) through the
+//       scan::ArchiveReader visitor API — validity split, per-campaign
+//       observation totals — without materializing the whole ScanArchive.
+//
 //   sm_survey lint --pem FILE
 //       Parses every CERTIFICATE block in a PEM bundle and lints each one
 //       (zlint-style device-certificate pathology checks).
 //
 //   sm_survey dump --pem FILE
 //       dumpasn1-style DER tree of every block in a PEM bundle.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +69,7 @@ struct Options {
   std::string in_path;
   std::string out_path;
   std::string tsv_path;
+  std::string archive_path;
   std::string outdir = "figures";
   std::string pem_path;
   std::size_t threads = 0;  // 0 = one per hardware thread
@@ -69,7 +77,8 @@ struct Options {
 
 void usage() {
   std::puts(
-      "usage: sm_survey <simulate|report|link|track|figures|lint|dump> [options]\n"
+      "usage: sm_survey "
+      "<simulate|report|link|track|figures|stat|lint|dump> [options]\n"
       "  --seed N       simulation seed (default 42)\n"
       "  --devices N    end-user devices (default 5000)\n"
       "  --websites N   valid websites (default 1700)\n"
@@ -77,6 +86,8 @@ void usage() {
       "  --in FILE      load a world bundle instead of simulating\n"
       "  --out FILE     (simulate) write a world bundle\n"
       "  --tsv FILE     (simulate) export the archive as TSV\n"
+      "  --archive FILE (simulate) write a checksummed binary archive;\n"
+      "                 (stat) stream one without loading it whole\n"
       "  --outdir DIR   (figures) output directory (default ./figures)\n"
       "  --pem FILE     (lint) PEM bundle to lint\n"
       "  --threads N    worker threads for analysis/linking/tracking\n"
@@ -111,6 +122,8 @@ std::optional<Options> parse(int argc, char** argv) {
       opts.out_path = value();
     } else if (arg == "--tsv") {
       opts.tsv_path = value();
+    } else if (arg == "--archive") {
+      opts.archive_path = value();
     } else if (arg == "--outdir") {
       opts.outdir = value();
     } else if (arg == "--pem") {
@@ -180,6 +193,73 @@ int cmd_simulate(const Options& opts) {
     scan::export_tsv(world.archive, tsv);
     std::printf("tsv:          %s\n", opts.tsv_path.c_str());
   }
+  if (!opts.archive_path.empty()) {
+    if (!scan::save_archive_file(world.archive, opts.archive_path)) {
+      std::fprintf(stderr, "failed to write %s\n", opts.archive_path.c_str());
+      return 1;
+    }
+    std::printf("archive:      %s\n", opts.archive_path.c_str());
+  }
+  return 0;
+}
+
+// Streams an archive file through scan::ArchiveReader: every certificate
+// and scan is visited exactly once without ever holding the full
+// ScanArchive in memory — the shape every analysis over a full-size corpus
+// (222 scans, 80M certs in the paper) wants.
+int cmd_stat(const Options& opts) {
+  if (opts.archive_path.empty()) {
+    std::fprintf(stderr, "stat requires --archive FILE\n");
+    return 2;
+  }
+  std::ifstream in(opts.archive_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", opts.archive_path.c_str());
+    return 1;
+  }
+  scan::ArchiveReader reader(in);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: not a valid archive\n",
+                 opts.archive_path.c_str());
+    return 1;
+  }
+  std::printf("format:        SMAR v%u\n", reader.version());
+
+  std::uint64_t valid = 0, invalid = 0, transvalid = 0, san_entries = 0;
+  reader.for_each_cert([&](scan::CertId, const scan::CertRecord& cert) {
+    (cert.valid ? valid : invalid) += 1;
+    if (cert.transvalid) ++transvalid;
+    san_entries += cert.san.size();
+  });
+  std::uint64_t scans = 0, observations = 0, max_obs = 0;
+  std::uint64_t per_campaign[2] = {0, 0};
+  reader.for_each_scan([&](const scan::ScanData& scan) {
+    ++scans;
+    observations += scan.observations.size();
+    max_obs = std::max<std::uint64_t>(max_obs, scan.observations.size());
+    per_campaign[static_cast<int>(scan.event.campaign)] +=
+        scan.observations.size();
+  });
+  if (!reader.finished()) {
+    std::fprintf(stderr, "%s: corrupt archive (checksum/truncation)\n",
+                 opts.archive_path.c_str());
+    return 1;
+  }
+  std::printf("unique certs:  %llu (%llu valid, %llu invalid, "
+              "%llu transvalid)\n",
+              static_cast<unsigned long long>(valid + invalid),
+              static_cast<unsigned long long>(valid),
+              static_cast<unsigned long long>(invalid),
+              static_cast<unsigned long long>(transvalid));
+  std::printf("san entries:   %llu\n",
+              static_cast<unsigned long long>(san_entries));
+  std::printf("scans:         %llu (umich %llu obs, rapid7 %llu obs)\n",
+              static_cast<unsigned long long>(scans),
+              static_cast<unsigned long long>(per_campaign[0]),
+              static_cast<unsigned long long>(per_campaign[1]));
+  std::printf("observations:  %llu (largest scan %llu)\n",
+              static_cast<unsigned long long>(observations),
+              static_cast<unsigned long long>(max_obs));
   return 0;
 }
 
@@ -513,6 +593,7 @@ int main(int argc, char** argv) {
   if (opts->command == "link") return cmd_link(*opts);
   if (opts->command == "track") return cmd_track(*opts);
   if (opts->command == "figures") return cmd_figures(*opts);
+  if (opts->command == "stat") return cmd_stat(*opts);
   if (opts->command == "lint") return cmd_lint(*opts);
   if (opts->command == "dump") return cmd_dump(*opts);
   usage();
