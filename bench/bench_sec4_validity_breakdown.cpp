@@ -6,11 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "analysis/longevity.h"
 #include "bench/common.h"
 #include "pki/verifier.h"
+#include "simworld/world.h"
 #include "util/prng.h"
+#include "util/thread_pool.h"
 #include "x509/builder.h"
 
 namespace {
@@ -99,6 +102,144 @@ void BM_ValidityBreakdown(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValidityBreakdown);
+
+// A corpus shaped like the paper's population: mostly self-signed device
+// certificates, a slice of CA-issued leaves funneling through a handful of
+// intermediates (valid + transvalid), and vendor-CA chains that end
+// untrusted. Shared by the batch-verify kernels below.
+struct VerifyCorpus {
+  sm::pki::RootStore roots;
+  sm::pki::IntermediatePool pool;
+  std::vector<sm::x509::Certificate> certs;
+};
+
+const VerifyCorpus& verify_corpus() {
+  static const VerifyCorpus corpus = [] {
+    VerifyCorpus c;
+    sm::util::Rng rng(3);
+    const auto make_key = [&rng] {
+      return sm::crypto::generate_keypair(sm::crypto::SigScheme::kSimSha256,
+                                          rng);
+    };
+    const auto ca_cert = [](const sm::x509::Name& subject,
+                            const sm::x509::Name& issuer,
+                            const sm::crypto::PublicKeyInfo& pub,
+                            const sm::crypto::SigningKey& signer,
+                            std::uint64_t serial) {
+      return sm::x509::CertificateBuilder()
+          .set_serial(sm::bignum::BigUint(serial))
+          .set_issuer(issuer)
+          .set_subject(subject)
+          .set_validity(0, sm::util::make_date(2035, 1, 1))
+          .set_public_key(pub)
+          .set_basic_constraints(true)
+          .sign(signer);
+    };
+    const auto root_key = make_key();
+    const auto intermediate_key = make_key();
+    const auto vendor_key = make_key();
+    const sm::x509::Name root_name =
+        sm::x509::Name::with_common_name("Bench Root CA");
+    const sm::x509::Name int_name =
+        sm::x509::Name::with_common_name("Bench Intermediate CA");
+    const sm::x509::Name vendor_name =
+        sm::x509::Name::with_common_name("Bench Vendor CA");
+    const auto root = ca_cert(root_name, root_name, root_key.pub, root_key, 1);
+    const auto intermediate =
+        ca_cert(int_name, root_name, intermediate_key.pub, root_key, 2);
+    const auto vendor =
+        ca_cert(vendor_name, vendor_name, vendor_key.pub, vendor_key, 3);
+    c.roots.add(root);
+    c.pool.add(intermediate);
+    c.pool.add(vendor);
+
+    constexpr std::size_t kCorpus = 8000;
+    c.certs.reserve(kCorpus);
+    for (std::size_t i = 0; i < kCorpus; ++i) {
+      const auto leaf_key = make_key();
+      const sm::x509::Name subject = sm::x509::Name::with_common_name(
+          "device-" + std::to_string(i) + ".example");
+      sm::x509::CertificateBuilder builder;
+      builder.set_serial(sm::bignum::BigUint(100 + i))
+          .set_subject(subject)
+          .set_validity(0, sm::util::make_date(2033, 1, 1))
+          .set_public_key(leaf_key.pub);
+      if (i % 10 < 7) {  // 70% self-signed
+        builder.set_issuer(subject);
+        c.certs.push_back(builder.sign(leaf_key));
+      } else if (i % 10 < 9) {  // 20% transvalid via the intermediate
+        builder.set_issuer(int_name);
+        c.certs.push_back(builder.sign(intermediate_key));
+      } else {  // 10% vendor-CA chains (untrusted issuer)
+        builder.set_issuer(vendor_name);
+        c.certs.push_back(builder.sign(vendor_key));
+      }
+    }
+    return c;
+  }();
+  return corpus;
+}
+
+// Baseline: the plain serial verifier over the whole corpus — what the
+// simulator did per certificate before BatchVerifier existed.
+void BM_VerifyAllSerial(benchmark::State& state) {
+  const VerifyCorpus& corpus = verify_corpus();
+  const sm::pki::Verifier verifier(corpus.roots, corpus.pool);
+  for (auto _ : state) {
+    std::size_t valid = 0;
+    for (const auto& cert : corpus.certs) {
+      valid += verifier.verify(cert).valid ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(valid);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    corpus.certs.size()));
+}
+BENCHMARK(BM_VerifyAllSerial)->Unit(benchmark::kMillisecond);
+
+// Kernel: memoized batch verification, swept over thread counts. A fresh
+// BatchVerifier per iteration so the memo is cold, as in a real pass.
+void BM_BatchVerifyAll(benchmark::State& state) {
+  const VerifyCorpus& corpus = verify_corpus();
+  sm::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const sm::pki::BatchVerifier batch(corpus.roots, corpus.pool);
+    auto results = batch.verify_all(corpus.certs, &pool);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    corpus.certs.size()));
+}
+BENCHMARK(BM_BatchVerifyAll)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Kernel: the full world build (topology + PKI + population + every scan),
+// swept over thread counts — the `Context()` setup cost every bench and
+// tool pays. Smaller than WorldConfig::paper() so the sweep stays fast.
+void BM_WorldBuild(benchmark::State& state) {
+  sm::simworld::WorldConfig config;
+  config.seed = 11;
+  config.device_count = 1000;
+  config.website_count = 340;
+  config.schedule.scale = 0.2;
+  sm::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto world = sm::simworld::World(config, &pool).run();
+    benchmark::DoNotOptimize(world.issued_certificates);
+  }
+}
+BENCHMARK(BM_WorldBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

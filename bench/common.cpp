@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,7 +17,21 @@ Context::Context()
       linked(linker.link_iteratively()) {}
 
 const Context& context() {
+  // The statics initialize in order on first use, so `begin` brackets the
+  // Context build and the message fires exactly once.
+  static const auto begin = std::chrono::steady_clock::now();
   static const Context ctx;
+  static const bool logged = [] {
+    std::fprintf(stderr,
+                 "bench context (paper world + index + linking): %.2fs on "
+                 "%zu threads\n",
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count(),
+                 util::ThreadPool::global_thread_count());
+    return true;
+  }();
+  (void)logged;
   return ctx;
 }
 

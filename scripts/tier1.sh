@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build exercising the concurrency-bearing tests
-# (thread pool, linking pipeline, dataset index, tracker), then an
-# AddressSanitizer build running the archive I/O corruption harness
-# (exhaustive truncation + bit-flip sweeps over hostile input).
+# (thread pool, linking pipeline, dataset index, tracker, parallel world
+# simulation, batch verifier), then an AddressSanitizer build running the
+# archive I/O corruption harness (exhaustive truncation + bit-flip sweeps
+# over hostile input) plus the world-determinism test.
+#
+# The simworld_parallel_test golden-hash determinism check runs under BOTH
+# sanitizer configs: any thread-count divergence in the simulated archive
+# bytes fails the pass.
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
 set -euo pipefail
@@ -24,25 +29,25 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
+tsan_tests=(thread_pool_test linking_parallel_test linking_test
+            analysis_test tracking_test util_test
+            simworld_parallel_test batch_verifier_test)
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier 1: TSan build (thread pool + linking/analysis/tracking) =="
+  echo "== tier 1: TSan build (thread pool + linking/analysis/tracking + world/verify) =="
   cmake -B build-tsan -S . -DSM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target \
-    thread_pool_test linking_parallel_test linking_test \
-    analysis_test tracking_test util_test >/dev/null
-  for t in thread_pool_test linking_parallel_test linking_test \
-           analysis_test tracking_test util_test; do
+  cmake --build build-tsan -j --target "${tsan_tests[@]}" >/dev/null
+  for t in "${tsan_tests[@]}"; do
     echo "-- $t (tsan)"
     ./build-tsan/tests/"$t" --gtest_brief=1
   done
 fi
 
+asan_tests=(archive_corruption_test archive_io_test simworld_parallel_test)
 if [[ "$run_asan" == 1 ]]; then
-  echo "== tier 1: ASan build (archive I/O corruption harness) =="
+  echo "== tier 1: ASan build (archive I/O corruption harness + world determinism) =="
   cmake -B build-asan -S . -DSM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target \
-    archive_corruption_test archive_io_test >/dev/null
-  for t in archive_corruption_test archive_io_test; do
+  cmake --build build-asan -j --target "${asan_tests[@]}" >/dev/null
+  for t in "${asan_tests[@]}"; do
     echo "-- $t (asan)"
     ./build-asan/tests/"$t" --gtest_brief=1
   done

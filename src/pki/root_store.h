@@ -3,12 +3,22 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "x509/certificate.h"
 
 namespace sm::pki {
+
+/// The lookup key both certificate stores index subjects by (hex of the
+/// subject's DER encoding). Building it allocates, so the verifier's chain
+/// walk computes it once per level and probes both stores with the same
+/// key instead of re-encoding the name per lookup.
+using SubjectKey = std::string;
+
+/// Encodes a subject name into the shared store-lookup key.
+SubjectKey subject_lookup_key(const x509::Name& subject);
 
 /// A set of trusted (root) certificates, indexed by subject name and by
 /// certificate fingerprint.
@@ -21,6 +31,15 @@ class RootStore {
   /// share a subject across key rolls, as in real stores).
   std::vector<const x509::Certificate*> find_by_subject(
       const x509::Name& subject) const;
+
+  /// Indices of the roots matching a precomputed subject key — the
+  /// non-allocating lookup the chain walk uses. Resolve with at().
+  std::span<const std::size_t> matches(const SubjectKey& key) const;
+
+  /// The root at a matches() index.
+  const x509::Certificate& at(std::size_t index) const {
+    return roots_[index];
+  }
 
   /// True when a certificate with this exact fingerprint is trusted.
   bool contains(const util::Bytes& fingerprint_sha256) const;
@@ -48,6 +67,14 @@ class IntermediatePool {
   /// Candidates whose subject matches.
   std::vector<const x509::Certificate*> find_by_subject(
       const x509::Name& subject) const;
+
+  /// Indices of the intermediates matching a precomputed subject key.
+  std::span<const std::size_t> matches(const SubjectKey& key) const;
+
+  /// The intermediate at a matches() index.
+  const x509::Certificate& at(std::size_t index) const {
+    return pool_[index];
+  }
 
   std::size_t size() const { return pool_.size(); }
 

@@ -1,5 +1,13 @@
 #include "pki/verifier.h"
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/thread_pool.h"
+
 namespace sm::pki {
 
 std::string to_string(InvalidReason reason) {
@@ -28,6 +36,90 @@ bool is_self_signature(const x509::Certificate& cert) {
   return crypto::verify(cert.spki, cert.tbs_der, cert.signature);
 }
 
+// Memoizes the chain-walk sub-results that are pure functions of
+// store-resident certificates: whether a CA's signature is its own
+// (self-signature), whether a CA is a trusted root, and whether issuer X
+// signed store-resident child Y. Keys are certificate addresses, which is
+// sound only for certificates whose storage outlives the memo — the
+// BatchVerifier contract. Leaf-level checks are never memoized: leaves are
+// caller-owned transients and mostly unique, so an address key would be
+// both unsafe and useless.
+//
+// Racing threads may compute the same entry twice; both compute the same
+// value (the functions are pure), so the winner of the emplace is
+// indistinguishable from the loser and results stay deterministic.
+class VerifierMemo {
+ public:
+  template <typename Fn>
+  bool self_signature(const x509::Certificate* cert, Fn&& compute) {
+    return memoized(self_sig_, static_cast<const void*>(cert),
+                    &sig_cache_hits, std::forward<Fn>(compute));
+  }
+
+  template <typename Fn>
+  bool root_member(const x509::Certificate* cert, Fn&& compute) {
+    return memoized(root_member_, static_cast<const void*>(cert), nullptr,
+                    std::forward<Fn>(compute));
+  }
+
+  template <typename Fn>
+  bool signature_pair(const x509::Certificate* issuer,
+                      const x509::Certificate* child, Fn&& compute) {
+    return memoized(sig_pair_, PtrPair{issuer, child}, &sig_cache_hits,
+                    std::forward<Fn>(compute));
+  }
+
+  std::atomic<std::uint64_t> verified{0};
+  std::atomic<std::uint64_t> sig_checks{0};
+  std::atomic<std::uint64_t> sig_cache_hits{0};
+
+ private:
+  using PtrPair = std::pair<const void*, const void*>;
+  struct PtrPairHash {
+    std::size_t operator()(const PtrPair& key) const {
+      const auto a = reinterpret_cast<std::uintptr_t>(key.first);
+      const auto b = reinterpret_cast<std::uintptr_t>(key.second);
+      std::size_t h = a * 0x9e3779b97f4a7c15ull;
+      h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  template <typename MapT>
+  struct Shards {
+    struct Shard {
+      std::mutex mutex;
+      MapT map;
+    };
+    Shard shard[kShards];
+  };
+
+  // Returns the cached value for `key`, or computes it outside the lock and
+  // caches it. The compute callback must be pure in `key`.
+  template <typename MapT, typename KeyT, typename Fn>
+  static bool memoized(Shards<MapT>& shards, const KeyT& key,
+                       std::atomic<std::uint64_t>* hits, Fn&& compute) {
+    auto& shard =
+        shards.shard[typename MapT::hasher{}(key) % kShards];
+    {
+      std::lock_guard lock(shard.mutex);
+      if (const auto it = shard.map.find(key); it != shard.map.end()) {
+        if (hits != nullptr) hits->fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    const bool value = compute();
+    std::lock_guard lock(shard.mutex);
+    return shard.map.emplace(key, value).first->second;
+  }
+
+  Shards<std::unordered_map<const void*, bool>> self_sig_;
+  Shards<std::unordered_map<const void*, bool>> root_member_;
+  Shards<std::unordered_map<PtrPair, bool, PtrPairHash>> sig_pair_;
+};
+
 Verifier::Verifier(const RootStore& roots, const IntermediatePool& intermediates,
                    VerifyOptions options)
     : roots_(roots), intermediates_(intermediates), options_(options) {}
@@ -35,7 +127,14 @@ Verifier::Verifier(const RootStore& roots, const IntermediatePool& intermediates
 ValidationResult Verifier::verify(
     const x509::Certificate& leaf,
     std::span<const x509::Certificate> presented) const {
+  return verify_impl(leaf, presented, nullptr);
+}
+
+ValidationResult Verifier::verify_impl(
+    const x509::Certificate& leaf,
+    std::span<const x509::Certificate> presented, VerifierMemo* memo) const {
   ValidationResult out;
+  if (memo != nullptr) memo->verified.fetch_add(1, std::memory_order_relaxed);
 
   if (!leaf.version_is_legal()) {
     out.reason = InvalidReason::kMalformedVersion;
@@ -53,6 +152,48 @@ ValidationResult Verifier::verify(
     return InvalidReason::kNone;
   };
 
+  // One crypto::verify, memoized when both sides are store-resident (their
+  // addresses are stable for the memo's lifetime). `resident` is tracked by
+  // the walk below: candidates taken from the root store or intermediate
+  // pool are resident; the leaf and presented certificates are not.
+  const auto check_signature = [&](const x509::Certificate& issuer,
+                                   bool issuer_resident,
+                                   const x509::Certificate& child,
+                                   bool child_resident) {
+    const auto compute = [&] {
+      if (memo != nullptr) {
+        memo->sig_checks.fetch_add(1, std::memory_order_relaxed);
+      }
+      return crypto::verify(issuer.spki, child.tbs_der, child.signature);
+    };
+    if (memo != nullptr && issuer_resident && child_resident) {
+      return memo->signature_pair(&issuer, &child, compute);
+    }
+    return compute();
+  };
+  const auto self_signature = [&](const x509::Certificate& cert,
+                                  bool resident) {
+    const auto compute = [&] {
+      if (memo != nullptr) {
+        memo->sig_checks.fetch_add(1, std::memory_order_relaxed);
+      }
+      return is_self_signature(cert);
+    };
+    if (memo != nullptr && resident) {
+      return memo->self_signature(&cert, compute);
+    }
+    return compute();
+  };
+  const auto root_member = [&](const x509::Certificate& cert, bool resident) {
+    const auto compute = [&] {
+      return roots_.contains(cert.fingerprint_sha256());
+    };
+    if (memo != nullptr && resident) {
+      return memo->root_member(&cert, compute);
+    }
+    return compute();
+  };
+
   // Trusted root presented directly as the endpoint certificate.
   if (roots_.contains(leaf.fingerprint_sha256())) {
     out.valid = true;
@@ -65,7 +206,7 @@ ValidationResult Verifier::verify(
   // with a backwards validity period is classified self-signed, as openssl
   // error 19 fires before date checks — this keeps the paper's "other"
   // bucket tiny.
-  if (is_self_signature(leaf)) {
+  if (self_signature(leaf, /*resident=*/false)) {
     out.reason = InvalidReason::kSelfSigned;
     return out;
   }
@@ -76,34 +217,39 @@ ValidationResult Verifier::verify(
     return out;
   }
 
-  // Walk up the chain. At each level, candidate issuers come from the
-  // presented chain first, then the intermediate pool (transvalid
-  // completion), then the root store.
+  // Walk up the chain. At each level, candidate issuers come from the root
+  // store (reaching a root terminates the walk), then the presented chain,
+  // then the intermediate pool (transvalid completion). The stores index by
+  // encoded subject name, so the issuer key is computed once per level and
+  // probes both stores without allocating candidate vectors.
   const x509::Certificate* current = &leaf;
+  bool current_resident = false;
   bool used_pool = false;
   for (int depth = 1; depth < options_.max_chain_length; ++depth) {
+    const SubjectKey issuer_key = subject_lookup_key(current->issuer);
     const x509::Certificate* next = nullptr;
     bool next_from_pool = false;
+    bool next_resident = false;
     bool found_name_match = false;
     bool bad_signature_seen = false;
 
     const auto try_candidate = [&](const x509::Certificate& cand,
-                                   bool from_pool) {
+                                   bool from_pool, bool resident) {
       if (next) return;
       if (!(cand.subject == current->issuer)) return;
       found_name_match = true;
-      if (!crypto::verify(cand.spki, current->tbs_der, current->signature)) {
+      if (!check_signature(cand, resident, *current, current_resident)) {
         bad_signature_seen = true;
         return;
       }
       if (time_ok(cand) != InvalidReason::kNone) return;
       next = &cand;
       next_from_pool = from_pool;
+      next_resident = resident;
     };
 
-    // Root store first: reaching a root terminates the walk.
-    for (const x509::Certificate* root : roots_.find_by_subject(current->issuer)) {
-      try_candidate(*root, false);
+    for (const std::size_t index : roots_.matches(issuer_key)) {
+      try_candidate(roots_.at(index), false, /*resident=*/true);
       if (next) {
         if (options_.crl_store != nullptr &&
             options_.crl_store->is_revoked(leaf.issuer, leaf.serial)) {
@@ -117,12 +263,11 @@ ValidationResult Verifier::verify(
       }
     }
     for (const x509::Certificate& cand : presented) {
-      try_candidate(cand, false);
+      try_candidate(cand, false, /*resident=*/false);
     }
     if (!next) {
-      for (const x509::Certificate* cand :
-           intermediates_.find_by_subject(current->issuer)) {
-        try_candidate(*cand, true);
+      for (const std::size_t index : intermediates_.matches(issuer_key)) {
+        try_candidate(intermediates_.at(index), true, /*resident=*/true);
       }
     }
     if (!next) {
@@ -131,15 +276,54 @@ ValidationResult Verifier::verify(
                        : InvalidReason::kUntrustedIssuer;
       return out;
     }
-    if (is_self_signature(*next) && !roots_.contains(next->fingerprint_sha256())) {
+    if (self_signature(*next, next_resident) &&
+        !root_member(*next, next_resident)) {
       // Chain roots at an untrusted self-signed certificate.
       out.reason = InvalidReason::kUntrustedIssuer;
       return out;
     }
     used_pool = used_pool || next_from_pool;
     current = next;
+    current_resident = next_resident;
   }
   out.reason = InvalidReason::kUntrustedIssuer;  // chain too long / dangling
+  return out;
+}
+
+BatchVerifier::BatchVerifier(const RootStore& roots,
+                             const IntermediatePool& intermediates,
+                             VerifyOptions options)
+    : base_(roots, intermediates, options),
+      memo_(std::make_unique<VerifierMemo>()) {}
+
+BatchVerifier::~BatchVerifier() = default;
+
+ValidationResult BatchVerifier::verify(
+    const x509::Certificate& leaf,
+    std::span<const x509::Certificate> presented) const {
+  return base_.verify_impl(leaf, presented, memo_.get());
+}
+
+std::vector<ValidationResult> BatchVerifier::verify_all(
+    std::span<const x509::Certificate> leaves, util::ThreadPool* pool) const {
+  std::vector<ValidationResult> results(leaves.size());
+  util::ThreadPool& workers =
+      pool != nullptr ? *pool : util::ThreadPool::global();
+  workers.parallel_for(leaves.size(), 32,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           results[i] = base_.verify_impl(leaves[i], {},
+                                                          memo_.get());
+                         }
+                       });
+  return results;
+}
+
+BatchVerifyStats BatchVerifier::stats() const {
+  BatchVerifyStats out;
+  out.verified = memo_->verified.load(std::memory_order_relaxed);
+  out.sig_checks = memo_->sig_checks.load(std::memory_order_relaxed);
+  out.sig_cache_hits = memo_->sig_cache_hits.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -13,15 +13,27 @@
 // Chains are completed from an IntermediatePool so that "transvalid"
 // certificates — leaves whose servers present broken chains but for which a
 // valid chain exists — validate, as in the paper.
+//
+// For corpus-scale validation (the paper verifies 80M certificates) use
+// BatchVerifier: it fans leaves out on a util::ThreadPool and memoizes the
+// sub-results distinct leaves share — the self-signature and root-membership
+// checks of each store-resident CA, and the CA-under-CA signature checks of
+// the upper chain links — which the plain Verifier recomputes per leaf.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "pki/crl_store.h"
 #include "pki/root_store.h"
 #include "x509/certificate.h"
+
+namespace sm::util {
+class ThreadPool;
+}  // namespace sm::util
 
 namespace sm::pki {
 
@@ -51,6 +63,9 @@ struct ValidationResult {
   /// True when the chain needed certificates from the intermediate pool that
   /// the server did not present ("transvalid").
   bool transvalid = false;
+
+  friend bool operator==(const ValidationResult&,
+                         const ValidationResult&) = default;
 };
 
 /// Verifier options.
@@ -67,6 +82,9 @@ struct VerifyOptions {
   const class CrlStore* crl_store = nullptr;
 };
 
+// Memoizes the pure sub-results of chain walks (defined in verifier.cpp).
+class VerifierMemo;
+
 /// Validates certificates against a root store + intermediate pool.
 class Verifier {
  public:
@@ -80,9 +98,61 @@ class Verifier {
       std::span<const x509::Certificate> presented = {}) const;
 
  private:
+  friend class BatchVerifier;
+
+  ValidationResult verify_impl(const x509::Certificate& leaf,
+                               std::span<const x509::Certificate> presented,
+                               VerifierMemo* memo) const;
+
   const RootStore& roots_;
   const IntermediatePool& intermediates_;
   VerifyOptions options_;
+};
+
+/// Counters a BatchVerifier accumulates across its lifetime. Totals are
+/// exact; they are only incremented with relaxed atomics, so read them
+/// after the parallel work completes.
+struct BatchVerifyStats {
+  std::uint64_t verified = 0;        ///< certificates verified
+  std::uint64_t sig_checks = 0;      ///< signature checks actually computed
+  std::uint64_t sig_cache_hits = 0;  ///< signature checks answered by memo
+};
+
+/// Corpus-scale validation: the same results as Verifier::verify for every
+/// input, computed in parallel and with the shared sub-results memoized.
+///
+/// The memo is keyed by certificate address, so the root store and
+/// intermediate pool must not be mutated (and candidate `presented` chains
+/// passed to verify() must stay alive) for the lifetime of this object.
+/// All methods are safe to call concurrently.
+class BatchVerifier {
+ public:
+  BatchVerifier(const RootStore& roots, const IntermediatePool& intermediates,
+                VerifyOptions options = {});
+  ~BatchVerifier();
+
+  BatchVerifier(const BatchVerifier&) = delete;
+  BatchVerifier& operator=(const BatchVerifier&) = delete;
+
+  /// Verifies one leaf with memoization; bit-identical to
+  /// Verifier::verify(leaf, presented).
+  ValidationResult verify(
+      const x509::Certificate& leaf,
+      std::span<const x509::Certificate> presented = {}) const;
+
+  /// Verifies every leaf (each with an empty presented chain) on `pool`
+  /// (null = the process-global pool). results[i] corresponds to leaves[i]
+  /// and is identical for every thread count.
+  std::vector<ValidationResult> verify_all(
+      std::span<const x509::Certificate> leaves,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Lifetime counters (call when no verification is in flight).
+  BatchVerifyStats stats() const;
+
+ private:
+  Verifier base_;
+  std::unique_ptr<VerifierMemo> memo_;
 };
 
 /// True when the certificate's signature verifies under its *own* public

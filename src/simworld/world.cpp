@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "pki/verifier.h"
 #include "scan/permutation.h"
 #include "util/hex.h"
 #include "util/prng.h"
+#include "util/thread_pool.h"
 #include "x509/builder.h"
 
 namespace sm::simworld {
@@ -16,6 +19,11 @@ namespace sm::simworld {
 namespace {
 
 constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+/// Per-replica lease-interval cap. Only degenerately tiny leases (shorter
+/// than scan_window / 12) can hit it; when they do the overflow is counted
+/// in WorldResult::dropped_lease_intervals rather than dropped silently.
+constexpr std::size_t kMaxLeaseIntervals = 12;
 
 std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
@@ -88,6 +96,41 @@ std::string hex_token(std::uint64_t h, int digits) {
   return out;
 }
 
+/// A lease interval overlapping one scan window.
+struct Interval {
+  util::UnixTime from, to;
+  std::int64_t epoch;
+  util::UnixTime lease_start;
+};
+
+/// One planned probe response. `issue_index` is the index of the last
+/// entry of DevicePlan::issues planned at the time of the hit (-1 when the
+/// device still serves a certificate issued before this scan); the commit
+/// phase interns issues up to it before appending the observation, which
+/// reproduces the serial intern/observe interleaving exactly.
+struct PlannedHit {
+  std::uint32_t ip = 0;
+  std::int32_t issue_index = -1;
+};
+
+/// Everything one device contributes to one scan, computed in the parallel
+/// plan phase and applied by the serial commit. Buffers are reused across
+/// scans (clear keeps capacity).
+struct DevicePlan {
+  std::vector<scan::CertRecord> issues;
+  std::vector<PlannedHit> hits;
+  std::uint32_t dropped = 0;
+};
+
+/// A device's planned ISP move for one round (plan phase output; the slot
+/// is assigned at commit because `next_slot` is shared per ISP).
+struct MoveDecision {
+  bool moved = false;
+  bool new_static = false;
+  std::uint32_t new_isp = 0;
+  std::uint32_t new_pool = 0;
+};
+
 }  // namespace
 
 WorldConfig WorldConfig::tiny() {
@@ -127,12 +170,23 @@ struct World::DeviceState {
   scan::CertId current_cert = 0;
   std::uint64_t serial_counter = 0;
   std::int64_t reissue_period = 0;  ///< per-device jittered period
+
+  /// Values that are constant per (isp, pool, slot+replica) but were
+  /// recomputed in the scan inner loop: the lease-phase offset and the
+  /// static-assignment address. Refreshed on every ISP move.
+  struct ReplicaCache {
+    std::int64_t lease_phase = 0;
+    net::Ipv4Address static_addr{};
+  };
+  std::vector<ReplicaCache> replicas;
 };
 
 class World::Impl {
  public:
-  explicit Impl(const WorldConfig& config)
-      : config_(config), master_rng_(config.seed) {}
+  Impl(const WorldConfig& config, util::ThreadPool* pool)
+      : config_(config),
+        master_rng_(config.seed),
+        workers_(pool != nullptr ? *pool : util::ThreadPool::global()) {}
 
   WorldResult run();
 
@@ -146,13 +200,19 @@ class World::Impl {
   void maybe_move_devices();
   void run_scan(std::size_t scan_index, const scan::ScanEvent& event);
 
-  scan::CertId ensure_cert(std::uint32_t device_id, util::UnixTime probe,
-                           std::int64_t lease_epoch,
-                           util::UnixTime lease_start,
-                           net::Ipv4Address current_ip);
-  scan::CertId issue_cert(std::uint32_t device_id, std::int64_t epoch_id,
-                          util::UnixTime issue_time,
-                          net::Ipv4Address current_ip);
+  void plan_device(std::uint32_t device_id,
+                   const scan::AddressPermutation& perm,
+                   const scan::PrefixSet& blacklist,
+                   const scan::ScanEvent& event, DevicePlan& plan);
+  void plan_hit(std::uint32_t device_id, DevicePlan& plan,
+                util::UnixTime probe, std::int64_t lease_epoch,
+                util::UnixTime lease_start, net::Ipv4Address current_ip);
+  scan::CertRecord build_cert_record(std::uint32_t device_id,
+                                     std::int64_t epoch_id,
+                                     util::UnixTime issue_time,
+                                     net::Ipv4Address current_ip);
+  MoveDecision plan_move(std::uint32_t device_id, std::uint64_t move_round);
+  void refresh_replica_cache(DeviceState& device) const;
 
   util::Rng rng_at(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
     return util::Rng(mix3(config_.seed ^ a, b, c));
@@ -169,6 +229,7 @@ class World::Impl {
   WorldConfig config_;
   util::Rng master_rng_;
   std::uint64_t move_round_ = 0;
+  util::ThreadPool& workers_;
 
   std::vector<IspRuntime> isps_;
   std::vector<std::size_t> transit_isps_;  // indices into isps_
@@ -189,8 +250,16 @@ class World::Impl {
 
   std::vector<DeviceState> devices_;
 
+  // Per-scan plan buffers, indexed by device id (reused across scans).
+  std::vector<DevicePlan> plans_;
+  std::vector<MoveDecision> moves_;
+
   WorldResult result_;
-  pki::IntermediatePool pool_;
+  pki::IntermediatePool intermediates_;
+  // Memoizing validator over roots/intermediates; constructed once both
+  // stores are final (its memo caches by certificate address) and shared by
+  // every planning thread.
+  std::optional<pki::BatchVerifier> verifier_;
   util::UnixTime study_start_ = 0;
   util::UnixTime study_end_ = 0;
 };
@@ -257,7 +326,7 @@ void World::Impl::build_pki() {
     if (trusted_intermediates_.contains(profile.fixed_issuer)) continue;
     const CaEntry& parent = roots[trusted_intermediates_.size() % roots.size()];
     CaEntry entry = make_ca(profile.fixed_issuer, &parent, ++serial);
-    pool_.add(entry.cert);
+    intermediates_.add(entry.cert);
     trusted_intermediates_.emplace(profile.fixed_issuer, std::move(entry));
   }
 
@@ -272,7 +341,7 @@ void World::Impl::build_pki() {
       }
       if (vendor_cas_.contains(name)) continue;
       CaEntry entry = make_ca(name, nullptr, ++serial);
-      pool_.add(entry.cert);
+      intermediates_.add(entry.cert);
       vendor_cas_.emplace(std::move(name), std::move(entry));
     }
   }
@@ -307,6 +376,23 @@ std::uint32_t World::Impl::pick_isp(const VendorProfile& vendor,
     if (pick <= 0) return static_cast<std::uint32_t>(i);
   }
   return static_cast<std::uint32_t>(candidates.back());
+}
+
+void World::Impl::refresh_replica_cache(DeviceState& device) const {
+  const IspRuntime& isp = isps_[device.isp];
+  device.replicas.resize(device.replication);
+  for (std::uint32_t replica = 0; replica < device.replication; ++replica) {
+    const std::uint32_t slot = device.slot + replica;
+    DeviceState::ReplicaCache& cache = device.replicas[replica];
+    cache.lease_phase =
+        isp.cfg.lease_seconds > 0
+            ? static_cast<std::int64_t>(
+                  mix3(0x9a5e, slot, isp.cfg.asn) %
+                  static_cast<std::uint64_t>(isp.cfg.lease_seconds))
+            : 0;
+    cache.static_addr =
+        isp.addr_in_pool(device.pool, isp.permute(device.pool, slot, 0x57a71c));
+  }
 }
 
 void World::Impl::build_population() {
@@ -364,6 +450,7 @@ void World::Impl::build_population() {
           kDay, static_cast<std::int64_t>(
                     static_cast<double>(vendor.reissue_period_mean) * jitter));
     }
+    refresh_replica_cache(d);
     devices_.push_back(std::move(d));
   }
   result_.true_device_count = config_.device_count;
@@ -392,10 +479,10 @@ void World::Impl::build_blacklists() {
 
 // --- certificate issuance -------------------------------------------------------
 
-scan::CertId World::Impl::issue_cert(std::uint32_t device_id,
-                                     std::int64_t epoch_id,
-                                     util::UnixTime issue_time,
-                                     net::Ipv4Address current_ip) {
+scan::CertRecord World::Impl::build_cert_record(std::uint32_t device_id,
+                                                std::int64_t epoch_id,
+                                                util::UnixTime issue_time,
+                                                net::Ipv4Address current_ip) {
   DeviceState& d = devices_[device_id];
   const VendorProfile& vendor = vendor_of(d);
   util::Rng rng = rng_at(0x15 + device_id, static_cast<std::uint64_t>(epoch_id),
@@ -604,7 +691,8 @@ scan::CertId World::Impl::issue_cert(std::uint32_t device_id,
   const x509::Certificate cert = builder.sign(*signer);
 
   // --- validate (the paper's openssl-verify step, §4.2) ---
-  const pki::Verifier verifier(result_.roots, pool_);
+  // The shared BatchVerifier memoizes the CA-level sub-checks across all
+  // planning threads; results are identical to a per-call pki::Verifier.
   std::vector<x509::Certificate> presented;
   if (issuing_ca != nullptr) {
     // Websites usually present their chain; devices rarely do — the gap is
@@ -613,19 +701,15 @@ scan::CertId World::Impl::issue_cert(std::uint32_t device_id,
         vendor.issuer_policy == IssuerPolicy::kTrustedCa ? 0.9 : 0.4;
     if (rng.chance(present_prob)) presented.push_back(*issuing_ca);
   }
-  const pki::ValidationResult validation = verifier.verify(cert, presented);
+  const pki::ValidationResult validation = verifier_->verify(cert, presented);
 
-  const scan::CertId id =
-      result_.archive.intern(scan::make_cert_record(cert, validation));
-  ++result_.issued_certificates;
-  return id;
+  return scan::make_cert_record(cert, validation);
 }
 
-scan::CertId World::Impl::ensure_cert(std::uint32_t device_id,
-                                      util::UnixTime probe,
-                                      std::int64_t current_lease_epoch,
-                                      util::UnixTime lease_start,
-                                      net::Ipv4Address current_ip) {
+void World::Impl::plan_hit(std::uint32_t device_id, DevicePlan& plan,
+                           util::UnixTime probe, std::int64_t lease_epoch,
+                           util::UnixTime lease_start,
+                           net::Ipv4Address current_ip) {
   DeviceState& d = devices_[device_id];
   const VendorProfile& vendor = vendor_of(d);
   std::int64_t time_epoch = 0;
@@ -636,45 +720,133 @@ scan::CertId World::Impl::ensure_cert(std::uint32_t device_id,
   }
   std::int64_t ip_epoch = 0;
   if (vendor.reissue_on_ip_change && !d.static_ip) {
-    ip_epoch = current_lease_epoch;
+    ip_epoch = lease_epoch;
     issue_time = std::max(issue_time, lease_start);
   }
   // ip_epoch is bounded by study_days/lease_days << 1e6, so this composite
   // id is collision-free.
   const std::int64_t epoch_id = time_epoch * 1000000 + ip_epoch;
   if (epoch_id != d.current_epoch) {
-    d.current_cert = issue_cert(device_id, epoch_id,
-                                std::max(issue_time, d.born), current_ip);
+    plan.issues.push_back(build_cert_record(
+        device_id, epoch_id, std::max(issue_time, d.born), current_ip));
     d.current_epoch = epoch_id;
   }
-  return d.current_cert;
+  plan.hits.push_back(PlannedHit{
+      current_ip.value(), static_cast<std::int32_t>(plan.issues.size()) - 1});
 }
 
 // --- scanning --------------------------------------------------------------
 
+MoveDecision World::Impl::plan_move(std::uint32_t device_id,
+                                    std::uint64_t move_round) {
+  MoveDecision decision;
+  DeviceState& d = devices_[device_id];
+  if (d.is_website) return decision;
+  const VendorProfile& vendor = vendor_of(d);
+  // ISP churn concentrates in dynamic networks (mobile / daily-lease);
+  // static-ISP subscribers rarely switch providers.
+  const bool dynamic_isp =
+      isps_[d.isp].cfg.lease_seconds < 7 * kDay && !d.static_ip;
+  const double p = vendor.mobility + config_.base_move_probability +
+                   (dynamic_isp ? 0.0015 : 0.0);
+  if (p <= 0) return decision;
+  util::Rng rng = rng_at(0x30f3, device_id, move_round);
+  if (!rng.chance(p)) return decision;
+  const std::uint32_t new_isp = pick_isp(vendor, rng, false);
+  if (new_isp == d.isp) return decision;  // same provider: no move happened
+  const IspRuntime& isp = isps_[new_isp];
+  decision.moved = true;
+  decision.new_isp = new_isp;
+  decision.new_pool = static_cast<std::uint32_t>(rng.below(isp.cfg.pools.size()));
+  decision.new_static = rng.chance(isp.cfg.static_fraction);
+  return decision;
+}
+
 void World::Impl::maybe_move_devices() {
   const std::uint64_t move_round = ++move_round_;
-  for (std::uint32_t device_id = 0; device_id < devices_.size(); ++device_id) {
-    DeviceState& d = devices_[device_id];
-    if (d.is_website) continue;
-    const VendorProfile& vendor = vendor_of(d);
-    // ISP churn concentrates in dynamic networks (mobile / daily-lease);
-    // static-ISP subscribers rarely switch providers.
-    const bool dynamic_isp =
-        isps_[d.isp].cfg.lease_seconds < 7 * kDay && !d.static_ip;
-    const double p = vendor.mobility + config_.base_move_probability +
-                     (dynamic_isp ? 0.0015 : 0.0);
-    if (p <= 0) continue;
-    util::Rng rng = rng_at(0x30f3, device_id, move_round);
-    if (!rng.chance(p)) continue;
-    const std::uint32_t new_isp = pick_isp(vendor, rng, false);
-    if (new_isp == d.isp) continue;  // same provider: no move happened
-    d.isp = new_isp;
+  moves_.resize(devices_.size());
+  // Plan: per-device decisions are independently seeded
+  // (rng_at(0x30f3, device_id, round)), so they shard freely.
+  workers_.parallel_for(
+      devices_.size(), 256, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          moves_[i] = plan_move(static_cast<std::uint32_t>(i), move_round);
+        }
+      });
+  // Commit in device order: slot assignment consumes the target ISP's
+  // shared next_slot counter.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const MoveDecision& decision = moves_[i];
+    if (!decision.moved) continue;
+    DeviceState& d = devices_[i];
+    d.isp = decision.new_isp;
+    d.pool = decision.new_pool;
     IspRuntime& isp = isps_[d.isp];
-    d.pool = static_cast<std::uint32_t>(rng.below(isp.cfg.pools.size()));
     d.slot = isp.next_slot;
     isp.next_slot += d.replication;
-    d.static_ip = rng.chance(isp.cfg.static_fraction);
+    d.static_ip = decision.new_static;
+    refresh_replica_cache(d);
+  }
+}
+
+void World::Impl::plan_device(std::uint32_t device_id,
+                              const scan::AddressPermutation& perm,
+                              const scan::PrefixSet& blacklist,
+                              const scan::ScanEvent& event, DevicePlan& plan) {
+  plan.issues.clear();
+  plan.hits.clear();
+  plan.dropped = 0;
+  DeviceState& d = devices_[device_id];
+  const util::UnixTime start = event.start;
+  const util::UnixTime end = event.start + event.duration_seconds;
+  if (d.born >= end) return;
+  const IspRuntime& isp = isps_[d.isp];
+  for (std::uint32_t replica = 0; replica < d.replication; ++replica) {
+    const std::uint32_t slot = d.slot + replica;
+    const DeviceState::ReplicaCache& cache = d.replicas[replica];
+    // The lease intervals overlapping the scan window: one for static
+    // devices, one per lease epoch for dynamic devices.
+    Interval intervals[kMaxLeaseIntervals];
+    std::size_t interval_count = 0;
+    if (d.static_ip) {
+      intervals[interval_count++] = Interval{start, end, -1, d.born};
+    } else {
+      const std::int64_t lease = isp.cfg.lease_seconds;
+      const std::int64_t phase = cache.lease_phase;
+      std::int64_t e = (start - phase) / lease;
+      for (; phase + e * lease < end; ++e) {
+        const util::UnixTime lease_from = phase + e * lease;
+        const util::UnixTime lease_to = lease_from + lease;
+        intervals[interval_count++] = Interval{std::max(start, lease_from),
+                                               std::min(end, lease_to), e,
+                                               lease_from};
+        if (interval_count >= kMaxLeaseIntervals) {
+          // Degenerate tiny leases: count what the cap drops instead of
+          // losing it silently.
+          plan.dropped +=
+              static_cast<std::uint32_t>((end - 1 - phase) / lease - e);
+          break;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < interval_count; ++k) {
+      const Interval& interval = intervals[k];
+      const net::Ipv4Address ip =
+          d.static_ip
+              ? cache.static_addr
+              : isp.addr_in_pool(
+                    d.pool,
+                    isp.permute(d.pool, slot,
+                                0x1ea5e000ULL + static_cast<std::uint64_t>(
+                                                    interval.epoch)));
+      const util::UnixTime probe =
+          scan::probe_time(perm, ip, start, event.duration_seconds);
+      if (probe < interval.from || probe >= interval.to) continue;
+      if (probe < d.born) continue;
+      if (blacklist.covers(ip)) continue;
+      plan_hit(device_id, plan, probe, interval.epoch, interval.lease_start,
+               ip);
+    }
   }
 }
 
@@ -685,59 +857,37 @@ void World::Impl::run_scan(std::size_t scan_index,
   const scan::PrefixSet& blacklist = event.campaign == scan::Campaign::kUMich
                                          ? result_.umich_blacklist
                                          : result_.rapid7_blacklist;
-  const util::UnixTime start = event.start;
-  const util::UnixTime end = event.start + event.duration_seconds;
 
-  for (std::uint32_t device_id = 0; device_id < devices_.size(); ++device_id) {
-    DeviceState& d = devices_[device_id];
-    if (d.born >= end) continue;
-    const IspRuntime& isp = isps_[d.isp];
-    for (std::uint32_t replica = 0; replica < d.replication; ++replica) {
-      const std::uint32_t slot = d.slot + replica;
-      // The lease intervals overlapping the scan window: one for static
-      // devices, one per lease epoch for dynamic devices.
-      struct Interval {
-        util::UnixTime from, to;
-        std::int64_t epoch;
-        util::UnixTime lease_start;
-      };
-      std::vector<Interval> intervals;
-      if (d.static_ip) {
-        intervals.push_back(Interval{start, end, -1, d.born});
-      } else {
-        const std::int64_t lease = isp.cfg.lease_seconds;
-        const std::int64_t phase = static_cast<std::int64_t>(
-            mix3(0x9a5e, slot, isp.cfg.asn) %
-            static_cast<std::uint64_t>(lease));
-        std::int64_t e = (start - phase) / lease;
-        for (; phase + e * lease < end; ++e) {
-          const util::UnixTime lease_from = phase + e * lease;
-          const util::UnixTime lease_to = lease_from + lease;
-          intervals.push_back(Interval{std::max(start, lease_from),
-                                       std::min(end, lease_to), e,
-                                       lease_from});
-          if (intervals.size() >= 12) break;  // degenerate tiny leases
+  // Plan phase: each device's probe hits and certificate builds (the x509
+  // build + hash + sign work) shard across the pool. Safe because a device
+  // is planned by exactly one chunk, everything shared is read-only, and
+  // certificate validation goes through the thread-safe BatchVerifier.
+  plans_.resize(devices_.size());
+  workers_.parallel_for(
+      devices_.size(), 16, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          plan_device(static_cast<std::uint32_t>(i), perm, blacklist, event,
+                      plans_[i]);
         }
+      });
+
+  // Commit phase: intern certificates and append observations in canonical
+  // device order — the exact sequence the serial loop produced, so archive
+  // ids and bytes are identical at any thread count.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    DevicePlan& plan = plans_[i];
+    DeviceState& d = devices_[i];
+    result_.dropped_lease_intervals += plan.dropped;
+    std::int32_t committed = -1;
+    for (const PlannedHit& hit : plan.hits) {
+      while (committed < hit.issue_index) {
+        ++committed;
+        d.current_cert = result_.archive.intern(
+            std::move(plan.issues[static_cast<std::size_t>(committed)]));
+        ++result_.issued_certificates;
       }
-      for (const Interval& interval : intervals) {
-        const std::uint64_t index =
-            d.static_ip ? isp.permute(d.pool, slot, 0x57a71c)
-                        : isp.permute(d.pool, slot,
-                                      0x1ea5e000ULL +
-                                          static_cast<std::uint64_t>(
-                                              interval.epoch));
-        const net::Ipv4Address ip = isp.addr_in_pool(d.pool, index);
-        const util::UnixTime probe =
-            scan::probe_time(perm, ip, start, event.duration_seconds);
-        if (probe < interval.from || probe >= interval.to) continue;
-        if (probe < d.born) continue;
-        if (blacklist.covers(ip)) continue;
-        const scan::CertId cert =
-            ensure_cert(device_id, probe, interval.epoch,
-                        interval.lease_start, ip);
-        result_.archive.add_observation(scan_index, cert, ip.value(),
-                                        device_id);
-      }
+      result_.archive.add_observation(scan_index, d.current_cert, hit.ip,
+                                      static_cast<scan::DeviceId>(i));
     }
   }
 }
@@ -756,6 +906,8 @@ WorldResult World::Impl::run() {
 
   build_topology();
   build_pki();
+  // Both stores are final now; the memo may cache by certificate address.
+  verifier_.emplace(result_.roots, intermediates_);
   build_population();
   build_blacklists();
 
@@ -768,10 +920,11 @@ WorldResult World::Impl::run() {
   return std::move(result_);
 }
 
-World::World(WorldConfig config) : config_(std::move(config)) {}
+World::World(WorldConfig config, util::ThreadPool* pool)
+    : config_(std::move(config)), pool_(pool) {}
 
 WorldResult World::run() {
-  Impl impl(config_);
+  Impl impl(config_, pool_);
   return impl.run();
 }
 

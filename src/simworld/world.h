@@ -6,6 +6,11 @@
 // Everything is deterministic in the seed. Ground-truth device identities
 // ride along on each observation so linking quality can be scored — the
 // validation the paper could not do.
+//
+// Scan execution is parallel (plan/commit over device shards on a
+// util::ThreadPool) with bit-identical results at any thread count: the
+// archive bytes for a given config are the same whether the world is built
+// with 1 thread or 64.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,10 @@
 #include "scan/schedule.h"
 #include "simworld/isp.h"
 #include "simworld/vendor.h"
+
+namespace sm::util {
+class ThreadPool;
+}  // namespace sm::util
 
 namespace sm::simworld {
 
@@ -85,12 +94,19 @@ struct WorldResult {
   std::size_t true_device_count = 0;
   /// True number of simulated websites.
   std::size_t true_website_count = 0;
+  /// Lease intervals the scanner dropped because a (slot, scan) pair
+  /// overlapped more than the per-replica interval cap — nonzero only for
+  /// degenerately tiny leases, and surfaced here so the cap is never a
+  /// silent data loss (it is 0 at the default configs; tests assert so).
+  std::uint64_t dropped_lease_intervals = 0;
 };
 
 /// The simulator. Construct with a config, call run() once.
 class World {
  public:
-  explicit World(WorldConfig config);
+  /// `pool` is the thread pool scan planning runs on; null uses the
+  /// process-global pool. The result is identical for every pool size.
+  explicit World(WorldConfig config, util::ThreadPool* pool = nullptr);
 
   /// Executes the full scan schedule and returns the dataset.
   WorldResult run();
@@ -99,6 +115,7 @@ class World {
   struct DeviceState;
   class Impl;
   WorldConfig config_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sm::simworld

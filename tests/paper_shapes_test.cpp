@@ -49,6 +49,12 @@ analysis::DatasetIndex* PaperShapes::index_ = nullptr;
 linking::Linker* PaperShapes::linker_ = nullptr;
 linking::IterativeResult* PaperShapes::linked_ = nullptr;
 
+TEST_F(PaperShapes, NoLeaseIntervalsDropped) {
+  // The per-replica interval cap must never fire at the paper-scale
+  // config; if it did, observations would vanish without signal.
+  EXPECT_EQ(world_->dropped_lease_intervals, 0u);
+}
+
 TEST_F(PaperShapes, Section42ValidityBreakdown) {
   const auto vb = analysis::compute_validity_breakdown(world_->archive);
   // Paper: 87.9% invalid; 88.0% self-signed / 11.99% untrusted / 0.01%

@@ -92,6 +92,33 @@ TEST(RootStore, MultipleRootsSameSubject) {
   EXPECT_EQ(t.roots.find_by_subject(t.root.subject).size(), 2u);
 }
 
+TEST(RootStore, MatchesSpanAgreesWithFindBySubject) {
+  // The non-allocating lookup the chain walk uses must see exactly the
+  // candidates find_by_subject returns, in the same order.
+  TestPki t = make_test_pki();
+  const SigningKey new_key = make_key(98);
+  t.roots.add(make_cert(t.root.subject, t.root.subject, new_key.pub, new_key,
+                        8));
+  const auto expected = t.roots.find_by_subject(t.root.subject);
+  const auto indices = t.roots.matches(subject_lookup_key(t.root.subject));
+  ASSERT_EQ(indices.size(), expected.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(&t.roots.at(indices[i]), expected[i]);
+  }
+  EXPECT_TRUE(t.roots.matches(subject_lookup_key(t.leaf.subject)).empty());
+}
+
+TEST(IntermediatePool, MatchesSpanAgreesWithFindBySubject) {
+  TestPki t = make_test_pki();
+  t.pool.add(t.intermediate);
+  const auto indices =
+      t.pool.matches(subject_lookup_key(t.intermediate.subject));
+  ASSERT_EQ(indices.size(), 1u);
+  EXPECT_EQ(&t.pool.at(indices[0]),
+            t.pool.find_by_subject(t.intermediate.subject)[0]);
+  EXPECT_TRUE(t.pool.matches(subject_lookup_key(t.leaf.subject)).empty());
+}
+
 // --- chain validation ----------------------------------------------------------
 
 TEST(Verifier, FullPresentedChainValidates) {

@@ -1,0 +1,63 @@
+// Determinism of the parallel scan simulation: the SMAR v2 archive bytes a
+// World produces must be bit-identical at every thread count (and pinned to
+// a golden hash so an accidental behaviour change to the simulator cannot
+// hide behind "still self-consistent").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "scan/archive_io.h"
+#include "simworld/world.h"
+#include "util/hex.h"
+#include "util/sha256.h"
+#include "util/thread_pool.h"
+
+namespace sm::simworld {
+namespace {
+
+// SHA-256 of WorldConfig::tiny()'s archive in SMAR v2 bytes. Pinned from
+// the serial (1-thread) run; any divergence at higher thread counts — or
+// any unintended simulator change — trips this.
+constexpr char kTinyArchiveSha256[] =
+    "e937ad7875a755e0739cd5aa6fc14017230e3a0db3b417970b7a1de7422010a2";
+
+std::string archive_sha256(const WorldResult& world) {
+  std::ostringstream out;
+  EXPECT_TRUE(scan::save_archive(world.archive, out));
+  const std::string bytes = out.str();
+  return util::hex_encode(util::Sha256::digest(util::BytesView(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size())));
+}
+
+TEST(WorldParallel, ArchiveBytesIdenticalAcrossThreadCounts) {
+  std::string reference_digest;
+  std::size_t reference_issued = 0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const WorldResult world = World(WorldConfig::tiny(), &pool).run();
+    // The 12-interval lease cap must never fire at default lease configs.
+    EXPECT_EQ(world.dropped_lease_intervals, 0u) << threads << " threads";
+    const std::string digest = archive_sha256(world);
+    if (reference_digest.empty()) {
+      reference_digest = digest;
+      reference_issued = world.issued_certificates;
+    }
+    EXPECT_EQ(digest, reference_digest) << threads << " threads";
+    EXPECT_EQ(world.issued_certificates, reference_issued)
+        << threads << " threads";
+  }
+  EXPECT_EQ(reference_digest, kTinyArchiveSha256);
+}
+
+TEST(WorldParallel, GlobalPoolDefaultMatchesExplicitPool) {
+  util::ThreadPool pool(3);
+  const WorldResult with_pool = World(WorldConfig::tiny(), &pool).run();
+  const WorldResult with_global = World(WorldConfig::tiny()).run();
+  EXPECT_EQ(archive_sha256(with_pool), archive_sha256(with_global));
+  EXPECT_EQ(with_pool.issued_certificates, with_global.issued_certificates);
+}
+
+}  // namespace
+}  // namespace sm::simworld

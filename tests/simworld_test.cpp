@@ -160,6 +160,9 @@ TEST_F(TinyWorld, ProducesScansAndObservations) {
   // certificates intern to a single record.
   EXPECT_GE(r.issued_certificates, r.archive.certs().size());
   EXPECT_EQ(r.roots.size(), 3u);
+  // No default ISP lease is tiny enough to overflow the per-replica
+  // interval cap, so nothing may be dropped silently.
+  EXPECT_EQ(r.dropped_lease_intervals, 0u);
 }
 
 TEST_F(TinyWorld, InvalidCertsDominate) {

@@ -33,6 +33,7 @@
 //   sm_survey dump --pem FILE
 //       dumpasn1-style DER tree of every block in a PEM bundle.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -166,10 +167,25 @@ simworld::WorldResult obtain_world(const Options& opts) {
   config.website_count = opts.websites;
   config.schedule.scale = opts.scale;
   std::fprintf(stderr,
-               "simulating %zu devices + %zu websites (seed %llu)...\n",
+               "simulating %zu devices + %zu websites (seed %llu, %zu "
+               "threads)...\n",
                config.device_count, config.website_count,
-               static_cast<unsigned long long>(config.seed));
-  return simworld::World(config).run();
+               static_cast<unsigned long long>(config.seed),
+               sm::util::ThreadPool::global_thread_count());
+  const auto begin = std::chrono::steady_clock::now();
+  simworld::WorldResult world = simworld::World(config).run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  std::fprintf(stderr, "world built in %.2fs\n", seconds);
+  if (world.dropped_lease_intervals > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu lease intervals dropped by the per-replica "
+                 "cap (degenerate lease config)\n",
+                 static_cast<unsigned long long>(
+                     world.dropped_lease_intervals));
+  }
+  return world;
 }
 
 int cmd_simulate(const Options& opts) {
@@ -217,6 +233,7 @@ int cmd_stat(const Options& opts) {
     std::fprintf(stderr, "cannot read %s\n", opts.archive_path.c_str());
     return 1;
   }
+  const auto stream_begin = std::chrono::steady_clock::now();
   scan::ArchiveReader reader(in);
   if (!reader.ok()) {
     std::fprintf(stderr, "%s: not a valid archive\n",
@@ -260,6 +277,11 @@ int cmd_stat(const Options& opts) {
   std::printf("observations:  %llu (largest scan %llu)\n",
               static_cast<unsigned long long>(observations),
               static_cast<unsigned long long>(max_obs));
+  std::fprintf(stderr, "streamed in %.2fs (%zu threads)\n",
+               std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             stream_begin)
+                   .count(),
+               sm::util::ThreadPool::global_thread_count());
   return 0;
 }
 
