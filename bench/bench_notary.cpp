@@ -1,0 +1,225 @@
+// Notary benchmark: NotaryIndex construction over the paper-scale corpus
+// (thread sweep), in-process query throughput with the response cache on
+// and off (single- and multi-threaded), and full loopback round-trips
+// through the epoll server. Prints a summary, then runs google-benchmark
+// timings.
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "netio/frame.h"
+#include "netio/server.h"
+#include "notary/index.h"
+#include "notary/service.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace sm;
+
+const scan::ScanArchive& archive() { return bench::context().world.archive; }
+
+notary::NotaryIndexOptions index_options() {
+  notary::NotaryIndexOptions options;
+  options.routing = &bench::context().world.routing;
+  return options;
+}
+
+const notary::NotaryIndex& shared_index() {
+  static const notary::NotaryIndex index(archive(), index_options());
+  return index;
+}
+
+std::string fp_payload(scan::CertId id) {
+  const auto& fp = archive().cert(id).fingerprint;
+  return std::string(reinterpret_cast<const char*>(fp.data()), fp.size());
+}
+
+// Blocking loopback client (mirrors tools/sm_notaryd --bench).
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool round_trip(int fd, netio::FrameDecoder& decoder,
+                const std::string& wire, netio::Frame& out) {
+  std::string_view rest = wire;
+  while (!rest.empty()) {
+    const ssize_t n = ::send(fd, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  for (;;) {
+    if (decoder.next(out) == netio::DecodeStatus::kFrame) return true;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void report() {
+  bench::print_banner("notary",
+                      "sm_notaryd: index build + query service throughput");
+  const auto t0 = std::chrono::steady_clock::now();
+  const notary::NotaryIndex& index = shared_index();
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  std::printf("corpus: %zu certs, %zu scans, %zu observations\n",
+              archive().certs().size(), archive().scans().size(),
+              archive().observation_count());
+  std::printf("index build (global pool): %.1f ms\n", build_ms);
+
+  notary::NotaryServiceConfig config;
+  config.cache_bytes = 64 << 20;
+  notary::NotaryService service(index, config);
+  const std::size_t n = index.size();
+  const auto q0 = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < 2; ++round) {
+    for (scan::CertId id = 0; id < n; ++id) {
+      auto response =
+          service.handle(netio::FrameType::kQuery, fp_payload(id));
+      benchmark::DoNotOptimize(response);
+    }
+  }
+  const double query_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - q0)
+                             .count();
+  const auto metrics = service.metrics();
+  std::printf("in-process: %.0f queries/s (hit rate %s, p99 %.1f us)\n\n",
+              static_cast<double>(2 * n) / query_s,
+              util::percent(metrics.cache_hit_rate()).c_str(),
+              metrics.latency.p99_us);
+}
+
+void BM_NotaryIndexBuild(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  auto options = index_options();
+  options.pool = &pool;
+  for (auto _ : state) {
+    notary::NotaryIndex index(archive(), options);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(archive().certs().size()));
+}
+BENCHMARK(BM_NotaryIndexBuild)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// One handler thread, cache off vs on (service recreated per run so the
+// cache starts cold but warms within the first sweep).
+void BM_NotaryQuery(benchmark::State& state) {
+  const notary::NotaryIndex& index = shared_index();
+  notary::NotaryServiceConfig config;
+  config.cache_bytes =
+      state.range(0) == 0 ? 0 : static_cast<std::size_t>(64) << 20;
+  notary::NotaryService service(index, config);
+  const std::size_t n = index.size();
+  scan::CertId id = 0;
+  for (auto _ : state) {
+    auto response = service.handle(netio::FrameType::kQuery, fp_payload(id));
+    benchmark::DoNotOptimize(response);
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "cache-off" : "cache-on");
+}
+BENCHMARK(BM_NotaryQuery)->Arg(0)->Arg(1);
+
+// Shared service hammered by `threads` handler threads (the contention
+// shape the epoll workers produce).
+void BM_NotaryQueryParallel(benchmark::State& state) {
+  static notary::NotaryService* service = [] {
+    notary::NotaryServiceConfig config;
+    config.cache_bytes = 64 << 20;
+    return new notary::NotaryService(shared_index(), config);
+  }();
+  const std::size_t n = shared_index().size();
+  scan::CertId id =
+      static_cast<scan::CertId>(state.thread_index() * 131 % n);
+  for (auto _ : state) {
+    auto response = service->handle(netio::FrameType::kQuery, fp_payload(id));
+    benchmark::DoNotOptimize(response);
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NotaryQueryParallel)->Threads(1)->Threads(2)->Threads(8);
+
+// Full loopback round-trip: framing, epoll, kernel TCP, and the service.
+void BM_NotaryLoopbackRoundTrip(benchmark::State& state) {
+  const notary::NotaryIndex& index = shared_index();
+  notary::NotaryServiceConfig service_config;
+  service_config.cache_bytes = 64 << 20;
+  notary::NotaryService service(index, service_config);
+  netio::ServerConfig server_config;
+  server_config.workers = static_cast<std::size_t>(state.range(0));
+  netio::TcpServer server(
+      server_config, [&service](netio::FrameType type,
+                                std::string_view payload) {
+        return service.handle(type, payload);
+      });
+  if (!server.start()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  const int fd = connect_loopback(server.port());
+  if (fd < 0) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  netio::FrameDecoder decoder;
+  netio::Frame response;
+  const std::size_t n = index.size();
+  scan::CertId id = 0;
+  for (auto _ : state) {
+    const std::string wire =
+        netio::encode_frame(netio::FrameType::kQuery, fp_payload(id));
+    if (!round_trip(fd, decoder, wire, response)) {
+      state.SkipWithError("round trip failed");
+      break;
+    }
+    benchmark::DoNotOptimize(response);
+    id = (id + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  ::close(fd);
+  server.shutdown();
+}
+BENCHMARK(BM_NotaryLoopbackRoundTrip)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sm::bench::configure_threads(&argc, argv);
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,9 +2,10 @@
 # Tier-1 verification: the standard build + full test suite, then a
 # ThreadSanitizer build exercising the concurrency-bearing tests
 # (thread pool, linking pipeline, dataset index, tracker, parallel world
-# simulation, batch verifier), then an AddressSanitizer build running the
-# archive I/O corruption harness (exhaustive truncation + bit-flip sweeps
-# over hostile input) plus the world-determinism test.
+# simulation, batch verifier, notary epoll server + loopback traffic),
+# then an AddressSanitizer build running the archive I/O and notary-frame
+# corruption harnesses (exhaustive truncation + bit-flip sweeps over
+# hostile input) plus the world-determinism test.
 #
 # The simworld_parallel_test golden-hash determinism check runs under BOTH
 # sanitizer configs: any thread-count divergence in the simulated archive
@@ -31,9 +32,10 @@ ctest --test-dir build --output-on-failure -j
 
 tsan_tests=(thread_pool_test linking_parallel_test linking_test
             analysis_test tracking_test util_test
-            simworld_parallel_test batch_verifier_test)
+            simworld_parallel_test batch_verifier_test
+            netio_test notary_test notary_loopback_test)
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tier 1: TSan build (thread pool + linking/analysis/tracking + world/verify) =="
+  echo "== tier 1: TSan build (thread pool + linking/analysis/tracking + world/verify + notary) =="
   cmake -B build-tsan -S . -DSM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target "${tsan_tests[@]}" >/dev/null
   for t in "${tsan_tests[@]}"; do
@@ -42,9 +44,10 @@ if [[ "$run_tsan" == 1 ]]; then
   done
 fi
 
-asan_tests=(archive_corruption_test archive_io_test simworld_parallel_test)
+asan_tests=(archive_corruption_test archive_io_test simworld_parallel_test
+            netio_test notary_loopback_test)
 if [[ "$run_asan" == 1 ]]; then
-  echo "== tier 1: ASan build (archive I/O corruption harness + world determinism) =="
+  echo "== tier 1: ASan build (archive I/O + notary-frame corruption harnesses + world determinism) =="
   cmake -B build-asan -S . -DSM_SANITIZE=address >/dev/null
   cmake --build build-asan -j --target "${asan_tests[@]}" >/dev/null
   for t in "${asan_tests[@]}"; do

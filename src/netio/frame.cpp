@@ -1,0 +1,97 @@
+#include "netio/frame.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace sm::netio {
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+bool is_known_frame_type(std::uint8_t value) {
+  switch (static_cast<FrameType>(value)) {
+    case FrameType::kQuery:
+    case FrameType::kStats:
+    case FrameType::kPing:
+    case FrameType::kCertInfo:
+    case FrameType::kNotFound:
+    case FrameType::kStatsText:
+    case FrameType::kPong:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  out.push_back(static_cast<char>(type));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32le(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (poisoned_) return;  // the connection is doomed; don't buffer more
+  // Compact lazily: only when the decoded prefix dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (poisoned_) return DecodeStatus::kMalformed;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return DecodeStatus::kNeedMore;
+  const char* frame = buffer_.data() + consumed_;
+
+  const std::uint8_t type = static_cast<std::uint8_t>(frame[0]);
+  if (!is_known_frame_type(type)) {
+    poisoned_ = true;
+    error_ = "unknown frame type";
+    return DecodeStatus::kMalformed;
+  }
+  const std::uint32_t size = get_u32le(frame + 1);
+  if (size > max_payload_) {
+    poisoned_ = true;
+    error_ = "frame payload exceeds limit";
+    return DecodeStatus::kMalformed;
+  }
+  const std::size_t total = kFrameHeaderSize + size + kFrameTrailerSize;
+  if (available < total) return DecodeStatus::kNeedMore;
+
+  const std::uint32_t expected = get_u32le(frame + kFrameHeaderSize + size);
+  const std::uint32_t actual =
+      util::crc32(frame, kFrameHeaderSize + size);
+  if (expected != actual) {
+    poisoned_ = true;
+    error_ = "frame checksum mismatch";
+    return DecodeStatus::kMalformed;
+  }
+
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(frame + kFrameHeaderSize, size);
+  consumed_ += total;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace sm::netio

@@ -1,0 +1,112 @@
+// The sm_notaryd wire protocol: length-prefixed binary frames, each
+// carrying a CRC32 of everything before the trailer so corruption on the
+// wire (or a confused client) is detected per frame instead of poisoning
+// the stream silently.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       1     type        (FrameType)
+//   1       4     size        (payload bytes; bounded by max_payload)
+//   5       size  payload
+//   5+size  4     crc32       (util::crc32 over bytes [0, 5+size))
+//
+// Request frames a client may send: kQuery (payload = 16- or 32-byte
+// certificate fingerprint; 32-byte SHA-256 inputs are truncated to the
+// archive's 128-bit intern key), kStats (empty payload), kPing (arbitrary
+// payload, echoed). The server answers kCertInfo / kNotFound / kStatsText
+// / kPong, or kError with a human-readable reason. A frame that cannot be
+// parsed at all (unknown type, oversized length, checksum mismatch) gets
+// one kError response and the connection is closed — framing is lost, so
+// the stream cannot be resynchronized — but the worker and every other
+// connection keep running.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sm::netio {
+
+/// Fixed bytes before the payload (type + size) and after it (crc32).
+inline constexpr std::size_t kFrameHeaderSize = 5;
+inline constexpr std::size_t kFrameTrailerSize = 4;
+
+/// Default ceiling on payload size; a length field above the limit is
+/// rejected before any allocation, so hostile lengths cannot balloon
+/// memory (mirrors the archive loader's bounded reads).
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+/// Frame kinds. Requests are < 0x80, responses >= 0x80.
+enum class FrameType : std::uint8_t {
+  kQuery = 0x01,      ///< fingerprint lookup
+  kStats = 0x02,      ///< metrics snapshot request
+  kPing = 0x03,       ///< liveness probe; payload echoed back
+  kCertInfo = 0x81,   ///< rendered certificate knowledge
+  kNotFound = 0x82,   ///< fingerprint unknown to the notary
+  kStatsText = 0x83,  ///< rendered metrics
+  kPong = 0x84,       ///< ping echo
+  kError = 0xee,      ///< malformed/unsupported request; payload = reason
+};
+
+/// True for the byte values enumerated above (anything else on the wire is
+/// a framing error).
+bool is_known_frame_type(std::uint8_t value);
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Serializes a frame (header + payload + CRC32 trailer).
+std::string encode_frame(FrameType type, std::string_view payload);
+inline std::string encode_frame(const Frame& frame) {
+  return encode_frame(frame.type, frame.payload);
+}
+
+/// Outcome of one FrameDecoder::next call.
+enum class DecodeStatus {
+  kNeedMore,   ///< no complete frame buffered yet
+  kFrame,      ///< one frame decoded and removed from the buffer
+  kMalformed,  ///< the stream is corrupt; the decoder is poisoned
+};
+
+/// Incremental frame parser over a connection's receive buffer. Feed bytes
+/// as they arrive, then drain complete frames with next(). Any framing
+/// violation (unknown type byte, oversized length, CRC mismatch) poisons
+/// the decoder permanently — after a bad frame the stream offsets are
+/// meaningless, so the only safe recovery is closing the connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes received from the peer.
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Attempts to decode the next frame from the buffered bytes.
+  DecodeStatus next(Frame& out);
+
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  /// True once a framing violation was seen.
+  bool poisoned() const { return poisoned_; }
+
+  /// Reason for the poisoning ("" while healthy).
+  const std::string& error() const { return error_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // decoded prefix awaiting compaction
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace sm::netio

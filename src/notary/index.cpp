@@ -1,0 +1,210 @@
+#include "notary/index.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "net/ipv4.h"
+#include "util/datetime.h"
+#include "util/hex.h"
+#include "util/thread_pool.h"
+
+namespace sm::notary {
+namespace {
+
+// One flattened observation of a certificate: which scan, which IP. The
+// CSR below stores them per cert, ordered by (scan, position in scan), so
+// every per-cert derivation walks a contiguous, deterministic slice.
+struct FlatObs {
+  std::uint32_t scan = 0;
+  std::uint32_t ip = 0;
+};
+
+}  // namespace
+
+NotaryIndex::NotaryIndex(const scan::ScanArchive& archive,
+                         const NotaryIndexOptions& options) {
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::global();
+  const auto& certs = archive.certs();
+  const auto& scans = archive.scans();
+  const std::size_t cert_count = certs.size();
+  entries_.resize(cert_count);
+
+  // Routing snapshot per scan (the DatasetIndex construction: the table in
+  // effect at each scan's start).
+  std::vector<const net::RouteTable*> tables;
+  if (options.routing != nullptr) {
+    tables.reserve(scans.size());
+    for (const scan::ScanData& scan : scans) {
+      tables.push_back(options.routing->at(scan.event.start));
+    }
+  }
+
+  // CSR of observations per certificate.
+  std::vector<std::uint64_t> offsets(cert_count + 1, 0);
+  for (const scan::ScanData& scan : scans) {
+    for (const scan::Observation& obs : scan.observations) {
+      ++offsets[obs.cert + 1];
+    }
+  }
+  for (std::size_t i = 0; i < cert_count; ++i) offsets[i + 1] += offsets[i];
+  std::vector<FlatObs> flat(offsets[cert_count]);
+  {
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t s = 0; s < scans.size(); ++s) {
+      for (const scan::Observation& obs : scans[s].observations) {
+        flat[cursor[obs.cert]++] = {static_cast<std::uint32_t>(s), obs.ip};
+      }
+    }
+  }
+
+  // Key-sharing degree: certificates per SPKI fingerprint.
+  std::unordered_map<scan::KeyFingerprint, std::uint32_t> key_counts;
+  key_counts.reserve(cert_count);
+  for (const scan::CertRecord& cert : certs) {
+    ++key_counts[cert.key_fingerprint];
+  }
+
+  // Per-certificate derivation: independent index-addressed slots, so the
+  // result is identical at every thread count.
+  pool.parallel_for(cert_count, 256, [&](std::size_t begin,
+                                         std::size_t end) {
+    std::vector<std::uint32_t> ips;
+    std::vector<std::uint32_t> slash24s;
+    std::vector<net::Asn> ases;
+    for (std::size_t i = begin; i < end; ++i) {
+      const scan::CertRecord& record = certs[i];
+      CertKnowledge& k = entries_[i];
+      k.fingerprint = record.fingerprint;
+      k.valid = record.valid;
+      k.transvalid = record.transvalid;
+      k.reason = record.invalid_reason;
+      k.subject_cn = record.subject_cn;
+      k.issuer_cn = record.issuer_cn;
+      k.not_before = record.not_before;
+      k.not_after = record.not_after;
+      k.key_sharing = key_counts.at(record.key_fingerprint);
+
+      const std::uint64_t lo = offsets[i], hi = offsets[i + 1];
+      k.observations = hi - lo;
+      if (lo == hi) continue;  // interned but never observed
+      k.first_seen = scans[flat[lo].scan].event.start;
+      k.last_seen = scans[flat[hi - 1].scan].event.start;
+
+      ips.clear();
+      slash24s.clear();
+      ases.clear();
+      std::uint32_t scans_seen = 0;
+      std::uint32_t prev_scan = ~std::uint32_t{0};
+      for (std::uint64_t o = lo; o < hi; ++o) {
+        if (flat[o].scan != prev_scan) {
+          ++scans_seen;
+          prev_scan = flat[o].scan;
+        }
+        ips.push_back(flat[o].ip);
+        slash24s.push_back(flat[o].ip >> 8);
+        if (!tables.empty() && tables[flat[o].scan] != nullptr) {
+          const auto asn =
+              tables[flat[o].scan]->lookup(net::Ipv4Address(flat[o].ip));
+          // Unroutable observations don't contribute an AS.
+          if (asn.has_value() && *asn != 0) ases.push_back(*asn);
+        }
+      }
+      k.scans_seen = scans_seen;
+      const auto distinct = [](auto& v) {
+        std::sort(v.begin(), v.end());
+        return static_cast<std::uint32_t>(
+            std::unique(v.begin(), v.end()) - v.begin());
+      };
+      k.distinct_ips = distinct(ips);
+      k.distinct_slash24s = distinct(slash24s);
+      k.distinct_ases = distinct(ases);
+    }
+  });
+
+  if (options.device_groups != nullptr) {
+    const auto& groups = *options.device_groups;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const scan::CertId cert : groups[g]) {
+        entries_[cert].linked_device = static_cast<std::uint32_t>(g);
+      }
+    }
+  }
+
+  // Shard maps: bucket serially (deterministic id order), build the hash
+  // tables in parallel — each shard is written by exactly one chunk.
+  std::array<std::vector<scan::CertId>, kShards> buckets;
+  for (std::size_t i = 0; i < cert_count; ++i) {
+    buckets[shard_of(certs[i].fingerprint)].push_back(
+        static_cast<scan::CertId>(i));
+  }
+  pool.parallel_for(kShards, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      shards_[s].reserve(buckets[s].size());
+      for (const scan::CertId id : buckets[s]) {
+        shards_[s].emplace(certs[id].fingerprint, id);
+      }
+    }
+  });
+}
+
+const CertKnowledge* NotaryIndex::lookup(
+    const scan::CertFingerprint& fp) const {
+  const auto& shard = shards_[shard_of(fp)];
+  const auto it = shard.find(fp);
+  if (it == shard.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+std::string render_knowledge(const CertKnowledge& k) {
+  std::string out;
+  out.reserve(512);
+  const auto line = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += '\n';
+  };
+  const auto num = [&line](const char* key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    line(key, buf);
+  };
+
+  line("fingerprint",
+       util::hex_encode(util::BytesView(k.fingerprint.data(),
+                                        k.fingerprint.size())));
+  std::string status;
+  if (k.valid) {
+    status = k.transvalid ? "valid (transvalid)" : "valid";
+  } else {
+    status = "invalid (" + pki::to_string(k.reason) + ")";
+  }
+  line("status", status);
+  line("subject-cn", k.subject_cn);
+  line("issuer-cn", k.issuer_cn);
+  line("not-before", util::format_datetime(k.not_before));
+  line("not-after", util::format_datetime(k.not_after));
+  if (k.observations == 0) {
+    line("first-seen", "never");
+    line("last-seen", "never");
+  } else {
+    line("first-seen", util::format_datetime(k.first_seen));
+    line("last-seen", util::format_datetime(k.last_seen));
+  }
+  num("scans-seen", k.scans_seen);
+  num("observations", k.observations);
+  num("distinct-ips", k.distinct_ips);
+  num("distinct-slash24s", k.distinct_slash24s);
+  num("distinct-ases", k.distinct_ases);
+  num("key-sharing", k.key_sharing);
+  if (k.linked_device == kNoLinkedDevice) {
+    line("linked-device", "none");
+  } else {
+    num("linked-device", k.linked_device);
+  }
+  return out;
+}
+
+}  // namespace sm::notary

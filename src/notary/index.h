@@ -1,0 +1,136 @@
+// NotaryIndex — the immutable, sharded lookup structure behind sm_notaryd.
+//
+// The paper's closing argument is that invalid certificates are mostly
+// *benign device certificates*, and that a client could make an informed
+// accept/reject decision at connection time if something answered "what do
+// we know about this certificate?" — the certificate-notary / CT-monitor
+// delivery shape. This index is that answer, precomputed over a scan
+// corpus: for every certificate, its validity classification (as computed
+// by pki::BatchVerifier at archive build time and carried on each
+// CertRecord), when it was first and last observed, how many scans and
+// observations it appeared in, how widely it was hosted (distinct IPs,
+// /24s, and — when a routing history is supplied — origin ASes), how many
+// certificates share its public key (the Figure 6 key-sharing degree; a
+// firmware-family tell), and which linked device identity the §6 linking
+// methodology assigned (when linking output is supplied).
+//
+// Construction is parallel on a util::ThreadPool and deterministic: every
+// field and every rendered response is byte-identical at any thread count.
+// After construction the index is immutable, so lookups are lock-free and
+// safe from any number of server workers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/route_table.h"
+#include "scan/archive.h"
+
+namespace sm::util {
+class ThreadPool;
+}  // namespace sm::util
+
+namespace sm::notary {
+
+/// Sentinel: the certificate was not linked to any device group.
+inline constexpr std::uint32_t kNoLinkedDevice = 0xffffffff;
+
+/// Everything the notary knows about one certificate.
+struct CertKnowledge {
+  scan::CertFingerprint fingerprint{};
+
+  // Validity classification (§4.2 taxonomy, expiry-ignoring).
+  bool valid = false;
+  bool transvalid = false;
+  pki::InvalidReason reason = pki::InvalidReason::kNone;
+
+  // Identity fields a client can cross-check against the presented cert.
+  std::string subject_cn;
+  std::string issuer_cn;
+  util::UnixTime not_before = 0;
+  util::UnixTime not_after = 0;
+
+  // Observation history over the corpus.
+  util::UnixTime first_seen = 0;  ///< start time of the first scan seen
+  util::UnixTime last_seen = 0;   ///< start time of the last scan seen
+  std::uint32_t scans_seen = 0;
+  std::uint64_t observations = 0;
+
+  // Hosting spread (§5 diversity evidence: a device cert lives on one IP).
+  std::uint32_t distinct_ips = 0;
+  std::uint32_t distinct_slash24s = 0;
+  std::uint32_t distinct_ases = 0;  ///< 0 when built without routing data
+
+  // Key-sharing degree: certificates in the corpus sharing this SPKI
+  // (>= 1; large values are the Lancom-style firmware default tell).
+  std::uint32_t key_sharing = 1;
+
+  // Linked device id (§6 iterative linking group), kNoLinkedDevice when
+  // the index was built without linking output or the cert stayed single.
+  std::uint32_t linked_device = kNoLinkedDevice;
+};
+
+/// Optional inputs for NotaryIndex construction.
+struct NotaryIndexOptions {
+  /// Enables distinct-AS counting (each observation resolved through the
+  /// snapshot in effect at its scan's start, as in analysis::DatasetIndex).
+  const net::RoutingHistory* routing = nullptr;
+  /// §6 linking output as plain cert-id groups (group index becomes the
+  /// linked_device id). Kept as PODs so notary does not depend on linking.
+  const std::vector<std::vector<scan::CertId>>* device_groups = nullptr;
+  /// Pool for the parallel build; null = the process-global pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// The immutable index: fingerprint -> CertKnowledge across `kShards`
+/// hash shards (shard = first fingerprint byte, so the mapping is stable
+/// across runs and thread counts).
+class NotaryIndex {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  explicit NotaryIndex(const scan::ScanArchive& archive,
+                       const NotaryIndexOptions& options = {});
+
+  /// Fingerprint lookup; nullptr when unknown. Lock-free.
+  const CertKnowledge* lookup(const scan::CertFingerprint& fp) const;
+
+  /// Knowledge by archive certificate id.
+  const CertKnowledge& knowledge(scan::CertId id) const {
+    return entries_[id];
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// The shard a fingerprint hashes to (exposed for the per-shard caches).
+  static std::size_t shard_of(const scan::CertFingerprint& fp) {
+    return fp[0] % kShards;
+  }
+
+ private:
+  struct FingerprintHash {
+    std::size_t operator()(const scan::CertFingerprint& fp) const {
+      // The fingerprint is itself SHA-256 output; fold bytes 8..15 (bytes
+      // 0.. pick the shard, so use the other half for the in-shard hash).
+      std::size_t h = 0;
+      for (std::size_t i = 8; i < fp.size(); ++i) h = h * 131 + fp[i];
+      return h;
+    }
+  };
+
+  std::vector<CertKnowledge> entries_;  // [cert id]
+  std::array<std::unordered_map<scan::CertFingerprint, scan::CertId,
+                                FingerprintHash>,
+             kShards>
+      shards_;
+};
+
+/// Renders one certificate's knowledge as the canonical notary response
+/// body — a pure function of the entry (deterministic bytes regardless of
+/// thread count or caching; the loopback tests pin this).
+std::string render_knowledge(const CertKnowledge& knowledge);
+
+}  // namespace sm::notary

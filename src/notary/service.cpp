@@ -1,0 +1,185 @@
+#include "notary/service.h"
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/hex.h"
+#include "util/stats.h"
+
+namespace sm::notary {
+namespace {
+
+double bucket_upper_us(std::size_t bucket) {
+  return static_cast<double>(std::uint64_t{1} << (bucket + 1)) / 1000.0;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  std::size_t bucket =
+      static_cast<std::size_t>(std::bit_width(nanos | 1) - 1);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Summary LatencyHistogram::summarize() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  Summary out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += counts[i];
+    if (counts[i] != 0) out.max_us = bucket_upper_us(i);
+  }
+  if (out.count == 0) return out;
+  const auto percentile = [&](double p) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(out.count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) return bucket_upper_us(i);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  };
+  out.p50_us = percentile(0.50);
+  out.p99_us = percentile(0.99);
+  return out;
+}
+
+NotaryService::NotaryService(const NotaryIndex& index,
+                             NotaryServiceConfig config)
+    : index_(&index), config_(config) {
+  const std::size_t per_shard = config_.cache_bytes / NotaryIndex::kShards;
+  for (CacheShard& shard : cache_) shard.capacity = per_shard;
+}
+
+std::string NotaryService::rendered_response(const scan::CertFingerprint& fp,
+                                             scan::CertId id,
+                                             const CertKnowledge& k) {
+  if (config_.cache_bytes == 0) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return render_knowledge(k);
+  }
+  CacheShard& shard = cache_[NotaryIndex::shard_of(fp)];
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(id);
+    if (it != shard.map.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+  // Render outside the lock: misses are the slow path, and the entry is
+  // immutable so two racing renders produce identical bytes.
+  std::string rendered = render_knowledge(k);
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(shard.mutex);
+  if (shard.map.find(id) == shard.map.end() &&
+      rendered.size() <= shard.capacity) {
+    shard.order.emplace_front(id, rendered);
+    shard.map.emplace(id, shard.order.begin());
+    shard.bytes += rendered.size();
+    while (shard.bytes > shard.capacity) {
+      const auto& [victim_id, victim] = shard.order.back();
+      shard.bytes -= victim.size();
+      shard.map.erase(victim_id);
+      shard.order.pop_back();
+    }
+  }
+  return rendered;
+}
+
+netio::Frame NotaryService::handle(netio::FrameType type,
+                                   std::string_view payload) {
+  const auto start = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  netio::Frame response;
+  switch (type) {
+    case netio::FrameType::kQuery: {
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      if (payload.size() != std::tuple_size_v<scan::CertFingerprint> &&
+          payload.size() != 32) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        response = {netio::FrameType::kError,
+                    "query payload must be a 16-byte fingerprint or a "
+                    "32-byte SHA-256"};
+        break;
+      }
+      scan::CertFingerprint fp{};
+      std::memcpy(fp.data(), payload.data(), fp.size());
+      const CertKnowledge* k = index_->lookup(fp);
+      if (k == nullptr) {
+        not_found_.fetch_add(1, std::memory_order_relaxed);
+        response = {netio::FrameType::kNotFound,
+                    util::hex_encode(util::BytesView(fp.data(), fp.size()))};
+      } else {
+        found_.fetch_add(1, std::memory_order_relaxed);
+        const auto id = static_cast<scan::CertId>(k - &index_->knowledge(0));
+        response = {netio::FrameType::kCertInfo,
+                    rendered_response(fp, id, *k)};
+      }
+      break;
+    }
+    case netio::FrameType::kStats:
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      response = {netio::FrameType::kStatsText, render_stats()};
+      break;
+    case netio::FrameType::kPing:
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      response = {netio::FrameType::kPong, std::string(payload)};
+      break;
+    default:
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      response = {netio::FrameType::kError, "unsupported request frame"};
+      break;
+  }
+  latency_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return response;
+}
+
+NotaryMetricsSnapshot NotaryService::metrics() const {
+  NotaryMetricsSnapshot out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.found = found_.load(std::memory_order_relaxed);
+  out.not_found = not_found_.load(std::memory_order_relaxed);
+  out.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  out.pings = pings_.load(std::memory_order_relaxed);
+  out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.latency = latency_.summarize();
+  return out;
+}
+
+std::string NotaryService::render_stats() const {
+  const NotaryMetricsSnapshot m = metrics();
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "notary-stats\n"
+      "index-size: %zu\n"
+      "requests: %" PRIu64 "\n"
+      "queries: %" PRIu64 " (found %" PRIu64 ", unknown %" PRIu64 ")\n"
+      "pings: %" PRIu64 "\n"
+      "stats-requests: %" PRIu64 "\n"
+      "bad-requests: %" PRIu64 "\n"
+      "cache: %" PRIu64 " hits, %" PRIu64 " misses (hit rate %s)\n"
+      "latency-p50-us: %.3f\n"
+      "latency-p99-us: %.3f\n"
+      "latency-max-us: %.3f\n",
+      index_->size(), m.requests, m.queries, m.found, m.not_found, m.pings,
+      m.stats_requests, m.bad_requests, m.cache_hits, m.cache_misses,
+      util::percent(m.cache_hit_rate()).c_str(), m.latency.p50_us,
+      m.latency.p99_us, m.latency.max_us);
+  return buf;
+}
+
+}  // namespace sm::notary

@@ -1,0 +1,123 @@
+// NotaryService — the request handler sm_notaryd plugs into netio: frames
+// in, frames out, with a per-shard LRU cache of rendered responses and
+// lock-free request metrics.
+//
+//  * The cache is memory-bounded (cache_bytes split evenly over the
+//    index's shards) and caches only the *rendered* text of an immutable
+//    entry, so responses are byte-identical with the cache on or off.
+//  * Metrics are relaxed atomics (request counts, cache hit/miss,
+//    malformed requests) plus a power-of-two-bucket latency histogram
+//    with p50/p99 estimates — all dumped on demand by a kStats request.
+//  * handle() is safe to call from any number of server workers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "netio/frame.h"
+#include "notary/index.h"
+
+namespace sm::notary {
+
+/// Service tunables.
+struct NotaryServiceConfig {
+  /// Total bytes of rendered responses to cache (0 disables the cache).
+  std::size_t cache_bytes = 0;
+};
+
+/// Lock-free latency histogram: bucket b counts requests whose handling
+/// took [2^b, 2^(b+1)) nanoseconds. Percentile estimates report a bucket's
+/// upper bound, so they are deterministic in the counts.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t nanos);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double p50_us = 0;  ///< upper bound of the median bucket
+    double p99_us = 0;
+    double max_us = 0;  ///< upper bound of the highest non-empty bucket
+  };
+  Summary summarize() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// A point-in-time copy of the service counters.
+struct NotaryMetricsSnapshot {
+  std::uint64_t requests = 0;       ///< all frames handled
+  std::uint64_t queries = 0;        ///< kQuery frames
+  std::uint64_t found = 0;          ///< queries answered kCertInfo
+  std::uint64_t not_found = 0;      ///< queries answered kNotFound
+  std::uint64_t stats_requests = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t bad_requests = 0;   ///< well-framed but unusable requests
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;   ///< includes cache-disabled renders
+  LatencyHistogram::Summary latency;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The notary request handler. Owns the cache and metrics; borrows the
+/// (immutable) index.
+class NotaryService {
+ public:
+  explicit NotaryService(const NotaryIndex& index,
+                         NotaryServiceConfig config = {});
+
+  /// Handles one well-formed frame; thread-safe. Query payloads are the
+  /// 16-byte archive fingerprint or a full 32-byte SHA-256 (truncated).
+  netio::Frame handle(netio::FrameType type, std::string_view payload);
+
+  NotaryMetricsSnapshot metrics() const;
+
+  /// The kStatsText body: counters, hit rate, latency percentiles.
+  std::string render_stats() const;
+
+  const NotaryIndex& index() const { return *index_; }
+
+ private:
+  // One LRU shard: most-recent at the front of `order`.
+  struct CacheShard {
+    std::mutex mutex;
+    std::list<std::pair<scan::CertId, std::string>> order;
+    std::unordered_map<scan::CertId, decltype(order)::iterator> map;
+    std::size_t bytes = 0;
+    std::size_t capacity = 0;
+  };
+
+  std::string rendered_response(const scan::CertFingerprint& fp,
+                                scan::CertId id, const CertKnowledge& k);
+
+  const NotaryIndex* index_;
+  NotaryServiceConfig config_;
+  std::array<CacheShard, NotaryIndex::kShards> cache_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> found_{0};
+  std::atomic<std::uint64_t> not_found_{0};
+  std::atomic<std::uint64_t> stats_requests_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace sm::notary

@@ -917,6 +917,7 @@ WorldResult World::Impl::run() {
         result_.archive.begin_scan(result_.schedule[i]);
     run_scan(scan_index, result_.schedule[i]);
   }
+  result_.verify_stats = verifier_->stats();
   return std::move(result_);
 }
 

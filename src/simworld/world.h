@@ -21,6 +21,7 @@
 #include "net/as_database.h"
 #include "net/route_table.h"
 #include "pki/root_store.h"
+#include "pki/verifier.h"
 #include "scan/archive.h"
 #include "scan/prefix_set.h"
 #include "scan/schedule.h"
@@ -99,6 +100,10 @@ struct WorldResult {
   /// degenerately tiny leases, and surfaced here so the cap is never a
   /// silent data loss (it is 0 at the default configs; tests assert so).
   std::uint64_t dropped_lease_intervals = 0;
+  /// Validation-work counters from the BatchVerifier that classified every
+  /// issued certificate (all zero when the result was loaded from a bundle
+  /// rather than simulated).
+  pki::BatchVerifyStats verify_stats;
 };
 
 /// The simulator. Construct with a config, call run() once.

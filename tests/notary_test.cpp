@@ -1,0 +1,346 @@
+// Tests for sm::notary: NotaryIndex field correctness against brute-force
+// recomputation, thread-count determinism of the rendered responses, the
+// service's LRU cache (byte-identical on/off, eviction), and the metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "notary/index.h"
+#include "notary/service.h"
+#include "simworld/world.h"
+#include "util/thread_pool.h"
+
+namespace sm::notary {
+namespace {
+
+simworld::WorldConfig micro_config() {
+  simworld::WorldConfig config;
+  config.seed = 11;
+  config.device_count = 120;
+  config.website_count = 40;
+  config.schedule.scale = 0.1;
+  return config;
+}
+
+const simworld::WorldResult& micro_world() {
+  static const simworld::WorldResult world =
+      simworld::World(micro_config()).run();
+  return world;
+}
+
+NotaryIndexOptions with_routing(const simworld::WorldResult& world,
+                                util::ThreadPool* pool = nullptr) {
+  NotaryIndexOptions options;
+  options.routing = &world.routing;
+  options.pool = pool;
+  return options;
+}
+
+TEST(NotaryIndex, MatchesBruteForceRecomputation) {
+  const auto& world = micro_world();
+  const auto& archive = world.archive;
+  const NotaryIndex index(archive, with_routing(world));
+  ASSERT_EQ(index.size(), archive.certs().size());
+
+  for (scan::CertId id = 0; id < archive.certs().size(); ++id) {
+    const CertKnowledge& k = index.knowledge(id);
+    const scan::CertRecord& record = archive.cert(id);
+    EXPECT_EQ(k.fingerprint, record.fingerprint);
+    EXPECT_EQ(k.valid, record.valid);
+    EXPECT_EQ(k.transvalid, record.transvalid);
+    EXPECT_EQ(k.reason, record.invalid_reason);
+    EXPECT_EQ(k.subject_cn, record.subject_cn);
+    EXPECT_EQ(k.issuer_cn, record.issuer_cn);
+    EXPECT_EQ(k.not_before, record.not_before);
+    EXPECT_EQ(k.not_after, record.not_after);
+
+    // Brute-force observation history from the raw archive.
+    std::uint64_t observations = 0;
+    std::uint32_t scans_seen = 0;
+    util::UnixTime first_seen = 0, last_seen = 0;
+    std::set<std::uint32_t> ips, slash24s;
+    std::set<net::Asn> ases;
+    for (const scan::ScanData& scan : archive.scans()) {
+      bool seen_in_scan = false;
+      const net::RouteTable* table = world.routing.at(scan.event.start);
+      for (const scan::Observation& obs : scan.observations) {
+        if (obs.cert != id) continue;
+        ++observations;
+        if (!seen_in_scan) {
+          seen_in_scan = true;
+          ++scans_seen;
+          if (observations == 1) first_seen = scan.event.start;
+          last_seen = scan.event.start;
+        }
+        ips.insert(obs.ip);
+        slash24s.insert(obs.ip >> 8);
+        if (table != nullptr) {
+          const auto asn = table->lookup(net::Ipv4Address(obs.ip));
+          if (asn.has_value() && *asn != 0) ases.insert(*asn);
+        }
+      }
+    }
+    EXPECT_EQ(k.observations, observations) << "cert " << id;
+    EXPECT_EQ(k.scans_seen, scans_seen) << "cert " << id;
+    if (observations > 0) {
+      EXPECT_EQ(k.first_seen, first_seen) << "cert " << id;
+      EXPECT_EQ(k.last_seen, last_seen) << "cert " << id;
+    }
+    EXPECT_EQ(k.distinct_ips, ips.size()) << "cert " << id;
+    EXPECT_EQ(k.distinct_slash24s, slash24s.size()) << "cert " << id;
+    EXPECT_EQ(k.distinct_ases, ases.size()) << "cert " << id;
+  }
+}
+
+TEST(NotaryIndex, KeySharingCountsCertsPerSpki) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  std::map<scan::KeyFingerprint, std::uint32_t> counts;
+  for (const scan::CertRecord& record : world.archive.certs()) {
+    ++counts[record.key_fingerprint];
+  }
+  bool any_shared = false;
+  for (scan::CertId id = 0; id < world.archive.certs().size(); ++id) {
+    const std::uint32_t expected =
+        counts.at(world.archive.cert(id).key_fingerprint);
+    EXPECT_EQ(index.knowledge(id).key_sharing, expected);
+    any_shared |= expected > 1;
+  }
+  // The simulated world includes firmware families that share keys, so the
+  // degree must actually exercise values above 1 somewhere.
+  EXPECT_TRUE(any_shared);
+}
+
+TEST(NotaryIndex, LookupFindsEveryCertAndRejectsUnknown) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  for (scan::CertId id = 0; id < world.archive.certs().size(); ++id) {
+    const CertKnowledge* k = index.lookup(world.archive.cert(id).fingerprint);
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k, &index.knowledge(id));
+  }
+  scan::CertFingerprint unknown{};
+  unknown.fill(0xfe);
+  EXPECT_EQ(index.lookup(unknown), nullptr);
+}
+
+TEST(NotaryIndex, RenderedResponsesAreThreadCountInvariant) {
+  const auto& world = micro_world();
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(8);
+  const NotaryIndex index1(world.archive, with_routing(world, &serial));
+  const NotaryIndex index8(world.archive, with_routing(world, &wide));
+  ASSERT_EQ(index1.size(), index8.size());
+  for (scan::CertId id = 0; id < index1.size(); ++id) {
+    EXPECT_EQ(render_knowledge(index1.knowledge(id)),
+              render_knowledge(index8.knowledge(id)))
+        << "cert " << id;
+  }
+}
+
+TEST(NotaryIndex, DeviceGroupsAssignLinkedIds) {
+  const auto& world = micro_world();
+  ASSERT_GE(world.archive.certs().size(), 6u);
+  const std::vector<std::vector<scan::CertId>> groups = {{2, 5}, {0, 1, 4}};
+  NotaryIndexOptions options;
+  options.device_groups = &groups;
+  const NotaryIndex index(world.archive, options);
+  EXPECT_EQ(index.knowledge(2).linked_device, 0u);
+  EXPECT_EQ(index.knowledge(5).linked_device, 0u);
+  EXPECT_EQ(index.knowledge(0).linked_device, 1u);
+  EXPECT_EQ(index.knowledge(1).linked_device, 1u);
+  EXPECT_EQ(index.knowledge(4).linked_device, 1u);
+  EXPECT_EQ(index.knowledge(3).linked_device, kNoLinkedDevice);
+  // Without routing the AS column degrades to 0 rather than lying.
+  EXPECT_EQ(index.knowledge(0).distinct_ases, 0u);
+}
+
+TEST(NotaryIndex, RenderKnowledgeContainsEveryField) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  const std::string body = render_knowledge(index.knowledge(0));
+  for (const char* key :
+       {"fingerprint: ", "status: ", "subject-cn: ", "issuer-cn: ",
+        "not-before: ", "not-after: ", "first-seen: ", "last-seen: ",
+        "scans-seen: ", "observations: ", "distinct-ips: ",
+        "distinct-slash24s: ", "distinct-ases: ", "key-sharing: ",
+        "linked-device: "}) {
+    EXPECT_NE(body.find(key), std::string::npos) << key;
+  }
+}
+
+// ---- service -------------------------------------------------------------
+
+std::string fp_payload(const scan::CertFingerprint& fp) {
+  return std::string(reinterpret_cast<const char*>(fp.data()), fp.size());
+}
+
+TEST(NotaryService, ResponsesAreByteIdenticalWithCacheOnAndOff) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  NotaryService uncached(index);  // cache_bytes = 0
+  NotaryServiceConfig cached_config;
+  cached_config.cache_bytes = 16 << 20;
+  NotaryService cached(index, cached_config);
+
+  for (scan::CertId id = 0; id < index.size(); ++id) {
+    const std::string payload = fp_payload(world.archive.cert(id).fingerprint);
+    // Twice each, so the cached service serves both the miss and hit paths.
+    for (int round = 0; round < 2; ++round) {
+      const netio::Frame a = uncached.handle(netio::FrameType::kQuery, payload);
+      const netio::Frame b = cached.handle(netio::FrameType::kQuery, payload);
+      ASSERT_EQ(a.type, netio::FrameType::kCertInfo);
+      ASSERT_EQ(b.type, netio::FrameType::kCertInfo);
+      ASSERT_EQ(a.payload, b.payload) << "cert " << id;
+      EXPECT_EQ(a.payload, render_knowledge(index.knowledge(id)));
+    }
+  }
+  EXPECT_EQ(uncached.metrics().cache_hits, 0u);
+  EXPECT_EQ(cached.metrics().cache_hits, index.size());
+  EXPECT_EQ(cached.metrics().cache_misses, index.size());
+}
+
+TEST(NotaryService, AcceptsFull32ByteFingerprintPayloads) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  NotaryService service(index);
+  // A 32-byte SHA-256 is truncated to the archive's 128-bit intern key.
+  std::string payload = fp_payload(world.archive.cert(0).fingerprint);
+  payload.append(16, '\xaa');
+  const netio::Frame response =
+      service.handle(netio::FrameType::kQuery, payload);
+  ASSERT_EQ(response.type, netio::FrameType::kCertInfo);
+  EXPECT_EQ(response.payload, render_knowledge(index.knowledge(0)));
+}
+
+TEST(NotaryService, UnknownFingerprintAnswersNotFound) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  NotaryService service(index);
+  scan::CertFingerprint unknown{};
+  unknown.fill(0xfe);
+  const netio::Frame response =
+      service.handle(netio::FrameType::kQuery, fp_payload(unknown));
+  EXPECT_EQ(response.type, netio::FrameType::kNotFound);
+  // kNotFound echoes the queried fingerprint in hex.
+  std::string expected;
+  for (int i = 0; i < 16; ++i) expected += "fe";
+  EXPECT_EQ(response.payload, expected);
+  EXPECT_EQ(service.metrics().not_found, 1u);
+}
+
+TEST(NotaryService, BadPayloadSizesAnswerError) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  NotaryService service(index);
+  for (const std::size_t size : {0u, 1u, 15u, 17u, 31u, 33u}) {
+    const netio::Frame response = service.handle(
+        netio::FrameType::kQuery, std::string(size, 'x'));
+    EXPECT_EQ(response.type, netio::FrameType::kError) << size;
+  }
+  EXPECT_EQ(service.metrics().bad_requests, 6u);
+}
+
+TEST(NotaryService, LruEvictsWithinShardUnderTinyCapacity) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+
+  // Two certificates in the same cache shard.
+  std::vector<scan::CertId> same_shard;
+  const std::size_t target = NotaryIndex::shard_of(
+      world.archive.cert(0).fingerprint);
+  for (scan::CertId id = 0; id < index.size() && same_shard.size() < 2; ++id) {
+    if (NotaryIndex::shard_of(world.archive.cert(id).fingerprint) == target) {
+      same_shard.push_back(id);
+    }
+  }
+  ASSERT_EQ(same_shard.size(), 2u) << "micro world too small for the sweep";
+  const std::string a = fp_payload(world.archive.cert(same_shard[0]).fingerprint);
+  const std::string b = fp_payload(world.archive.cert(same_shard[1]).fingerprint);
+
+  // Capacity: one rendered response per shard (plus slack), so A and B
+  // evict each other.
+  const std::size_t one_entry =
+      render_knowledge(index.knowledge(same_shard[0])).size() + 64;
+  NotaryServiceConfig config;
+  config.cache_bytes = one_entry * NotaryIndex::kShards;
+  NotaryService service(index, config);
+
+  auto query = [&](const std::string& payload) {
+    const netio::Frame r = service.handle(netio::FrameType::kQuery, payload);
+    ASSERT_EQ(r.type, netio::FrameType::kCertInfo);
+  };
+  query(a);  // miss, cached
+  query(a);  // hit
+  EXPECT_EQ(service.metrics().cache_hits, 1u);
+  query(b);  // miss, evicts a
+  query(a);  // miss again (evicted), evicts b
+  query(b);  // miss again
+  const NotaryMetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 4u);
+  // Responses stay correct throughout the thrash.
+  const netio::Frame r = service.handle(netio::FrameType::kQuery, a);
+  EXPECT_EQ(r.payload, render_knowledge(index.knowledge(same_shard[0])));
+}
+
+TEST(NotaryService, MetricsAndStatsTextTrackTraffic) {
+  const auto& world = micro_world();
+  const NotaryIndex index(world.archive, with_routing(world));
+  NotaryServiceConfig config;
+  config.cache_bytes = 1 << 20;
+  NotaryService service(index, config);
+
+  const std::string known = fp_payload(world.archive.cert(0).fingerprint);
+  scan::CertFingerprint missing{};
+  missing.fill(0xfe);
+
+  service.handle(netio::FrameType::kQuery, known);
+  service.handle(netio::FrameType::kQuery, known);
+  service.handle(netio::FrameType::kQuery, fp_payload(missing));
+  const netio::Frame pong = service.handle(netio::FrameType::kPing, "hello");
+  EXPECT_EQ(pong.type, netio::FrameType::kPong);
+  EXPECT_EQ(pong.payload, "hello");
+  const netio::Frame stats = service.handle(netio::FrameType::kStats, "");
+  ASSERT_EQ(stats.type, netio::FrameType::kStatsText);
+
+  const NotaryMetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.requests, 5u);
+  EXPECT_EQ(m.queries, 3u);
+  EXPECT_EQ(m.found, 2u);
+  EXPECT_EQ(m.not_found, 1u);
+  EXPECT_EQ(m.pings, 1u);
+  EXPECT_EQ(m.stats_requests, 1u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(m.cache_hit_rate(), 0.5);
+  EXPECT_GT(m.latency.count, 0u);
+  EXPECT_GT(m.latency.p99_us, 0.0);
+
+  EXPECT_NE(stats.payload.find("notary-stats"), std::string::npos);
+  EXPECT_NE(stats.payload.find("queries: 3 (found 2, unknown 1)"),
+            std::string::npos);
+  EXPECT_NE(stats.payload.find("latency-p50-us"), std::string::npos);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndBounded) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.summarize().count, 0u);
+  // 1us, 2us, 4us ... exercise distinct power-of-two buckets.
+  for (int i = 0; i < 10; ++i) {
+    histogram.record(std::uint64_t{1000} << i);
+  }
+  const auto summary = histogram.summarize();
+  EXPECT_EQ(summary.count, 10u);
+  EXPECT_GT(summary.p50_us, 0.0);
+  EXPECT_LE(summary.p50_us, summary.p99_us);
+  EXPECT_LE(summary.p99_us, summary.max_us);
+}
+
+}  // namespace
+}  // namespace sm::notary

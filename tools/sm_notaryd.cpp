@@ -1,0 +1,516 @@
+// sm_notaryd — the certificate-notary daemon: serves "what do we know
+// about this certificate?" lookups over a scan corpus, the delivery
+// vehicle the paper's conclusion calls for (a client deciding whether an
+// *invalid* certificate is a benign device cert can ask the notary for
+// its history instead of guessing).
+//
+//   sm_notaryd [--in bundle.smwb | --archive archive.smar] [--port N]
+//              [--threads N] [--cache-mb N] [--link]
+//       Build the NotaryIndex and serve the framed binary protocol
+//       (src/netio/frame.h) until SIGTERM/SIGINT, then drain cleanly.
+//       With neither --in nor --archive, a world is simulated from
+//       --seed/--devices/--websites/--scale (handy for demos).
+//
+//   sm_notaryd --bench N [--clients C] ...
+//       Load-generator mode: serve on an ephemeral loopback port, drive N
+//       queries from C concurrent client connections, and report QPS and
+//       client-side latency percentiles plus the server's own STATS dump.
+//
+//   sm_notaryd --query HEX --port N [--host ADDR]
+//       One-shot client: look up a fingerprint (16- or 32-byte hex) on a
+//       running daemon and print the response.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "linking/linker.h"
+#include "netio/frame.h"
+#include "netio/server.h"
+#include "notary/index.h"
+#include "notary/service.h"
+#include "scan/archive_io.h"
+#include "simworld/world.h"
+#include "simworld/world_io.h"
+#include "util/hex.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace sm;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  std::string in_path;
+  std::string archive_path;
+  std::string bind_address = "127.0.0.1";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7433;
+  bool port_given = false;
+  std::size_t threads = 0;
+  std::size_t cache_mb = 64;
+  int idle_ms = 60'000;
+  bool link = false;
+  std::uint64_t bench = 0;
+  std::size_t clients = 4;
+  std::string query_hex;
+  // Simulation fallback when no input file is given.
+  std::uint64_t seed = 42;
+  std::size_t devices = 5000;
+  std::size_t websites = 1700;
+  double scale = 0.45;
+};
+
+void usage() {
+  std::fputs(
+      "usage: sm_notaryd [--in bundle.smwb | --archive archive.smar]\n"
+      "  --port N       TCP port (default 7433; 0 = kernel-assigned)\n"
+      "  --bind ADDR    bind address (default 127.0.0.1)\n"
+      "  --threads N    worker event loops / index build threads (0 = hw)\n"
+      "  --cache-mb N   rendered-response LRU cache size (default 64; 0 "
+      "= off)\n"
+      "  --idle-ms N    idle connection timeout in ms (default 60000)\n"
+      "  --link         attach linked-device ids (runs the linker; needs "
+      "routing,\n"
+      "                 so --in or a simulated world)\n"
+      "  --seed/--devices/--websites/--scale   simulate when no input "
+      "given\n"
+      "  --bench N      loopback load generator: N queries, then exit\n"
+      "  --clients C    concurrent bench connections (default 4)\n"
+      "  --query HEX    one-shot client query against a running daemon\n"
+      "  --host ADDR    server address for --query (default 127.0.0.1)\n",
+      stderr);
+}
+
+std::uint64_t parse_u64_or_die(const char* flag, const char* value,
+                               std::uint64_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value < '0' || *value > '9' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || parsed > max) {
+    std::fprintf(stderr,
+                 "invalid %s value '%s' (want an integer 0-%llu)\n", flag,
+                 value, static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return parsed;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--in") {
+      opts.in_path = value();
+    } else if (arg == "--archive") {
+      opts.archive_path = value();
+    } else if (arg == "--bind") {
+      opts.bind_address = value();
+    } else if (arg == "--host") {
+      opts.host = value();
+    } else if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(
+          parse_u64_or_die("--port", value(), 65535));
+      opts.port_given = true;
+    } else if (arg == "--threads") {
+      opts.threads = parse_u64_or_die("--threads", value(), 4096);
+    } else if (arg == "--cache-mb") {
+      opts.cache_mb = parse_u64_or_die("--cache-mb", value(), 1 << 20);
+    } else if (arg == "--idle-ms") {
+      opts.idle_ms = static_cast<int>(
+          parse_u64_or_die("--idle-ms", value(), 86'400'000));
+    } else if (arg == "--link") {
+      opts.link = true;
+    } else if (arg == "--bench") {
+      opts.bench = parse_u64_or_die("--bench", value(), ~std::uint64_t{0});
+    } else if (arg == "--clients") {
+      opts.clients = parse_u64_or_die("--clients", value(), 1024);
+      if (opts.clients == 0) opts.clients = 1;
+    } else if (arg == "--query") {
+      opts.query_hex = value();
+    } else if (arg == "--seed") {
+      opts.seed = parse_u64_or_die("--seed", value(), ~std::uint64_t{0});
+    } else if (arg == "--devices") {
+      opts.devices = parse_u64_or_die("--devices", value(), 100'000'000);
+    } else if (arg == "--websites") {
+      opts.websites = parse_u64_or_die("--websites", value(), 100'000'000);
+    } else if (arg == "--scale") {
+      char* end = nullptr;
+      opts.scale = std::strtod(value(), &end);
+      if (end == nullptr || *end != '\0' || !(opts.scale > 0.0) ||
+          opts.scale > 1.0) {
+        std::fprintf(stderr, "invalid --scale value (want 0 < F <= 1)\n");
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+// ---- blocking-socket client helpers (bench + --query modes) -------------
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool read_frame(int fd, netio::FrameDecoder& decoder, netio::Frame& out) {
+  for (;;) {
+    switch (decoder.next(out)) {
+      case netio::DecodeStatus::kFrame:
+        return true;
+      case netio::DecodeStatus::kMalformed:
+        return false;
+      case netio::DecodeStatus::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// ---- corpus loading ------------------------------------------------------
+
+// Everything the daemon keeps alive for the index's lifetime.
+struct Corpus {
+  scan::ScanArchive archive;
+  std::optional<simworld::WorldResult> world;  // set for --in / simulated
+  std::vector<std::vector<scan::CertId>> device_groups;
+
+  const scan::ScanArchive& certs_archive() const {
+    return world.has_value() ? world->archive : archive;
+  }
+};
+
+std::optional<Corpus> load_corpus(const Options& opts) {
+  Corpus corpus;
+  if (!opts.in_path.empty()) {
+    auto world = simworld::load_world_bundle_file(opts.in_path);
+    if (!world.has_value()) {
+      std::fprintf(stderr, "failed to load bundle %s\n",
+                   opts.in_path.c_str());
+      return std::nullopt;
+    }
+    corpus.world.emplace(std::move(*world));
+  } else if (!opts.archive_path.empty()) {
+    auto archive = scan::load_archive_file(opts.archive_path);
+    if (!archive.has_value()) {
+      std::fprintf(stderr, "failed to load archive %s\n",
+                   opts.archive_path.c_str());
+      return std::nullopt;
+    }
+    corpus.archive = std::move(*archive);
+  } else {
+    simworld::WorldConfig config;
+    config.seed = opts.seed;
+    config.device_count = opts.devices;
+    config.website_count = opts.websites;
+    config.schedule.scale = opts.scale;
+    std::fprintf(stderr,
+                 "no --in/--archive given: simulating %zu devices + %zu "
+                 "websites (seed %llu)...\n",
+                 config.device_count, config.website_count,
+                 static_cast<unsigned long long>(config.seed));
+    corpus.world.emplace(simworld::World(config).run());
+  }
+
+  if (opts.link) {
+    if (!corpus.world.has_value()) {
+      std::fprintf(stderr,
+                   "--link needs routing data (--in bundle or a simulated "
+                   "world, not --archive)\n");
+      return std::nullopt;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    const analysis::DatasetIndex index(corpus.world->archive,
+                                       corpus.world->routing);
+    const linking::Linker linker(index);
+    const auto linked = linker.link_iteratively();
+    corpus.device_groups.reserve(linked.groups.size());
+    for (const auto& group : linked.groups) {
+      corpus.device_groups.push_back(group.certs);
+    }
+    std::fprintf(stderr, "linking: %zu device groups in %.2fs\n",
+                 corpus.device_groups.size(),
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count());
+  }
+  return corpus;
+}
+
+// ---- modes ---------------------------------------------------------------
+
+int run_query_client(const Options& opts) {
+  const auto bytes = util::hex_decode(opts.query_hex);
+  if (!bytes.has_value() ||
+      (bytes->size() != 16 && bytes->size() != 32)) {
+    std::fprintf(stderr,
+                 "--query wants 32 or 64 hex digits (16- or 32-byte "
+                 "fingerprint)\n");
+    return 2;
+  }
+  const int fd = connect_tcp(opts.host, opts.port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", opts.host.c_str(),
+                 opts.port);
+    return 1;
+  }
+  const std::string payload(bytes->begin(), bytes->end());
+  netio::FrameDecoder decoder;
+  netio::Frame response;
+  const bool ok =
+      send_all(fd, netio::encode_frame(netio::FrameType::kQuery, payload)) &&
+      read_frame(fd, decoder, response);
+  ::close(fd);
+  if (!ok) {
+    std::fprintf(stderr, "no response from %s:%u\n", opts.host.c_str(),
+                 opts.port);
+    return 1;
+  }
+  std::fputs(response.payload.c_str(), stdout);
+  if (!response.payload.empty() && response.payload.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  if (response.type == netio::FrameType::kCertInfo) return 0;
+  if (response.type == netio::FrameType::kNotFound) return 3;
+  return 1;
+}
+
+int run_bench(const Options& opts, notary::NotaryService& service,
+              const scan::ScanArchive& archive) {
+  netio::ServerConfig config;
+  config.bind_address = "127.0.0.1";
+  config.port = 0;  // ephemeral: the bench is self-contained
+  config.workers = opts.threads;
+  config.idle_timeout_ms = opts.idle_ms;
+  netio::TcpServer server(config, [&service](netio::FrameType type,
+                                             std::string_view payload) {
+    return service.handle(type, payload);
+  });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto& certs = archive.certs();
+  if (certs.empty()) {
+    std::fprintf(stderr, "empty corpus, nothing to query\n");
+    return 1;
+  }
+  const std::size_t clients = opts.clients;
+  const std::uint64_t per_client = (opts.bench + clients - 1) / clients;
+  std::atomic<std::uint64_t> failures{0};
+  notary::LatencyHistogram latency;
+
+  std::fprintf(stderr, "bench: %llu queries over %zu connections...\n",
+               static_cast<unsigned long long>(per_client * clients),
+               clients);
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = connect_tcp("127.0.0.1", server.port());
+      if (fd < 0) {
+        failures.fetch_add(per_client, std::memory_order_relaxed);
+        return;
+      }
+      netio::FrameDecoder decoder;
+      netio::Frame response;
+      std::string payload(16, '\0');
+      for (std::uint64_t q = 0; q < per_client; ++q) {
+        const auto& fp = certs[(q * clients + c) % certs.size()].fingerprint;
+        payload.assign(reinterpret_cast<const char*>(fp.data()), fp.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!send_all(fd, netio::encode_frame(netio::FrameType::kQuery,
+                                              payload)) ||
+            !read_frame(fd, decoder, response) ||
+            response.type != netio::FrameType::kCertInfo) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  const auto summary = latency.summarize();
+  std::printf("queries:    %llu ok, %llu failed in %.3fs\n",
+              static_cast<unsigned long long>(summary.count),
+              static_cast<unsigned long long>(
+                  failures.load(std::memory_order_relaxed)),
+              seconds);
+  std::printf("throughput: %.0f queries/s (%zu client connections, %zu "
+              "workers)\n",
+              static_cast<double>(summary.count) / seconds, clients,
+              opts.threads == 0
+                  ? static_cast<std::size_t>(
+                        std::thread::hardware_concurrency())
+                  : opts.threads);
+  std::printf("rtt:        p50 %.1fus  p99 %.1fus  max %.1fus\n",
+              summary.p50_us, summary.p99_us, summary.max_us);
+
+  // The server's own view, through the protocol like any client.
+  const int fd = connect_tcp("127.0.0.1", server.port());
+  if (fd >= 0) {
+    netio::FrameDecoder decoder;
+    netio::Frame response;
+    if (send_all(fd, netio::encode_frame(netio::FrameType::kStats, "")) &&
+        read_frame(fd, decoder, response)) {
+      std::printf("\n%s", response.payload.c_str());
+    }
+    ::close(fd);
+  }
+  server.shutdown();
+  return failures.load(std::memory_order_relaxed) == 0 ? 0 : 1;
+}
+
+int run_server(const Options& opts, notary::NotaryService& service) {
+  netio::ServerConfig config;
+  config.bind_address = opts.bind_address;
+  config.port = opts.port;
+  config.workers = opts.threads;
+  config.idle_timeout_ms = opts.idle_ms;
+  netio::TcpServer server(config, [&service](netio::FrameType type,
+                                             std::string_view payload) {
+    return service.handle(type, payload);
+  });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::fprintf(stderr, "sm_notaryd listening on %s:%u (%zu certificates)\n",
+               opts.bind_address.c_str(), server.port(),
+               service.index().size());
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "signal received, draining...\n");
+  server.shutdown();
+  const auto counters = server.counters();
+  std::fprintf(stderr,
+               "drained: %llu connections, %llu frames (%llu malformed, "
+               "%llu idle-closed)\n",
+               static_cast<unsigned long long>(counters.connections_accepted),
+               static_cast<unsigned long long>(counters.frames_handled),
+               static_cast<unsigned long long>(counters.malformed_frames),
+               static_cast<unsigned long long>(counters.idle_closed));
+  std::fputs(service.render_stats().c_str(), stderr);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts.has_value()) {
+    usage();
+    return 2;
+  }
+  if (!opts->query_hex.empty()) {
+    if (!opts->port_given) {
+      std::fprintf(stderr, "--query needs --port\n");
+      return 2;
+    }
+    return run_query_client(*opts);
+  }
+  if (opts->threads != 0) {
+    util::ThreadPool::set_global_threads(opts->threads);
+  }
+
+  const auto corpus = load_corpus(*opts);
+  if (!corpus.has_value()) return 1;
+  const scan::ScanArchive& archive = corpus->certs_archive();
+
+  const auto begin = std::chrono::steady_clock::now();
+  notary::NotaryIndexOptions index_options;
+  if (corpus->world.has_value()) {
+    index_options.routing = &corpus->world->routing;
+  }
+  if (!corpus->device_groups.empty()) {
+    index_options.device_groups = &corpus->device_groups;
+  }
+  const notary::NotaryIndex index(archive, index_options);
+  std::fprintf(stderr, "notary index: %zu certificates in %.2fs\n",
+               index.size(),
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count());
+
+  notary::NotaryServiceConfig service_config;
+  service_config.cache_bytes = opts->cache_mb << 20;
+  notary::NotaryService service(index, service_config);
+
+  if (opts->bench > 0) return run_bench(*opts, service, archive);
+  return run_server(*opts, service);
+}

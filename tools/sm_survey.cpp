@@ -33,6 +33,7 @@
 //   sm_survey dump --pem FILE
 //       dumpasn1-style DER tree of every block in a PEM bundle.
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -77,7 +78,7 @@ struct Options {
 };
 
 void usage() {
-  std::puts(
+  std::fputs(
       "usage: sm_survey "
       "<simulate|report|link|track|figures|stat|lint|dump> [options]\n"
       "  --seed N       simulation seed (default 42)\n"
@@ -93,7 +94,25 @@ void usage() {
       "  --pem FILE     (lint) PEM bundle to lint\n"
       "  --threads N    worker threads for analysis/linking/tracking\n"
       "                 (default: one per hardware thread; results are\n"
-      "                 identical for every N)");
+      "                 identical for every N)\n",
+      stderr);
+}
+
+// Strict unsigned parse: rejects empty values, trailing garbage, negative
+// numbers, and out-of-range input (strtoull would silently return 0 or
+// wrap), exiting with the same diagnostics shape as --threads.
+std::uint64_t parse_u64_or_die(const char* flag, const char* value,
+                               std::uint64_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value < '0' || *value > '9' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || parsed > max) {
+    std::fprintf(stderr, "invalid %s value '%s' (want an integer 0-%llu)\n",
+                 flag, value, static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return parsed;
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -110,13 +129,21 @@ std::optional<Options> parse(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      opts.seed = std::strtoull(value(), nullptr, 10);
+      opts.seed = parse_u64_or_die("--seed", value(), ~std::uint64_t{0});
     } else if (arg == "--devices") {
-      opts.devices = std::strtoull(value(), nullptr, 10);
+      opts.devices = parse_u64_or_die("--devices", value(), 100'000'000);
     } else if (arg == "--websites") {
-      opts.websites = std::strtoull(value(), nullptr, 10);
+      opts.websites = parse_u64_or_die("--websites", value(), 100'000'000);
     } else if (arg == "--scale") {
-      opts.scale = std::strtod(value(), nullptr);
+      const char* v = value();
+      char* end = nullptr;
+      opts.scale = std::strtod(v, &end);
+      if (*v == '\0' || end == nullptr || *end != '\0' ||
+          !(opts.scale > 0.0) || opts.scale > 1.0) {
+        std::fprintf(stderr,
+                     "invalid --scale value '%s' (want 0 < F <= 1)\n", v);
+        std::exit(2);
+      }
     } else if (arg == "--in") {
       opts.in_path = value();
     } else if (arg == "--out") {
@@ -178,6 +205,13 @@ simworld::WorldResult obtain_world(const Options& opts) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
   std::fprintf(stderr, "world built in %.2fs\n", seconds);
+  std::fprintf(stderr,
+               "verified %llu certs: %llu signature checks computed, %llu "
+               "memoized\n",
+               static_cast<unsigned long long>(world.verify_stats.verified),
+               static_cast<unsigned long long>(world.verify_stats.sig_checks),
+               static_cast<unsigned long long>(
+                   world.verify_stats.sig_cache_hits));
   if (world.dropped_lease_intervals > 0) {
     std::fprintf(stderr,
                  "warning: %llu lease intervals dropped by the per-replica "
@@ -193,6 +227,13 @@ int cmd_simulate(const Options& opts) {
   std::printf("scans:        %zu\n", world.archive.scans().size());
   std::printf("observations: %zu\n", world.archive.observation_count());
   std::printf("unique certs: %zu\n", world.archive.certs().size());
+  if (world.verify_stats.verified > 0) {
+    std::printf("verified:     %llu certs (%llu sig checks, %llu memo hits)\n",
+                static_cast<unsigned long long>(world.verify_stats.verified),
+                static_cast<unsigned long long>(world.verify_stats.sig_checks),
+                static_cast<unsigned long long>(
+                    world.verify_stats.sig_cache_hits));
+  }
   if (!opts.out_path.empty()) {
     if (!simworld::save_world_bundle_file(world, opts.out_path)) {
       std::fprintf(stderr, "failed to write %s\n", opts.out_path.c_str());
@@ -290,6 +331,24 @@ int cmd_report(const Options& opts) {
   const analysis::DatasetIndex index(world.archive, world.routing);
   const std::string rendered = report::render_report(index, world.as_db);
   std::fputs(rendered.c_str(), stdout);
+  // Validation-work counters (zero when --in loaded a prebuilt bundle —
+  // classifications are baked into its CertRecords, nothing re-verifies).
+  if (world.verify_stats.verified > 0) {
+    std::printf("\n-- verification work --\n"
+                "verified %llu certs; %llu signature checks computed, %llu "
+                "answered by the memo (%s)\n",
+                static_cast<unsigned long long>(world.verify_stats.verified),
+                static_cast<unsigned long long>(world.verify_stats.sig_checks),
+                static_cast<unsigned long long>(
+                    world.verify_stats.sig_cache_hits),
+                util::percent(
+                    static_cast<double>(world.verify_stats.sig_cache_hits) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(
+                            1, world.verify_stats.sig_checks +
+                                   world.verify_stats.sig_cache_hits)))
+                    .c_str());
+  }
   return 0;
 }
 
