@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "corpus/corpus_index.h"
 #include "netio/frame.h"
 #include "netio/server.h"
 #include "notary/index.h"
@@ -32,14 +33,11 @@ using namespace sm;
 
 const scan::ScanArchive& archive() { return bench::context().world.archive; }
 
-notary::NotaryIndexOptions index_options() {
-  notary::NotaryIndexOptions options;
-  options.routing = &bench::context().world.routing;
-  return options;
-}
+// The corpus spine shared with every other consumer in the bench context.
+const corpus::CorpusIndex& spine() { return bench::context().index.corpus(); }
 
 const notary::NotaryIndex& shared_index() {
-  static const notary::NotaryIndex index(archive(), index_options());
+  static const notary::NotaryIndex index(spine());
   return index;
 }
 
@@ -119,10 +117,10 @@ void report() {
 
 void BM_NotaryIndexBuild(benchmark::State& state) {
   util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
-  auto options = index_options();
+  notary::NotaryIndexOptions options;
   options.pool = &pool;
   for (auto _ : state) {
-    notary::NotaryIndex index(archive(), options);
+    notary::NotaryIndex index(spine(), options);
     benchmark::DoNotOptimize(index);
   }
   state.SetItemsProcessed(state.iterations() *

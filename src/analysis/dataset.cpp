@@ -1,130 +1,12 @@
 #include "analysis/dataset.h"
 
-#include <algorithm>
-#include <limits>
-
 namespace sm::analysis {
 
 DatasetIndex::DatasetIndex(const scan::ScanArchive& archive,
                            const net::RoutingHistory& routing,
                            util::ThreadPool* pool)
-    : archive_(&archive), routing_(&routing) {
-  if (pool == nullptr) pool = &util::ThreadPool::global();
-  const auto& scans = archive.scans();
-  const std::size_t cert_count = archive.certs().size();
-  stats_.assign(cert_count, CertStats{});
-  for (auto& s : stats_) {
-    s.min_ips_in_scan = std::numeric_limits<std::uint32_t>::max();
-  }
-  scan_tables_.reserve(scans.size());
-  for (const scan::ScanData& scan : scans) {
-    scan_tables_.push_back(routing.at(scan.event.start));
-  }
-
-  // Per-scan derivation (AS lookups + unique-(cert, ip) dedup) is
-  // independent across scans: run it on the pool into per-scan slots, then
-  // merge serially in scan order so the stats are thread-count-invariant.
-  struct ScanDerived {
-    std::vector<std::pair<scan::CertId, std::uint32_t>> unique_pairs;
-    std::vector<std::pair<scan::CertId, net::Asn>> as_pairs;
-  };
-  std::vector<ScanDerived> derived(scans.size());
-  pool->parallel_for(scans.size(), 1, [&](std::size_t begin,
-                                          std::size_t end) {
-    for (std::size_t scan_index = begin; scan_index < end; ++scan_index) {
-      const auto& observations = scans[scan_index].observations;
-      ScanDerived& out = derived[scan_index];
-      out.unique_pairs.reserve(observations.size());
-      out.as_pairs.reserve(observations.size());
-      for (const scan::Observation& obs : observations) {
-        out.unique_pairs.emplace_back(obs.cert, obs.ip);
-        out.as_pairs.emplace_back(obs.cert, as_of(scan_index, obs.ip));
-      }
-      std::sort(out.unique_pairs.begin(), out.unique_pairs.end());
-      out.unique_pairs.erase(
-          std::unique(out.unique_pairs.begin(), out.unique_pairs.end()),
-          out.unique_pairs.end());
-    }
-  });
-
-  std::vector<bool> seen(cert_count, false);
-  // (cert, asn) pairs across all observations, deduplicated at the end to
-  // produce distinct-AS counts and majority ASes.
-  std::vector<std::pair<scan::CertId, net::Asn>> cert_as_pairs;
-  cert_as_pairs.reserve(archive.observation_count());
-
-  for (std::size_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
-    const auto& scan_pairs = derived[scan_index].unique_pairs;
-    auto& as_pairs = derived[scan_index].as_pairs;
-    cert_as_pairs.insert(cert_as_pairs.end(), as_pairs.begin(),
-                         as_pairs.end());
-    as_pairs.clear();
-    as_pairs.shrink_to_fit();
-    // Count unique IPs per cert in this scan.
-    for (std::size_t i = 0; i < scan_pairs.size();) {
-      const scan::CertId cert = scan_pairs[i].first;
-      std::size_t j = i;
-      while (j < scan_pairs.size() && scan_pairs[j].first == cert) ++j;
-      const auto ip_count = static_cast<std::uint32_t>(j - i);
-      CertStats& s = stats_[cert];
-      if (!seen[cert]) {
-        seen[cert] = true;
-        s.first_scan = static_cast<std::uint32_t>(scan_index);
-      }
-      s.last_scan = static_cast<std::uint32_t>(scan_index);
-      ++s.scans_seen;
-      s.total_ip_scan_slots += ip_count;
-      s.max_ips_in_scan = std::max(s.max_ips_in_scan, ip_count);
-      s.min_ips_in_scan = std::min(s.min_ips_in_scan, ip_count);
-      i = j;
-    }
-  }
-  for (auto& s : stats_) {
-    if (s.scans_seen == 0) s.min_ips_in_scan = 0;
-  }
-
-  // Distinct ASes + majority AS per certificate.
-  std::sort(cert_as_pairs.begin(), cert_as_pairs.end());
-  for (std::size_t i = 0; i < cert_as_pairs.size();) {
-    const scan::CertId cert = cert_as_pairs[i].first;
-    std::size_t j = i;
-    std::uint32_t distinct = 0;
-    net::Asn best_as = 0;
-    std::size_t best_count = 0;
-    while (j < cert_as_pairs.size() && cert_as_pairs[j].first == cert) {
-      const net::Asn asn = cert_as_pairs[j].second;
-      std::size_t k = j;
-      while (k < cert_as_pairs.size() && cert_as_pairs[k].first == cert &&
-             cert_as_pairs[k].second == asn) {
-        ++k;
-      }
-      ++distinct;
-      if (k - j > best_count) {
-        best_count = k - j;
-        best_as = asn;
-      }
-      j = k;
-    }
-    stats_[cert].distinct_as_count = distinct;
-    stats_[cert].majority_as = best_as;
-    i = j;
-  }
-}
-
-double DatasetIndex::lifetime_days(scan::CertId id) const {
-  const CertStats& s = stats_[id];
-  if (s.scans_seen == 0) return 0;
-  if (s.first_scan == s.last_scan) return 1;
-  const auto& scans = archive_->scans();
-  const double seconds = static_cast<double>(
-      scans[s.last_scan].event.start - scans[s.first_scan].event.start);
-  return seconds / static_cast<double>(util::kSecondsPerDay) + 1.0;
-}
-
-net::Asn DatasetIndex::as_of(std::size_t scan_index, std::uint32_t ip) const {
-  const net::RouteTable* table = scan_tables_[scan_index];
-  if (table == nullptr) return 0;
-  return table->lookup(net::Ipv4Address(ip)).value_or(0);
-}
+    : owned_(std::make_unique<const corpus::CorpusIndex>(
+          archive, corpus::CorpusOptions{&routing, pool})),
+      spine_(owned_.get()) {}
 
 }  // namespace sm::analysis

@@ -1,71 +1,67 @@
-// DatasetIndex — per-certificate derived statistics over a ScanArchive:
-// lifetimes, per-scan IP counts, and AS residency. Computed once, consumed
-// by every §5 analysis and by the linking evaluation.
+// DatasetIndex — the §5 analysis view over the shared corpus spine:
+// per-certificate lifetimes, per-scan IP counts, and AS residency. Since
+// the corpus::CorpusIndex refactor this class derives nothing itself; it
+// either borrows an existing spine (the single-build-many-consumers path)
+// or builds and owns one for callers that only need the analysis view.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
+#include "corpus/corpus_index.h"
 #include "net/route_table.h"
 #include "scan/archive.h"
 #include "util/thread_pool.h"
 
 namespace sm::analysis {
 
-/// Derived per-certificate statistics.
-struct CertStats {
-  std::uint32_t scans_seen = 0;  ///< scans with >= 1 observation
-  std::uint32_t first_scan = 0;
-  std::uint32_t last_scan = 0;
-  /// Sum over scans of the number of *unique* IPs advertising the cert.
-  std::uint64_t total_ip_scan_slots = 0;
-  std::uint32_t max_ips_in_scan = 0;
-  std::uint32_t min_ips_in_scan = 0;
-  std::uint32_t distinct_as_count = 0;
-  /// The AS hosting this certificate most often (observation-weighted).
-  net::Asn majority_as = 0;
+/// Derived per-certificate statistics (now computed by the corpus spine).
+using CertStats = corpus::CertStats;
 
-  /// Average unique IPs advertising the certificate per scan where seen
-  /// (the paper's Figure 7 metric). 0 when never observed.
-  double avg_ips_per_scan() const {
-    return scans_seen == 0 ? 0.0
-                           : static_cast<double>(total_ip_scan_slots) /
-                                 static_cast<double>(scans_seen);
-  }
-};
-
-/// Index of derived statistics for every certificate in an archive.
+/// Analysis view of the derived statistics for every certificate.
 class DatasetIndex {
  public:
-  /// Builds the index; resolves every observation's IP to its origin AS via
-  /// the routing snapshot in effect at each scan's start. Per-scan work
-  /// (AS resolution, unique-IP dedup) runs on `pool` (the process-global
-  /// pool when null); the result is identical for every thread count.
+  /// Convenience constructor: builds (and owns) a corpus spine for
+  /// `archive`, resolving every observation's IP to its origin AS via the
+  /// routing snapshot in effect at each scan's start. The build runs on
+  /// `pool` (the process-global pool when null); the result is identical
+  /// for every thread count.
   DatasetIndex(const scan::ScanArchive& archive,
                const net::RoutingHistory& routing,
                util::ThreadPool* pool = nullptr);
 
-  const scan::ScanArchive& archive() const { return *archive_; }
+  /// View constructor: borrows an already-built spine (which must outlive
+  /// this index). This is how tools share one spine across all layers.
+  explicit DatasetIndex(const corpus::CorpusIndex& spine) : spine_(&spine) {}
+
+  /// The underlying spine (for handing to other consumers).
+  const corpus::CorpusIndex& corpus() const { return *spine_; }
+
+  const scan::ScanArchive& archive() const { return spine_->archive(); }
 
   /// Stats for certificate `id`.
-  const CertStats& stats(scan::CertId id) const { return stats_[id]; }
-  const std::vector<CertStats>& all_stats() const { return stats_; }
+  const CertStats& stats(scan::CertId id) const { return spine_->stats(id); }
+  const std::vector<CertStats>& all_stats() const {
+    return spine_->all_stats();
+  }
 
   /// Lifetime in days, computed the paper's way (1 day when seen once).
-  double lifetime_days(scan::CertId id) const;
+  double lifetime_days(scan::CertId id) const {
+    return spine_->lifetime_days(id);
+  }
 
   /// The origin AS of `ip` at scan `scan_index` (0 when unroutable).
-  net::Asn as_of(std::size_t scan_index, std::uint32_t ip) const;
+  net::Asn as_of(std::size_t scan_index, std::uint32_t ip) const {
+    return spine_->as_of(scan_index, ip);
+  }
 
   /// Number of scans in the archive.
-  std::size_t scan_count() const { return archive_->scans().size(); }
+  std::size_t scan_count() const { return spine_->scan_count(); }
 
  private:
-  const scan::ScanArchive* archive_;
-  const net::RoutingHistory* routing_;
-  std::vector<CertStats> stats_;
-  std::vector<const net::RouteTable*> scan_tables_;  // per scan
+  std::unique_ptr<const corpus::CorpusIndex> owned_;  // null in view mode
+  const corpus::CorpusIndex* spine_;
 };
 
 }  // namespace sm::analysis

@@ -1,0 +1,142 @@
+#include "corpus/corpus_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/datetime.h"
+
+namespace sm::corpus {
+
+namespace {
+
+// Chunk sizes for the parallel passes. Observation chunks are large (the
+// per-element work is one trie lookup); cert chunks are smaller because a
+// single cert can own thousands of observations.
+constexpr std::size_t kAsnChunk = 8192;
+constexpr std::size_t kStatsChunk = 256;
+
+}  // namespace
+
+CorpusIndex::CorpusIndex(const scan::ScanArchive& archive,
+                         const CorpusOptions& options)
+    : archive_(&archive), routing_(options.routing) {
+  util::ThreadPool* pool = options.pool;
+  if (pool == nullptr) pool = &util::ThreadPool::global();
+
+  const auto& scans = archive.scans();
+  const std::size_t cert_count = archive.certs().size();
+
+  scan_tables_.reserve(scans.size());
+  for (const scan::ScanData& scan : scans) {
+    scan_tables_.push_back(routing_ == nullptr ? nullptr
+                                               : routing_->at(scan.event.start));
+  }
+
+  // Pass 1 (serial): count observations per cert, prefix-sum into the CSR
+  // offsets. The layout depends only on archive order, never on threads.
+  offsets_.assign(cert_count + 1, 0);
+  for (const scan::ScanData& scan : scans) {
+    for (const scan::Observation& obs : scan.observations) {
+      ++offsets_[obs.cert + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= cert_count; ++i) offsets_[i] += offsets_[i - 1];
+
+  // Pass 2 (serial): scatter observations into cert-major rows. Walking
+  // scans in order makes every row sorted by (scan, intra-scan position),
+  // and the first write to a row is the cert's first-ever observation.
+  obs_.resize(offsets_[cert_count]);
+  first_device_.assign(cert_count, scan::kNoDevice);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
+    const auto scan32 = static_cast<std::uint32_t>(scan_index);
+    for (const scan::Observation& obs : scans[scan_index].observations) {
+      const std::uint64_t slot = cursor[obs.cert]++;
+      if (slot == offsets_[obs.cert]) first_device_[obs.cert] = obs.device;
+      obs_[slot] = Obs{scan32, obs.ip};
+    }
+  }
+
+  // Pass 3 (parallel): resolve the ASN column. Each slot is written exactly
+  // once from its own index, so the column is thread-count-invariant.
+  obs_asn_.resize(obs_.size());
+  pool->parallel_for(obs_.size(), kAsnChunk,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const net::RouteTable* table =
+                             scan_tables_[obs_[i].scan];
+                         obs_asn_[i] =
+                             table == nullptr
+                                 ? 0
+                                 : table->lookup(net::Ipv4Address(obs_[i].ip))
+                                       .value_or(0);
+                       }
+                     });
+
+  // Pass 4 (parallel): derive the per-cert stats row from the cert's own
+  // CSR segment — again one writer per slot.
+  stats_.assign(cert_count, CertStats{});
+  pool->parallel_for(
+      cert_count, kStatsChunk, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint32_t> ips;  // scratch, reused across certs
+        std::vector<net::Asn> ases;
+        for (std::size_t id = begin; id < end; ++id) {
+          const std::uint64_t lo = offsets_[id];
+          const std::uint64_t hi = offsets_[id + 1];
+          if (lo == hi) continue;  // interned but never observed
+          CertStats& s = stats_[id];
+          s.first_scan = obs_[lo].scan;
+          s.last_scan = obs_[hi - 1].scan;
+          s.min_ips_in_scan = std::numeric_limits<std::uint32_t>::max();
+          // Per-scan runs: unique-IP counts feed the slot/min/max metrics.
+          for (std::uint64_t i = lo; i < hi;) {
+            const std::uint32_t scan = obs_[i].scan;
+            ips.clear();
+            while (i < hi && obs_[i].scan == scan) ips.push_back(obs_[i++].ip);
+            std::sort(ips.begin(), ips.end());
+            const auto ip_count = static_cast<std::uint32_t>(
+                std::unique(ips.begin(), ips.end()) - ips.begin());
+            ++s.scans_seen;
+            s.total_ip_scan_slots += ip_count;
+            s.max_ips_in_scan = std::max(s.max_ips_in_scan, ip_count);
+            s.min_ips_in_scan = std::min(s.min_ips_in_scan, ip_count);
+          }
+          if (routing_ == nullptr) continue;
+          // Observation-weighted AS tally. Scanning runs of the sorted
+          // copy in ascending ASN order with a strictly-greater test makes
+          // ties break toward the smallest AS number.
+          ases.assign(obs_asn_.begin() + static_cast<std::ptrdiff_t>(lo),
+                      obs_asn_.begin() + static_cast<std::ptrdiff_t>(hi));
+          std::sort(ases.begin(), ases.end());
+          std::size_t best_count = 0;
+          for (std::size_t i = 0; i < ases.size();) {
+            std::size_t j = i;
+            while (j < ases.size() && ases[j] == ases[i]) ++j;
+            ++s.distinct_as_count;
+            if (j - i > best_count) {
+              best_count = j - i;
+              s.majority_as = ases[i];
+            }
+            i = j;
+          }
+        }
+      });
+}
+
+double CorpusIndex::lifetime_days(scan::CertId id) const {
+  const CertStats& s = stats_[id];
+  if (s.scans_seen == 0) return 0;
+  if (s.first_scan == s.last_scan) return 1;
+  const auto& scans = archive_->scans();
+  const double seconds = static_cast<double>(
+      scans[s.last_scan].event.start - scans[s.first_scan].event.start);
+  return seconds / static_cast<double>(util::kSecondsPerDay) + 1.0;
+}
+
+net::Asn CorpusIndex::as_of(std::size_t scan_index, std::uint32_t ip) const {
+  const net::RouteTable* table = scan_tables_[scan_index];
+  if (table == nullptr) return 0;
+  return table->lookup(net::Ipv4Address(ip)).value_or(0);
+}
+
+}  // namespace sm::corpus

@@ -1,0 +1,143 @@
+// CorpusIndex — the columnar spine every corpus consumer shares.
+//
+// The paper's whole pipeline is downstream of one logical table
+// (certificate x scan x IP x AS): §5 population analysis reads per-cert
+// stats, §6 linking reads per-cert observation lists and their origin
+// ASes, §7 tracking reads per-cert (scan, ip) timelines, and the §8
+// notary reads all of the above. Before this module existed each layer
+// re-derived that table from the raw ScanArchive on its own — four
+// independent cert→observation CSR builds and four rounds of IP→AS
+// resolution per survey. The spine is built exactly once per archive:
+//
+//   offsets_   cert id -> [lo, hi) row into the flat columns (CSR)
+//   obs_       {scan, ip} per observation, cert-major, sorted by scan
+//              (and by intra-scan position within a scan) — the order the
+//              archive itself stores observations in
+//   obs_asn_   origin AS per observation, resolved through the routing
+//              snapshot in effect at that observation's scan start
+//              (0 = unroutable or no routing history supplied)
+//   stats_     the derived per-certificate row (scans seen, first/last
+//              scan, unique-IP slots, min/max IPs per scan, distinct
+//              ASes, majority AS)
+//
+// Construction runs on a util::ThreadPool (the process-global pool when
+// null) and is deterministic: the CSR layout is defined by archive order
+// alone, and the parallel passes (ASN resolution, per-cert stats) write
+// index-addressed slots, so every column is bit-identical at any thread
+// count. After construction the index is immutable; all accessors are
+// zero-copy spans safe to read from any number of threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/route_table.h"
+#include "scan/archive.h"
+#include "util/thread_pool.h"
+
+namespace sm::corpus {
+
+/// Derived per-certificate statistics (the paper's §5 metrics; consumed
+/// by analysis, linking, and tracking).
+struct CertStats {
+  std::uint32_t scans_seen = 0;  ///< scans with >= 1 observation
+  std::uint32_t first_scan = 0;
+  std::uint32_t last_scan = 0;
+  /// Sum over scans of the number of *unique* IPs advertising the cert.
+  std::uint64_t total_ip_scan_slots = 0;
+  std::uint32_t max_ips_in_scan = 0;
+  std::uint32_t min_ips_in_scan = 0;
+  std::uint32_t distinct_as_count = 0;
+  /// The AS hosting this certificate most often (observation-weighted;
+  /// ties break toward the smallest AS number).
+  net::Asn majority_as = 0;
+
+  /// Average unique IPs advertising the certificate per scan where seen
+  /// (the paper's Figure 7 metric). 0 when never observed.
+  double avg_ips_per_scan() const {
+    return scans_seen == 0 ? 0.0
+                           : static_cast<double>(total_ip_scan_slots) /
+                                 static_cast<double>(scans_seen);
+  }
+};
+
+/// One flattened observation: which scan, which IP. The ground-truth
+/// device id stays in the archive (only the linker's truth scoring wants
+/// it, via first_device()).
+struct Obs {
+  std::uint32_t scan = 0;
+  std::uint32_t ip = 0;
+};
+
+/// Optional inputs for CorpusIndex construction.
+struct CorpusOptions {
+  /// Enables IP→AS resolution (each observation resolved through the
+  /// snapshot in effect at its scan's start). Without it the ASN column
+  /// is all zeros and distinct_as_count/majority_as stay 0.
+  const net::RoutingHistory* routing = nullptr;
+  /// Pool for the parallel build; null = the process-global pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// The immutable spine. Borrows `archive` (and `routing` when supplied)
+/// for its lifetime.
+class CorpusIndex {
+ public:
+  explicit CorpusIndex(const scan::ScanArchive& archive,
+                       const CorpusOptions& options = {});
+
+  CorpusIndex(const CorpusIndex&) = delete;
+  CorpusIndex& operator=(const CorpusIndex&) = delete;
+
+  const scan::ScanArchive& archive() const { return *archive_; }
+  bool has_routing() const { return routing_ != nullptr; }
+
+  std::size_t cert_count() const { return stats_.size(); }
+  std::size_t scan_count() const { return archive_->scans().size(); }
+  std::size_t observation_count() const { return obs_.size(); }
+
+  /// All observations of certificate `id`, ordered by (scan, position in
+  /// scan). Zero-copy; empty for interned-but-never-observed certs.
+  std::span<const Obs> observations(scan::CertId id) const {
+    return {obs_.data() + offsets_[id],
+            obs_.data() + offsets_[id + 1]};
+  }
+
+  /// The origin-AS column parallel to observations(id): asns(id)[i] is
+  /// the resolved AS of observations(id)[i] (0 = unroutable).
+  std::span<const net::Asn> asns(scan::CertId id) const {
+    return {obs_asn_.data() + offsets_[id],
+            obs_asn_.data() + offsets_[id + 1]};
+  }
+
+  /// The derived stats row for certificate `id`.
+  const CertStats& stats(scan::CertId id) const { return stats_[id]; }
+  const std::vector<CertStats>& all_stats() const { return stats_; }
+
+  /// Ground-truth device of the certificate's first observation
+  /// (simulator-assigned; scan::kNoDevice when never observed).
+  scan::DeviceId first_device(scan::CertId id) const {
+    return first_device_[id];
+  }
+
+  /// Lifetime in days, computed the paper's way (1 day when seen once).
+  double lifetime_days(scan::CertId id) const;
+
+  /// Ad-hoc resolution: the origin AS of `ip` at scan `scan_index`
+  /// (0 when unroutable). Per-observation consumers should read the
+  /// precomputed asns() column instead.
+  net::Asn as_of(std::size_t scan_index, std::uint32_t ip) const;
+
+ private:
+  const scan::ScanArchive* archive_;
+  const net::RoutingHistory* routing_;
+  std::vector<const net::RouteTable*> scan_tables_;  // per scan
+  std::vector<std::uint64_t> offsets_;               // cert_count + 1
+  std::vector<Obs> obs_;                             // flat {scan, ip}
+  std::vector<net::Asn> obs_asn_;                    // parallel column
+  std::vector<CertStats> stats_;                     // per cert
+  std::vector<scan::DeviceId> first_device_;         // per cert
+};
+
+}  // namespace sm::corpus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <unordered_map>
 
 namespace sm::linking {
@@ -21,6 +22,7 @@ constexpr std::size_t kGroupChunk = 32;
 Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config,
                util::ThreadPool* pool)
     : index_(&index),
+      spine_(&index.corpus()),
       config_(config),
       pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {
   const auto& archive = index.archive();
@@ -43,31 +45,9 @@ Linker::Linker(const analysis::DatasetIndex& index, LinkerConfig config,
     ++eligible_count_;
   }
 
-  // Per-cert observation lists (CSR) + ground-truth device attribution.
-  std::vector<std::uint32_t> counts(n, 0);
-  for (const scan::ScanData& scan : archive.scans()) {
-    for (const scan::Observation& obs : scan.observations) ++counts[obs.cert];
-  }
-  obs_offsets_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    obs_offsets_[i + 1] = obs_offsets_[i] + counts[i];
-  }
-  obs_.resize(obs_offsets_[n]);
-  cert_device_.assign(n, scan::kNoDevice);
-  std::vector<std::uint32_t> cursor(obs_offsets_.begin(),
-                                    obs_offsets_.end() - 1);
-  const auto& scans = archive.scans();
-  for (std::uint32_t scan_index = 0; scan_index < scans.size(); ++scan_index) {
-    for (const scan::Observation& obs : scans[scan_index].observations) {
-      obs_[cursor[obs.cert]++] = ObsRef{
-          scan_index, obs.ip,
-          index.as_of(scan_index, obs.ip)};
-      if (cert_device_[obs.cert] == scan::kNoDevice) {
-        cert_device_[obs.cert] = obs.device;
-      }
-    }
-  }
-
+  // Observation lists, resolved ASes, and ground-truth device attribution
+  // all come from the shared corpus spine now — no per-layer CSR rebuild,
+  // no per-observation as_of calls.
   features_.emplace(certs, eligible_, config_.exclude_ip_common_names, pool_);
 }
 
@@ -178,11 +158,14 @@ Linker::GroupCounts Linker::group_counts(
   // counts the scans containing the modal location.
   std::unordered_map<std::uint32_t, std::uint32_t> ip_scans, s24_scans,
       as_scans;
-  // Gather (scan, location) tuples, segment per scan via sort.
+  // Gather (scan, location) tuples from the spine's observation and ASN
+  // columns, segment per scan via sort.
   std::vector<ObsRef> all;
   for (const scan::CertId id : certs) {
-    for (std::uint32_t i = obs_offsets_[id]; i < obs_offsets_[id + 1]; ++i) {
-      all.push_back(obs_[i]);
+    const std::span<const corpus::Obs> obs = spine_->observations(id);
+    const std::span<const net::Asn> asns = spine_->asns(id);
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      all.push_back(ObsRef{obs[i].scan, obs[i].ip, asns[i]});
     }
   }
   std::sort(all.begin(), all.end(), [](const ObsRef& a, const ObsRef& b) {
@@ -377,7 +360,9 @@ TruthScore Linker::score_against_truth(const IterativeResult& result) const {
     const std::uint64_t k = group.certs.size();
     out.linked_pairs += k * (k - 1) / 2;
     std::map<scan::DeviceId, std::uint64_t> by_device;
-    for (const scan::CertId id : group.certs) ++by_device[cert_device_[id]];
+    for (const scan::CertId id : group.certs) {
+      ++by_device[spine_->first_device(id)];
+    }
     for (const auto& [device, count] : by_device) {
       if (device == scan::kNoDevice) continue;
       out.correct_pairs += count * (count - 1) / 2;
@@ -386,8 +371,9 @@ TruthScore Linker::score_against_truth(const IterativeResult& result) const {
   std::map<scan::DeviceId, std::uint64_t> eligible_per_device;
   for (scan::CertId id = 0; id < eligible_.size(); ++id) {
     if (!eligible_[id]) continue;
-    if (cert_device_[id] == scan::kNoDevice) continue;
-    ++eligible_per_device[cert_device_[id]];
+    const scan::DeviceId device = spine_->first_device(id);
+    if (device == scan::kNoDevice) continue;
+    ++eligible_per_device[device];
   }
   for (const auto& [device, count] : eligible_per_device) {
     out.possible_pairs += count * (count - 1) / 2;

@@ -163,7 +163,7 @@ class Linker {
 
   /// The ground-truth device of a certificate (kNoDevice when unknown).
   scan::DeviceId true_device(scan::CertId cert) const {
-    return cert_device_[cert];
+    return spine_->first_device(cert);
   }
 
  private:
@@ -187,14 +187,11 @@ class Linker {
   GroupCounts group_counts(const std::vector<scan::CertId>& certs) const;
 
   const analysis::DatasetIndex* index_;
+  const corpus::CorpusIndex* spine_;  // == &index_->corpus()
   LinkerConfig config_;
   util::ThreadPool* pool_;
   std::vector<bool> eligible_;
   std::uint64_t eligible_count_ = 0;
-  // Per-cert observation lists (CSR layout).
-  std::vector<std::uint32_t> obs_offsets_;
-  std::vector<ObsRef> obs_;
-  std::vector<scan::DeviceId> cert_device_;
   // Interned feature values over the eligible set (set last in the ctor).
   std::optional<FeatureIndex> features_;
 };

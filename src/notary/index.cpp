@@ -3,61 +3,23 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <span>
 
-#include "net/ipv4.h"
 #include "util/datetime.h"
 #include "util/hex.h"
 #include "util/thread_pool.h"
 
 namespace sm::notary {
-namespace {
 
-// One flattened observation of a certificate: which scan, which IP. The
-// CSR below stores them per cert, ordered by (scan, position in scan), so
-// every per-cert derivation walks a contiguous, deterministic slice.
-struct FlatObs {
-  std::uint32_t scan = 0;
-  std::uint32_t ip = 0;
-};
-
-}  // namespace
-
-NotaryIndex::NotaryIndex(const scan::ScanArchive& archive,
+NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
                          const NotaryIndexOptions& options) {
   util::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : util::ThreadPool::global();
+  const scan::ScanArchive& archive = corpus.archive();
   const auto& certs = archive.certs();
   const auto& scans = archive.scans();
   const std::size_t cert_count = certs.size();
   entries_.resize(cert_count);
-
-  // Routing snapshot per scan (the DatasetIndex construction: the table in
-  // effect at each scan's start).
-  std::vector<const net::RouteTable*> tables;
-  if (options.routing != nullptr) {
-    tables.reserve(scans.size());
-    for (const scan::ScanData& scan : scans) {
-      tables.push_back(options.routing->at(scan.event.start));
-    }
-  }
-
-  // CSR of observations per certificate.
-  std::vector<std::uint64_t> offsets(cert_count + 1, 0);
-  for (const scan::ScanData& scan : scans) {
-    for (const scan::Observation& obs : scan.observations) {
-      ++offsets[obs.cert + 1];
-    }
-  }
-  for (std::size_t i = 0; i < cert_count; ++i) offsets[i + 1] += offsets[i];
-  std::vector<FlatObs> flat(offsets[cert_count]);
-  {
-    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::size_t s = 0; s < scans.size(); ++s) {
-      for (const scan::Observation& obs : scans[s].observations) {
-        flat[cursor[obs.cert]++] = {static_cast<std::uint32_t>(s), obs.ip};
-      }
-    }
-  }
 
   // Key-sharing degree: certificates per SPKI fingerprint.
   std::unordered_map<scan::KeyFingerprint, std::uint32_t> key_counts;
@@ -66,8 +28,9 @@ NotaryIndex::NotaryIndex(const scan::ScanArchive& archive,
     ++key_counts[cert.key_fingerprint];
   }
 
-  // Per-certificate derivation: independent index-addressed slots, so the
-  // result is identical at every thread count.
+  // Per-certificate derivation over the shared spine's CSR and ASN
+  // columns: independent index-addressed slots, so the result is identical
+  // at every thread count.
   pool.parallel_for(cert_count, 256, [&](std::size_t begin,
                                          std::size_t end) {
     std::vector<std::uint32_t> ips;
@@ -86,32 +49,25 @@ NotaryIndex::NotaryIndex(const scan::ScanArchive& archive,
       k.not_after = record.not_after;
       k.key_sharing = key_counts.at(record.key_fingerprint);
 
-      const std::uint64_t lo = offsets[i], hi = offsets[i + 1];
-      k.observations = hi - lo;
-      if (lo == hi) continue;  // interned but never observed
-      k.first_seen = scans[flat[lo].scan].event.start;
-      k.last_seen = scans[flat[hi - 1].scan].event.start;
+      const auto id = static_cast<scan::CertId>(i);
+      const std::span<const corpus::Obs> obs = corpus.observations(id);
+      const std::span<const net::Asn> asns = corpus.asns(id);
+      k.observations = obs.size();
+      if (obs.empty()) continue;  // interned but never observed
+      const corpus::CertStats& stats = corpus.stats(id);
+      k.scans_seen = stats.scans_seen;
+      k.first_seen = scans[stats.first_scan].event.start;
+      k.last_seen = scans[stats.last_scan].event.start;
 
       ips.clear();
       slash24s.clear();
       ases.clear();
-      std::uint32_t scans_seen = 0;
-      std::uint32_t prev_scan = ~std::uint32_t{0};
-      for (std::uint64_t o = lo; o < hi; ++o) {
-        if (flat[o].scan != prev_scan) {
-          ++scans_seen;
-          prev_scan = flat[o].scan;
-        }
-        ips.push_back(flat[o].ip);
-        slash24s.push_back(flat[o].ip >> 8);
-        if (!tables.empty() && tables[flat[o].scan] != nullptr) {
-          const auto asn =
-              tables[flat[o].scan]->lookup(net::Ipv4Address(flat[o].ip));
-          // Unroutable observations don't contribute an AS.
-          if (asn.has_value() && *asn != 0) ases.push_back(*asn);
-        }
+      for (std::size_t o = 0; o < obs.size(); ++o) {
+        ips.push_back(obs[o].ip);
+        slash24s.push_back(obs[o].ip >> 8);
+        // Unroutable observations (ASN 0) don't contribute an AS.
+        if (asns[o] != 0) ases.push_back(asns[o]);
       }
-      k.scans_seen = scans_seen;
       const auto distinct = [](auto& v) {
         std::sort(v.begin(), v.end());
         return static_cast<std::uint32_t>(

@@ -22,10 +22,12 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "corpus/corpus_index.h"
 #include "net/route_table.h"
 #include "scan/archive.h"
 
@@ -73,11 +75,10 @@ struct CertKnowledge {
   std::uint32_t linked_device = kNoLinkedDevice;
 };
 
-/// Optional inputs for NotaryIndex construction.
+/// Optional inputs for NotaryIndex construction. AS resolution now comes
+/// from the corpus spine's precomputed ASN column: build the spine with a
+/// routing history to get distinct-AS counts.
 struct NotaryIndexOptions {
-  /// Enables distinct-AS counting (each observation resolved through the
-  /// snapshot in effect at its scan's start, as in analysis::DatasetIndex).
-  const net::RoutingHistory* routing = nullptr;
   /// §6 linking output as plain cert-id groups (group index becomes the
   /// linked_device id). Kept as PODs so notary does not depend on linking.
   const std::vector<std::vector<scan::CertId>>* device_groups = nullptr;
@@ -92,7 +93,9 @@ class NotaryIndex {
  public:
   static constexpr std::size_t kShards = 64;
 
-  explicit NotaryIndex(const scan::ScanArchive& archive,
+  /// Builds the knowledge table from an already-built corpus spine (which
+  /// is only borrowed during construction).
+  explicit NotaryIndex(const corpus::CorpusIndex& corpus,
                        const NotaryIndexOptions& options = {});
 
   /// Fingerprint lookup; nullptr when unknown. Lock-free.
@@ -113,11 +116,12 @@ class NotaryIndex {
  private:
   struct FingerprintHash {
     std::size_t operator()(const scan::CertFingerprint& fp) const {
-      // The fingerprint is itself SHA-256 output; fold bytes 8..15 (bytes
-      // 0.. pick the shard, so use the other half for the in-shard hash).
-      std::size_t h = 0;
-      for (std::size_t i = 8; i < fp.size(); ++i) h = h * 131 + fp[i];
-      return h;
+      // The fingerprint is itself hash output; bytes 8..15 are already
+      // uniform (bytes 0.. pick the shard, so use the other half for the
+      // in-shard hash).
+      std::uint64_t h = 0;
+      std::memcpy(&h, fp.data() + 8, sizeof h);
+      return static_cast<std::size_t>(h);
     }
   };
 

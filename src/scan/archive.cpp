@@ -41,12 +41,14 @@ std::size_t ScanArchive::begin_scan(const ScanEvent& event) {
 void ScanArchive::add_observation(std::size_t scan_index, CertId cert,
                                   std::uint32_t ip, DeviceId device) {
   scans_.at(scan_index).observations.push_back(Observation{cert, ip, device});
+  ++observation_count_;
 }
 
 std::size_t ScanArchive::add_scan(ScanData&& scan) {
   if (!scans_.empty() && scan.event.start < scans_.back().event.start) {
     throw std::logic_error("scans must be appended chronologically");
   }
+  observation_count_ += scan.observations.size();
   scans_.push_back(std::move(scan));
   return scans_.size() - 1;
 }
@@ -54,12 +56,6 @@ std::size_t ScanArchive::add_scan(ScanData&& scan) {
 void ScanArchive::reserve_certs(std::size_t n) {
   certs_.reserve(n);
   by_fingerprint_.reserve(n);
-}
-
-std::size_t ScanArchive::observation_count() const {
-  std::size_t n = 0;
-  for (const ScanData& scan : scans_) n += scan.observations.size();
-  return n;
 }
 
 double CertLifetime::days(const std::vector<ScanData>& scans) const {

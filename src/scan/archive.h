@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -72,21 +73,25 @@ class ScanArchive {
 
   const CertRecord& cert(CertId id) const { return certs_[id]; }
 
-  /// Total observations across all scans.
-  std::size_t observation_count() const;
+  /// Total observations across all scans (O(1): maintained as a running
+  /// counter by add_observation/add_scan — this is on hot stat paths).
+  std::size_t observation_count() const { return observation_count_; }
 
  private:
   struct FingerprintHash {
     std::size_t operator()(const CertFingerprint& fp) const {
-      std::size_t h = 0;
-      for (const std::uint8_t b : fp) h = h * 131 + b;
-      return h;
+      // The fingerprint is already uniformly-random hash output — its
+      // first 8 bytes ARE a perfectly good hash value; no mixing needed.
+      std::uint64_t h = 0;
+      std::memcpy(&h, fp.data(), sizeof h);
+      return static_cast<std::size_t>(h);
     }
   };
 
   std::vector<CertRecord> certs_;
   std::unordered_map<CertFingerprint, CertId, FingerprintHash> by_fingerprint_;
   std::vector<ScanData> scans_;
+  std::size_t observation_count_ = 0;
 };
 
 /// Per-certificate lifetime summary over an archive: the scan-index range

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <span>
 
 namespace sm::tracking {
 
@@ -11,28 +12,11 @@ DeviceTracker::DeviceTracker(const analysis::DatasetIndex& index,
                              const linking::IterativeResult& linking_result,
                              const net::AsDatabase& as_db,
                              TrackerConfig config, util::ThreadPool* pool)
-    : index_(&index), as_db_(&as_db), config_(config) {
+    : index_(&index), spine_(&index.corpus()), as_db_(&as_db),
+      config_(config) {
   if (pool == nullptr) pool = &util::ThreadPool::global();
-  // Build the per-cert observation index first.
-  const std::size_t cert_count = index.archive().certs().size();
-  std::vector<std::uint32_t> counts(cert_count, 0);
-  for (const scan::ScanData& scan : index.archive().scans()) {
-    for (const scan::Observation& obs : scan.observations) ++counts[obs.cert];
-  }
-  obs_offsets_.assign(cert_count + 1, 0);
-  for (std::size_t i = 0; i < cert_count; ++i) {
-    obs_offsets_[i + 1] = obs_offsets_[i] + counts[i];
-  }
-  obs_.resize(obs_offsets_[cert_count]);
-  std::vector<std::uint32_t> cursor(obs_offsets_.begin(),
-                                    obs_offsets_.end() - 1);
-  const auto& all_scans = index.archive().scans();
-  for (std::uint32_t scan_index = 0; scan_index < all_scans.size();
-       ++scan_index) {
-    for (const scan::Observation& obs : all_scans[scan_index].observations) {
-      obs_[cursor[obs.cert]++] = {scan_index, obs.ip};
-    }
-  }
+  // The per-cert (scan, ip) lists come straight from the shared corpus
+  // spine — the tracker no longer builds its own CSR over the archive.
 
   // Entity specs first (groups in linking order, then lone eligible certs
   // in id order), then parallel timeline assembly into indexed slots.
@@ -80,20 +64,23 @@ TrackedEntity DeviceTracker::build_entity(
   entity.linked = linked;
   // Collect (scan, ip) over member certificates; keep one residency per
   // scan (the numerically smallest IP when a mid-scan move yields two).
-  std::map<std::uint32_t, std::uint32_t> per_scan_ip;
+  // The residency's AS is the chosen observation's entry in the spine's
+  // precomputed ASN column — no per-residency route lookups.
+  std::map<std::uint32_t, std::pair<std::uint32_t, net::Asn>> per_scan;
   const auto& scans = index_->archive().scans();
   for (const scan::CertId id : certs) {
-    for (std::uint32_t i = obs_offsets_[id]; i < obs_offsets_[id + 1]; ++i) {
-      const auto& [scan_index, ip] = obs_[i];
-      const auto it = per_scan_ip.find(scan_index);
-      if (it == per_scan_ip.end() || ip < it->second) {
-        per_scan_ip[scan_index] = ip;
+    const std::span<const corpus::Obs> obs = spine_->observations(id);
+    const std::span<const net::Asn> asns = spine_->asns(id);
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      const auto it = per_scan.find(obs[i].scan);
+      if (it == per_scan.end() || obs[i].ip < it->second.first) {
+        per_scan[obs[i].scan] = {obs[i].ip, asns[i]};
       }
     }
   }
-  for (const auto& [scan_index, ip] : per_scan_ip) {
+  for (const auto& [scan_index, residency] : per_scan) {
     entity.timeline.push_back(TrackedEntity::Residency{
-        scan_index, ip, index_->as_of(scan_index, ip)});
+        scan_index, residency.first, residency.second});
   }
   if (!entity.timeline.empty()) {
     entity.first_seen = scans[entity.timeline.front().scan].event.start;

@@ -134,14 +134,11 @@ class DeviceTracker {
                              bool linked) const;
 
   const analysis::DatasetIndex* index_;
+  const corpus::CorpusIndex* spine_;  // == &index_->corpus()
   const net::AsDatabase* as_db_;
   TrackerConfig config_;
   std::vector<TrackedEntity> entities_;
   std::uint64_t trackable_without_linking_ = 0;
-  // Per-cert (scan, ip) observation lists in CSR layout, so entity
-  // construction is linear rather than a rescan of the whole archive.
-  std::vector<std::uint32_t> obs_offsets_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> obs_;  // (scan, ip)
 };
 
 }  // namespace sm::tracking

@@ -16,6 +16,7 @@
 #include "loopback_client.h"
 #include "netio/frame.h"
 #include "netio/server.h"
+#include "corpus/corpus_index.h"
 #include "notary/index.h"
 #include "notary/service.h"
 #include "simworld/world.h"
@@ -35,14 +36,16 @@ class NotaryLoopbackTest : public ::testing::Test {
     config.website_count = 40;
     config.schedule.scale = 0.1;
     world_ = new simworld::WorldResult(simworld::World(config).run());
-    NotaryIndexOptions options;
-    options.routing = &world_->routing;
-    index_ = new NotaryIndex(world_->archive, options);
+    spine_ = new corpus::CorpusIndex(
+        world_->archive, corpus::CorpusOptions{&world_->routing, nullptr});
+    index_ = new NotaryIndex(*spine_);
   }
 
   static void TearDownTestSuite() {
     delete index_;
     index_ = nullptr;
+    delete spine_;
+    spine_ = nullptr;
     delete world_;
     world_ = nullptr;
   }
@@ -70,10 +73,12 @@ class NotaryLoopbackTest : public ::testing::Test {
   }
 
   static simworld::WorldResult* world_;
+  static corpus::CorpusIndex* spine_;
   static NotaryIndex* index_;
 };
 
 simworld::WorldResult* NotaryLoopbackTest::world_ = nullptr;
+corpus::CorpusIndex* NotaryLoopbackTest::spine_ = nullptr;
 NotaryIndex* NotaryLoopbackTest::index_ = nullptr;
 
 TEST_F(NotaryLoopbackTest, ConcurrentClientsGetByteExactResponses) {

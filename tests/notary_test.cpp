@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "corpus/corpus_index.h"
 #include "net/ipv4.h"
 #include "notary/index.h"
 #include "notary/service.h"
@@ -33,18 +34,18 @@ const simworld::WorldResult& micro_world() {
   return world;
 }
 
-NotaryIndexOptions with_routing(const simworld::WorldResult& world,
-                                util::ThreadPool* pool = nullptr) {
-  NotaryIndexOptions options;
-  options.routing = &world.routing;
-  options.pool = pool;
-  return options;
+// The shared corpus spine (with routing) the notary consumes.
+const corpus::CorpusIndex& micro_spine() {
+  static const corpus::CorpusIndex spine(
+      micro_world().archive,
+      corpus::CorpusOptions{&micro_world().routing, nullptr});
+  return spine;
 }
 
 TEST(NotaryIndex, MatchesBruteForceRecomputation) {
   const auto& world = micro_world();
   const auto& archive = world.archive;
-  const NotaryIndex index(archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   ASSERT_EQ(index.size(), archive.certs().size());
 
   for (scan::CertId id = 0; id < archive.certs().size(); ++id) {
@@ -99,7 +100,7 @@ TEST(NotaryIndex, MatchesBruteForceRecomputation) {
 
 TEST(NotaryIndex, KeySharingCountsCertsPerSpki) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   std::map<scan::KeyFingerprint, std::uint32_t> counts;
   for (const scan::CertRecord& record : world.archive.certs()) {
     ++counts[record.key_fingerprint];
@@ -118,7 +119,7 @@ TEST(NotaryIndex, KeySharingCountsCertsPerSpki) {
 
 TEST(NotaryIndex, LookupFindsEveryCertAndRejectsUnknown) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   for (scan::CertId id = 0; id < world.archive.certs().size(); ++id) {
     const CertKnowledge* k = index.lookup(world.archive.cert(id).fingerprint);
     ASSERT_NE(k, nullptr);
@@ -133,8 +134,17 @@ TEST(NotaryIndex, RenderedResponsesAreThreadCountInvariant) {
   const auto& world = micro_world();
   util::ThreadPool serial(1);
   util::ThreadPool wide(8);
-  const NotaryIndex index1(world.archive, with_routing(world, &serial));
-  const NotaryIndex index8(world.archive, with_routing(world, &wide));
+  // Both the spine build and the notary build vary their thread count.
+  const corpus::CorpusIndex spine1(
+      world.archive, corpus::CorpusOptions{&world.routing, &serial});
+  const corpus::CorpusIndex spine8(
+      world.archive, corpus::CorpusOptions{&world.routing, &wide});
+  NotaryIndexOptions options1;
+  options1.pool = &serial;
+  NotaryIndexOptions options8;
+  options8.pool = &wide;
+  const NotaryIndex index1(spine1, options1);
+  const NotaryIndex index8(spine8, options8);
   ASSERT_EQ(index1.size(), index8.size());
   for (scan::CertId id = 0; id < index1.size(); ++id) {
     EXPECT_EQ(render_knowledge(index1.knowledge(id)),
@@ -149,7 +159,9 @@ TEST(NotaryIndex, DeviceGroupsAssignLinkedIds) {
   const std::vector<std::vector<scan::CertId>> groups = {{2, 5}, {0, 1, 4}};
   NotaryIndexOptions options;
   options.device_groups = &groups;
-  const NotaryIndex index(world.archive, options);
+  // A spine built without routing: the AS column is all zeros.
+  const corpus::CorpusIndex spine(world.archive);
+  const NotaryIndex index(spine, options);
   EXPECT_EQ(index.knowledge(2).linked_device, 0u);
   EXPECT_EQ(index.knowledge(5).linked_device, 0u);
   EXPECT_EQ(index.knowledge(0).linked_device, 1u);
@@ -162,7 +174,7 @@ TEST(NotaryIndex, DeviceGroupsAssignLinkedIds) {
 
 TEST(NotaryIndex, RenderKnowledgeContainsEveryField) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   const std::string body = render_knowledge(index.knowledge(0));
   for (const char* key :
        {"fingerprint: ", "status: ", "subject-cn: ", "issuer-cn: ",
@@ -182,7 +194,7 @@ std::string fp_payload(const scan::CertFingerprint& fp) {
 
 TEST(NotaryService, ResponsesAreByteIdenticalWithCacheOnAndOff) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   NotaryService uncached(index);  // cache_bytes = 0
   NotaryServiceConfig cached_config;
   cached_config.cache_bytes = 16 << 20;
@@ -207,7 +219,7 @@ TEST(NotaryService, ResponsesAreByteIdenticalWithCacheOnAndOff) {
 
 TEST(NotaryService, AcceptsFull32ByteFingerprintPayloads) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   NotaryService service(index);
   // A 32-byte SHA-256 is truncated to the archive's 128-bit intern key.
   std::string payload = fp_payload(world.archive.cert(0).fingerprint);
@@ -220,7 +232,7 @@ TEST(NotaryService, AcceptsFull32ByteFingerprintPayloads) {
 
 TEST(NotaryService, UnknownFingerprintAnswersNotFound) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   NotaryService service(index);
   scan::CertFingerprint unknown{};
   unknown.fill(0xfe);
@@ -236,7 +248,7 @@ TEST(NotaryService, UnknownFingerprintAnswersNotFound) {
 
 TEST(NotaryService, BadPayloadSizesAnswerError) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   NotaryService service(index);
   for (const std::size_t size : {0u, 1u, 15u, 17u, 31u, 33u}) {
     const netio::Frame response = service.handle(
@@ -248,7 +260,7 @@ TEST(NotaryService, BadPayloadSizesAnswerError) {
 
 TEST(NotaryService, LruEvictsWithinShardUnderTinyCapacity) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
 
   // Two certificates in the same cache shard.
   std::vector<scan::CertId> same_shard;
@@ -291,7 +303,7 @@ TEST(NotaryService, LruEvictsWithinShardUnderTinyCapacity) {
 
 TEST(NotaryService, MetricsAndStatsTextTrackTraffic) {
   const auto& world = micro_world();
-  const NotaryIndex index(world.archive, with_routing(world));
+  const NotaryIndex index(micro_spine());
   NotaryServiceConfig config;
   config.cache_bytes = 1 << 20;
   NotaryService service(index, config);

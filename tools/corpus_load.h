@@ -1,0 +1,152 @@
+// Shared corpus bootstrapping for the command-line tools (sm_survey,
+// sm_notaryd): the load-or-simulate path behind `--in bundle.smwb`,
+// `--archive archive.smar`, and the `--seed/--devices/--websites/--scale`
+// simulation fallback, plus the strict numeric flag parsers. One
+// implementation so both tools accept the same flags, print the same
+// diagnostics, and exit 2 on bad input.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/route_table.h"
+#include "scan/archive.h"
+#include "scan/archive_io.h"
+#include "simworld/world.h"
+#include "simworld/world_io.h"
+#include "util/thread_pool.h"
+
+namespace sm::tools {
+
+/// Strict unsigned parse: rejects empty values, trailing garbage, negative
+/// numbers, and out-of-range input (strtoull would silently return 0 or
+/// wrap). Exits 2 with a uniform diagnostic on bad input.
+inline std::uint64_t parse_u64_or_die(const char* flag, const char* value,
+                                      std::uint64_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (*value < '0' || *value > '9' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || parsed > max) {
+    std::fprintf(stderr, "invalid %s value '%s' (want an integer 0-%llu)\n",
+                 flag, value, static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// Strict (0, 1] double parse for --scale-style flags; exits 2 on bad input.
+inline double parse_scale_or_die(const char* flag, const char* value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (*value == '\0' || end == nullptr || *end != '\0' || !(parsed > 0.0) ||
+      parsed > 1.0) {
+    std::fprintf(stderr, "invalid %s value '%s' (want 0 < F <= 1)\n", flag,
+                 value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// Where the corpus comes from: a world bundle, a bare binary archive, or
+/// (when both paths are empty) a fresh simulation.
+struct CorpusSpec {
+  std::string in_path;       ///< world bundle (.smwb): archive + routing + truth
+  std::string archive_path;  ///< bare archive (.smar): observations only
+  std::uint64_t seed = 42;
+  std::size_t devices = 5000;
+  std::size_t websites = 1700;
+  double scale = 0.45;
+};
+
+/// The loaded corpus. Exactly one of `world` (bundle / simulation) or the
+/// standalone `archive` (bare .smar) is populated.
+struct LoadedCorpus {
+  std::optional<simworld::WorldResult> world;
+  scan::ScanArchive archive;
+
+  const scan::ScanArchive& archive_ref() const {
+    return world.has_value() ? world->archive : archive;
+  }
+  /// Routing history for AS resolution; null for bare archives.
+  const net::RoutingHistory* routing() const {
+    return world.has_value() ? &world->routing : nullptr;
+  }
+};
+
+/// Loads `spec.in_path` or `spec.archive_path`, or simulates a world from
+/// the seed parameters when both are empty. Prints progress diagnostics to
+/// stderr; exits 2 when an input file is unreadable or corrupt.
+inline LoadedCorpus load_or_simulate(const CorpusSpec& spec) {
+  LoadedCorpus corpus;
+  if (!spec.in_path.empty()) {
+    auto world = simworld::load_world_bundle_file(spec.in_path);
+    if (!world.has_value()) {
+      std::fprintf(stderr, "failed to load bundle %s\n", spec.in_path.c_str());
+      std::exit(2);
+    }
+    corpus.world.emplace(std::move(*world));
+    std::fprintf(stderr, "loaded %s: %zu scans, %zu certs, %zu observations\n",
+                 spec.in_path.c_str(),
+                 corpus.world->archive.scans().size(),
+                 corpus.world->archive.certs().size(),
+                 corpus.world->archive.observation_count());
+    return corpus;
+  }
+  if (!spec.archive_path.empty()) {
+    auto archive = scan::load_archive_file(spec.archive_path);
+    if (!archive.has_value()) {
+      std::fprintf(stderr, "failed to load archive %s\n",
+                   spec.archive_path.c_str());
+      std::exit(2);
+    }
+    corpus.archive = std::move(*archive);
+    std::fprintf(stderr, "loaded %s: %zu scans, %zu certs, %zu observations\n",
+                 spec.archive_path.c_str(), corpus.archive.scans().size(),
+                 corpus.archive.certs().size(),
+                 corpus.archive.observation_count());
+    return corpus;
+  }
+
+  simworld::WorldConfig config;
+  config.seed = spec.seed;
+  config.device_count = spec.devices;
+  config.website_count = spec.websites;
+  config.schedule.scale = spec.scale;
+  std::fprintf(stderr,
+               "simulating %zu devices + %zu websites (seed %llu, %zu "
+               "threads)...\n",
+               config.device_count, config.website_count,
+               static_cast<unsigned long long>(config.seed),
+               util::ThreadPool::global_thread_count());
+  const auto begin = std::chrono::steady_clock::now();
+  corpus.world.emplace(simworld::World(config).run());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  std::fprintf(stderr, "world built in %.2fs\n", seconds);
+  const auto& world = *corpus.world;
+  std::fprintf(stderr,
+               "verified %llu certs: %llu signature checks computed, %llu "
+               "memoized\n",
+               static_cast<unsigned long long>(world.verify_stats.verified),
+               static_cast<unsigned long long>(world.verify_stats.sig_checks),
+               static_cast<unsigned long long>(
+                   world.verify_stats.sig_cache_hits));
+  if (world.dropped_lease_intervals > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu lease intervals dropped by the per-replica "
+                 "cap (degenerate lease config)\n",
+                 static_cast<unsigned long long>(
+                     world.dropped_lease_intervals));
+  }
+  return corpus;
+}
+
+}  // namespace sm::tools

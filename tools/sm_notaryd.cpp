@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "analysis/dataset.h"
+#include "corpus/corpus_index.h"
+#include "corpus_load.h"
 #include "linking/linker.h"
 #include "netio/frame.h"
 #include "netio/server.h"
@@ -100,20 +102,7 @@ void usage() {
       stderr);
 }
 
-std::uint64_t parse_u64_or_die(const char* flag, const char* value,
-                               std::uint64_t max) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (*value < '0' || *value > '9' || end == nullptr || *end != '\0' ||
-      errno == ERANGE || parsed > max) {
-    std::fprintf(stderr,
-                 "invalid %s value '%s' (want an integer 0-%llu)\n", flag,
-                 value, static_cast<unsigned long long>(max));
-    std::exit(2);
-  }
-  return parsed;
-}
+using tools::parse_u64_or_die;
 
 std::optional<Options> parse(int argc, char** argv) {
   Options opts;
@@ -161,13 +150,7 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--websites") {
       opts.websites = parse_u64_or_die("--websites", value(), 100'000'000);
     } else if (arg == "--scale") {
-      char* end = nullptr;
-      opts.scale = std::strtod(value(), &end);
-      if (end == nullptr || *end != '\0' || !(opts.scale > 0.0) ||
-          opts.scale > 1.0) {
-        std::fprintf(stderr, "invalid --scale value (want 0 < F <= 1)\n");
-        std::exit(2);
-      }
+      opts.scale = tools::parse_scale_or_die("--scale", value());
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -224,76 +207,6 @@ bool read_frame(int fd, netio::FrameDecoder& decoder, netio::Frame& out) {
     }
     decoder.feed(buf, static_cast<std::size_t>(n));
   }
-}
-
-// ---- corpus loading ------------------------------------------------------
-
-// Everything the daemon keeps alive for the index's lifetime.
-struct Corpus {
-  scan::ScanArchive archive;
-  std::optional<simworld::WorldResult> world;  // set for --in / simulated
-  std::vector<std::vector<scan::CertId>> device_groups;
-
-  const scan::ScanArchive& certs_archive() const {
-    return world.has_value() ? world->archive : archive;
-  }
-};
-
-std::optional<Corpus> load_corpus(const Options& opts) {
-  Corpus corpus;
-  if (!opts.in_path.empty()) {
-    auto world = simworld::load_world_bundle_file(opts.in_path);
-    if (!world.has_value()) {
-      std::fprintf(stderr, "failed to load bundle %s\n",
-                   opts.in_path.c_str());
-      return std::nullopt;
-    }
-    corpus.world.emplace(std::move(*world));
-  } else if (!opts.archive_path.empty()) {
-    auto archive = scan::load_archive_file(opts.archive_path);
-    if (!archive.has_value()) {
-      std::fprintf(stderr, "failed to load archive %s\n",
-                   opts.archive_path.c_str());
-      return std::nullopt;
-    }
-    corpus.archive = std::move(*archive);
-  } else {
-    simworld::WorldConfig config;
-    config.seed = opts.seed;
-    config.device_count = opts.devices;
-    config.website_count = opts.websites;
-    config.schedule.scale = opts.scale;
-    std::fprintf(stderr,
-                 "no --in/--archive given: simulating %zu devices + %zu "
-                 "websites (seed %llu)...\n",
-                 config.device_count, config.website_count,
-                 static_cast<unsigned long long>(config.seed));
-    corpus.world.emplace(simworld::World(config).run());
-  }
-
-  if (opts.link) {
-    if (!corpus.world.has_value()) {
-      std::fprintf(stderr,
-                   "--link needs routing data (--in bundle or a simulated "
-                   "world, not --archive)\n");
-      return std::nullopt;
-    }
-    const auto begin = std::chrono::steady_clock::now();
-    const analysis::DatasetIndex index(corpus.world->archive,
-                                       corpus.world->routing);
-    const linking::Linker linker(index);
-    const auto linked = linker.link_iteratively();
-    corpus.device_groups.reserve(linked.groups.size());
-    for (const auto& group : linked.groups) {
-      corpus.device_groups.push_back(group.certs);
-    }
-    std::fprintf(stderr, "linking: %zu device groups in %.2fs\n",
-                 corpus.device_groups.size(),
-                 std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - begin)
-                     .count());
-  }
-  return corpus;
 }
 
 // ---- modes ---------------------------------------------------------------
@@ -488,19 +401,58 @@ int main(int argc, char** argv) {
     util::ThreadPool::set_global_threads(opts->threads);
   }
 
-  const auto corpus = load_corpus(*opts);
-  if (!corpus.has_value()) return 1;
-  const scan::ScanArchive& archive = corpus->certs_archive();
+  tools::CorpusSpec spec;
+  spec.in_path = opts->in_path;
+  spec.archive_path = opts->archive_path;
+  spec.seed = opts->seed;
+  spec.devices = opts->devices;
+  spec.websites = opts->websites;
+  spec.scale = opts->scale;
+  const tools::LoadedCorpus corpus = tools::load_or_simulate(spec);
+  const scan::ScanArchive& archive = corpus.archive_ref();
+
+  // One columnar spine over the corpus: the linker (under --link) and the
+  // notary index both consume it; nothing below re-derives observations.
+  const auto spine_begin = std::chrono::steady_clock::now();
+  corpus::CorpusOptions spine_options;
+  spine_options.routing = corpus.routing();
+  const corpus::CorpusIndex spine(archive, spine_options);
+  std::fprintf(stderr, "corpus spine: %zu certificates, %zu observations "
+               "in %.2fs\n",
+               spine.cert_count(), spine.observation_count(),
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - spine_begin)
+                   .count());
+
+  std::vector<std::vector<scan::CertId>> device_groups;
+  if (opts->link) {
+    if (corpus.routing() == nullptr) {
+      std::fprintf(stderr,
+                   "--link needs routing data (--in bundle or a simulated "
+                   "world, not --archive)\n");
+      return 1;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    const analysis::DatasetIndex index(spine);
+    const linking::Linker linker(index);
+    const auto linked = linker.link_iteratively();
+    device_groups.reserve(linked.groups.size());
+    for (const auto& group : linked.groups) {
+      device_groups.push_back(group.certs);
+    }
+    std::fprintf(stderr, "linking: %zu device groups in %.2fs\n",
+                 device_groups.size(),
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count());
+  }
 
   const auto begin = std::chrono::steady_clock::now();
   notary::NotaryIndexOptions index_options;
-  if (corpus->world.has_value()) {
-    index_options.routing = &corpus->world->routing;
+  if (!device_groups.empty()) {
+    index_options.device_groups = &device_groups;
   }
-  if (!corpus->device_groups.empty()) {
-    index_options.device_groups = &corpus->device_groups;
-  }
-  const notary::NotaryIndex index(archive, index_options);
+  const notary::NotaryIndex index(spine, index_options);
   std::fprintf(stderr, "notary index: %zu certificates in %.2fs\n",
                index.size(),
                std::chrono::duration<double>(

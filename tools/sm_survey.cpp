@@ -47,6 +47,7 @@
 #include "analysis/discrepancy.h"
 #include "analysis/diversity.h"
 #include "analysis/longevity.h"
+#include "corpus_load.h"
 #include "linking/linker.h"
 #include "asn1/print.h"
 #include "pki/lint.h"
@@ -98,22 +99,7 @@ void usage() {
       stderr);
 }
 
-// Strict unsigned parse: rejects empty values, trailing garbage, negative
-// numbers, and out-of-range input (strtoull would silently return 0 or
-// wrap), exiting with the same diagnostics shape as --threads.
-std::uint64_t parse_u64_or_die(const char* flag, const char* value,
-                               std::uint64_t max) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (*value < '0' || *value > '9' || end == nullptr || *end != '\0' ||
-      errno == ERANGE || parsed > max) {
-    std::fprintf(stderr, "invalid %s value '%s' (want an integer 0-%llu)\n",
-                 flag, value, static_cast<unsigned long long>(max));
-    std::exit(2);
-  }
-  return parsed;
-}
+using tools::parse_u64_or_die;
 
 std::optional<Options> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
@@ -135,15 +121,7 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--websites") {
       opts.websites = parse_u64_or_die("--websites", value(), 100'000'000);
     } else if (arg == "--scale") {
-      const char* v = value();
-      char* end = nullptr;
-      opts.scale = std::strtod(v, &end);
-      if (*v == '\0' || end == nullptr || *end != '\0' ||
-          !(opts.scale > 0.0) || opts.scale > 1.0) {
-        std::fprintf(stderr,
-                     "invalid --scale value '%s' (want 0 < F <= 1)\n", v);
-        std::exit(2);
-      }
+      opts.scale = tools::parse_scale_or_die("--scale", value());
     } else if (arg == "--in") {
       opts.in_path = value();
     } else if (arg == "--out") {
@@ -175,51 +153,14 @@ std::optional<Options> parse(int argc, char** argv) {
 }
 
 simworld::WorldResult obtain_world(const Options& opts) {
-  if (!opts.in_path.empty()) {
-    auto world = simworld::load_world_bundle_file(opts.in_path);
-    if (!world) {
-      std::fprintf(stderr, "failed to load bundle %s\n",
-                   opts.in_path.c_str());
-      std::exit(1);
-    }
-    std::fprintf(stderr, "loaded %s: %zu scans, %zu certs, %zu observations\n",
-                 opts.in_path.c_str(), world->archive.scans().size(),
-                 world->archive.certs().size(),
-                 world->archive.observation_count());
-    return std::move(*world);
-  }
-  simworld::WorldConfig config;
-  config.seed = opts.seed;
-  config.device_count = opts.devices;
-  config.website_count = opts.websites;
-  config.schedule.scale = opts.scale;
-  std::fprintf(stderr,
-               "simulating %zu devices + %zu websites (seed %llu, %zu "
-               "threads)...\n",
-               config.device_count, config.website_count,
-               static_cast<unsigned long long>(config.seed),
-               sm::util::ThreadPool::global_thread_count());
-  const auto begin = std::chrono::steady_clock::now();
-  simworld::WorldResult world = simworld::World(config).run();
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
-          .count();
-  std::fprintf(stderr, "world built in %.2fs\n", seconds);
-  std::fprintf(stderr,
-               "verified %llu certs: %llu signature checks computed, %llu "
-               "memoized\n",
-               static_cast<unsigned long long>(world.verify_stats.verified),
-               static_cast<unsigned long long>(world.verify_stats.sig_checks),
-               static_cast<unsigned long long>(
-                   world.verify_stats.sig_cache_hits));
-  if (world.dropped_lease_intervals > 0) {
-    std::fprintf(stderr,
-                 "warning: %llu lease intervals dropped by the per-replica "
-                 "cap (degenerate lease config)\n",
-                 static_cast<unsigned long long>(
-                     world.dropped_lease_intervals));
-  }
-  return world;
+  tools::CorpusSpec spec;
+  spec.in_path = opts.in_path;
+  spec.seed = opts.seed;
+  spec.devices = opts.devices;
+  spec.websites = opts.websites;
+  spec.scale = opts.scale;
+  tools::LoadedCorpus corpus = tools::load_or_simulate(spec);
+  return std::move(*corpus.world);  // always a world: no archive_path given
 }
 
 int cmd_simulate(const Options& opts) {
