@@ -1,0 +1,170 @@
+#include "corpus/live.h"
+
+#include <algorithm>
+#include <istream>
+#include <utility>
+
+#include "scan/archive_io.h"
+
+namespace sm::corpus {
+
+LiveCorpus::LiveCorpus(scan::ScanArchive initial,
+                       const net::RoutingHistory* routing,
+                       util::ThreadPool* pool)
+    : routing_(routing), pool_(pool) {
+  auto archive =
+      std::make_shared<const scan::ScanArchive>(std::move(initial));
+  keys_.reserve(archive->certs().size());
+  for (std::size_t i = 0; i < archive->certs().size(); ++i) {
+    keys_[archive->certs()[i].key_fingerprint].push_back(
+        static_cast<scan::CertId>(i));
+  }
+  auto snap = std::make_shared<LiveSnapshot>();
+  snap->epoch = 0;
+  snap->spine = std::make_shared<const CorpusIndex>(
+      *archive, CorpusOptions{routing_, pool_});
+  snap->archive = std::move(archive);
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
+
+AppendResult LiveCorpus::append_segment(std::istream& in) {
+  std::lock_guard lock(append_mutex_);
+  AppendResult result;
+  const std::shared_ptr<const LiveSnapshot> cur = snapshot();
+
+  // Parse the whole segment up front: any framing/checksum/ordering
+  // failure must leave the published snapshot untouched, so nothing is
+  // interned until the reader has validated every byte.
+  scan::ArchiveReader reader(in);
+  if (!reader.ok()) {
+    result.error = "segment: bad archive header";
+    return result;
+  }
+  std::vector<scan::CertRecord> segment_certs;
+  segment_certs.reserve(reader.cert_count());
+  if (!reader.for_each_cert(
+          [&](scan::CertId, const scan::CertRecord& cert) {
+            segment_certs.push_back(cert);
+          })) {
+    result.error = "segment: corrupt certificate section";
+    return result;
+  }
+  std::vector<scan::ScanData> segment_scans;
+  if (!reader.for_each_scan([&](const scan::ScanData& scan) {
+        segment_scans.push_back(scan);
+      })) {
+    result.error = "segment: corrupt scan section";
+    return result;
+  }
+  if (segment_scans.empty()) {
+    result.error = "segment: no scans";
+    return result;
+  }
+  // Chronology: the archive's own append path rejects out-of-order
+  // scans with an exception; pre-check so a stale segment is a clean
+  // error instead.
+  if (!cur->archive->scans().empty() &&
+      segment_scans.front().event.start <
+          cur->archive->scans().back().event.start) {
+    result.error = "segment: scans predate the current corpus";
+    return result;
+  }
+  for (const scan::ScanData& scan : segment_scans) {
+    for (const scan::Observation& obs : scan.observations) {
+      if (obs.cert >= segment_certs.size()) {
+        result.error = "segment: observation references unknown cert";
+        return result;
+      }
+    }
+  }
+
+  // Copy-on-append: the new epoch gets its own archive; every snapshot
+  // already handed out keeps (and owns) the previous one.
+  auto next = std::make_shared<scan::ScanArchive>(*cur->archive);
+  const std::size_t old_cert_count = next->certs().size();
+
+  // Re-intern the segment's certificates. Intern order follows the
+  // segment's id order, so the resulting global ids are deterministic.
+  std::vector<scan::CertId> global_id(segment_certs.size());
+  std::vector<char> changed(old_cert_count, 0);
+  std::vector<std::pair<scan::KeyFingerprint, scan::CertId>> new_keys;
+  for (std::size_t i = 0; i < segment_certs.size(); ++i) {
+    const scan::KeyFingerprint key = segment_certs[i].key_fingerprint;
+    const scan::CertId id = next->intern(std::move(segment_certs[i]));
+    global_id[i] = id;
+    if (id >= old_cert_count) {
+      ++result.new_certs;
+      new_keys.emplace_back(key, id);
+      // A new holder of an existing SPKI raises the key-sharing degree
+      // of every certificate already holding it.
+      const auto it = keys_.find(key);
+      if (it != keys_.end()) {
+        for (const scan::CertId peer : it->second) changed[peer] = 1;
+      }
+    }
+  }
+
+  // Append the scans with observations remapped to global ids; every
+  // observed certificate's history (and stats row) changes.
+  for (scan::ScanData& scan : segment_scans) {
+    for (scan::Observation& obs : scan.observations) {
+      obs.cert = global_id[obs.cert];
+      if (obs.cert < old_cert_count) changed[obs.cert] = 1;
+    }
+    result.observations += scan.observations.size();
+    next->add_scan(std::move(scan));
+    ++result.scans_appended;
+  }
+
+  // The delta: every pre-existing cert marked above plus every new one.
+  std::vector<scan::CertId> delta;
+  for (std::size_t i = 0; i < old_cert_count; ++i) {
+    if (changed[i] != 0) delta.push_back(static_cast<scan::CertId>(i));
+  }
+  for (std::size_t i = old_cert_count; i < next->certs().size(); ++i) {
+    delta.push_back(static_cast<scan::CertId>(i));
+  }
+  result.delta_size = delta.size();
+
+  // Build the new spine (the expensive part — readers keep serving the
+  // old epoch throughout) and publish. The release store pairs with
+  // snapshot()'s acquire load.
+  auto snap = std::make_shared<LiveSnapshot>();
+  snap->epoch = cur->epoch + 1;
+  snap->spine = std::make_shared<const CorpusIndex>(
+      *next, CorpusOptions{routing_, pool_});
+  snap->archive = std::move(next);
+  snap->delta = std::move(delta);
+
+  // Commit the append-side key map only now that nothing can fail.
+  for (const auto& [key, id] : new_keys) keys_[key].push_back(id);
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  result.ok = true;
+  return result;
+}
+
+scan::ScanArchive extract_segment(const scan::ScanArchive& full,
+                                  std::size_t first, std::size_t last) {
+  scan::ScanArchive segment;
+  last = std::min(last, full.scans().size());
+  // Dense re-intern: only the certificates these scans observe, in
+  // first-observation order.
+  std::vector<scan::CertId> local(full.certs().size(),
+                                  scan::CertId{0xffffffff});
+  for (std::size_t s = first; s < last; ++s) {
+    const scan::ScanData& scan = full.scans()[s];
+    scan::ScanData copy;
+    copy.event = scan.event;
+    copy.observations.reserve(scan.observations.size());
+    for (const scan::Observation& obs : scan.observations) {
+      if (local[obs.cert] == scan::CertId{0xffffffff}) {
+        local[obs.cert] = segment.intern(full.cert(obs.cert));
+      }
+      copy.observations.push_back({local[obs.cert], obs.ip, obs.device});
+    }
+    segment.add_scan(std::move(copy));
+  }
+  return segment;
+}
+
+}  // namespace sm::corpus

@@ -1,0 +1,125 @@
+// LiveCorpus — the growing corpus behind a continuously updating notary.
+//
+// The paper's §8 notary is inherently a live service: the scan corpus
+// keeps growing while clients query it (the Certificate Transparency
+// delivery shape — an append-only log that monitors poll). Everything
+// else in this repository builds once from a finished archive;
+// LiveCorpus is the bridge between those immutable builds and a stream
+// of new scan segments:
+//
+//   * ingest: append_segment() streams one SMAR segment (certificates +
+//     scans) through scan::ArchiveReader, re-interns its certificates
+//     into a *copy* of the current archive, appends its scans, and
+//     builds a fresh immutable corpus::CorpusIndex spine on the shared
+//     util::ThreadPool;
+//   * publish: the new (archive, spine, delta) triple becomes a
+//     LiveSnapshot published through one epoch/RCU-style shared_ptr
+//     swap (std::atomic<std::shared_ptr>, release store). Readers take
+//     acquire loads and hold zero locks: a snapshot() caller keeps the
+//     whole epoch alive via its shared_ptr while queries render, and
+//     old epochs retire automatically when the last reader drops them;
+//   * delta: each snapshot carries the exact set of certificate ids
+//     whose knowledge changed in that epoch — certificates observed by
+//     the new scans, newly interned certificates, and every existing
+//     certificate sharing an SPKI key with a new one (its key-sharing
+//     degree grew). Downstream caches (NotaryService's per-shard LRU)
+//     invalidate precisely this set and keep everything else.
+//
+// Certificate ids are stable across epochs: interning is append-only
+// and deduplicates by fingerprint, so id N means the same certificate
+// in every snapshot that contains it. Appends are serialized by a
+// writer mutex; failed appends (corrupt segment, non-chronological
+// scans) leave the published snapshot and all ingest state untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus_index.h"
+#include "net/route_table.h"
+#include "scan/archive.h"
+
+namespace sm::corpus {
+
+/// One immutable published epoch of the growing corpus. Everything here
+/// is safe to read from any thread for as long as the shared_ptr that
+/// delivered it lives. Member order matters: `spine` borrows `*archive`,
+/// so it is declared after (destroyed before) the archive.
+struct LiveSnapshot {
+  /// 0 for the initial snapshot; +1 per successful append.
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const scan::ScanArchive> archive;
+  std::shared_ptr<const CorpusIndex> spine;
+  /// Certificate ids whose derived knowledge changed in this epoch
+  /// (ascending, deduplicated; empty for epoch 0).
+  std::vector<scan::CertId> delta;
+};
+
+/// Outcome of one append_segment() call.
+struct AppendResult {
+  bool ok = false;
+  std::string error;             ///< set when !ok
+  std::size_t scans_appended = 0;
+  std::size_t new_certs = 0;     ///< certificates first seen in this segment
+  std::size_t observations = 0;  ///< observations appended
+  std::size_t delta_size = 0;    ///< |snapshot()->delta| after the append
+};
+
+class LiveCorpus {
+ public:
+  /// Seeds the corpus with an initial archive and publishes epoch 0.
+  /// `routing` (optional, borrowed) enables the spine's AS resolution;
+  /// `pool` (optional) runs the spine builds (null = global pool).
+  explicit LiveCorpus(scan::ScanArchive initial,
+                      const net::RoutingHistory* routing = nullptr,
+                      util::ThreadPool* pool = nullptr);
+
+  LiveCorpus(const LiveCorpus&) = delete;
+  LiveCorpus& operator=(const LiveCorpus&) = delete;
+
+  /// The current epoch — one lock-free acquire load. The returned
+  /// shared_ptr keeps the snapshot (archive + spine) alive for the
+  /// caller regardless of later publishes.
+  std::shared_ptr<const LiveSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Streams one SMAR segment from `in` and publishes a new epoch.
+  /// Serializes with other appends; never blocks readers. On any
+  /// failure (corrupt segment, scans not after the current last scan)
+  /// nothing is published and the result carries the reason.
+  AppendResult append_segment(std::istream& in);
+
+  /// Successful appends so far (== snapshot()->epoch).
+  std::uint64_t epochs_published() const {
+    return snapshot()->epoch;
+  }
+
+ private:
+  const net::RoutingHistory* routing_;
+  util::ThreadPool* pool_;
+
+  std::mutex append_mutex_;  ///< serializes writers; readers never take it
+  /// SPKI key -> certificate ids holding it, over the *current* epoch's
+  /// certificates (append-side state, guarded by append_mutex_). Used to
+  /// find the existing certs whose key-sharing degree a new cert changes.
+  std::unordered_map<scan::KeyFingerprint, std::vector<scan::CertId>> keys_;
+
+  std::atomic<std::shared_ptr<const LiveSnapshot>> snapshot_;
+};
+
+/// Builds a standalone archive containing scans [first, last) of `full`
+/// and exactly the certificates they observe, re-interned densely. The
+/// segment-producer helper: sm_notaryd's ingest bench and the tests use
+/// it to split a simulated archive into an initial corpus plus a stream
+/// of appendable SMAR segments.
+scan::ScanArchive extract_segment(const scan::ScanArchive& full,
+                                  std::size_t first, std::size_t last);
+
+}  // namespace sm::corpus

@@ -28,10 +28,12 @@ bool is_known_frame_type(std::uint8_t value) {
     case FrameType::kQuery:
     case FrameType::kStats:
     case FrameType::kPing:
+    case FrameType::kSnapshot:
     case FrameType::kCertInfo:
     case FrameType::kNotFound:
     case FrameType::kStatsText:
     case FrameType::kPong:
+    case FrameType::kSnapshotInfo:
     case FrameType::kError:
       return true;
   }

@@ -14,8 +14,9 @@
 // Request frames a client may send: kQuery (payload = 16- or 32-byte
 // certificate fingerprint; 32-byte SHA-256 inputs are truncated to the
 // archive's 128-bit intern key), kStats (empty payload), kPing (arbitrary
-// payload, echoed). The server answers kCertInfo / kNotFound / kStatsText
-// / kPong, or kError with a human-readable reason. A frame that cannot be
+// payload, echoed), kSnapshot (empty payload; asks which index epoch is
+// serving). The server answers kCertInfo / kNotFound / kStatsText / kPong
+// / kSnapshotInfo, or kError with a human-readable reason. A frame that cannot be
 // parsed at all (unknown type, oversized length, checksum mismatch) gets
 // one kError response and the connection is closed — framing is lost, so
 // the stream cannot be resynchronized — but the worker and every other
@@ -43,10 +44,12 @@ enum class FrameType : std::uint8_t {
   kQuery = 0x01,      ///< fingerprint lookup
   kStats = 0x02,      ///< metrics snapshot request
   kPing = 0x03,       ///< liveness probe; payload echoed back
+  kSnapshot = 0x04,   ///< which index epoch is serving? (empty payload)
   kCertInfo = 0x81,   ///< rendered certificate knowledge
   kNotFound = 0x82,   ///< fingerprint unknown to the notary
   kStatsText = 0x83,  ///< rendered metrics
   kPong = 0x84,       ///< ping echo
+  kSnapshotInfo = 0x85,  ///< snapshot staleness bound ("as of scan N")
   kError = 0xee,      ///< malformed/unsupported request; payload = reason
 };
 

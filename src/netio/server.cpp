@@ -29,6 +29,16 @@ using Clock = std::chrono::steady_clock;
 // socket set.
 constexpr int kTickMs = 100;
 
+// How long the acceptor sleeps when accept4 fails for lack of fds. The
+// listen socket is level-triggered, so without a pause poll() reports
+// POLLIN again immediately and the acceptor pins a core until the fd
+// table recovers.
+constexpr int kAcceptBackoffMs = 10;
+
+bool is_fd_exhaustion(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
 void close_quietly(int fd) {
   if (fd >= 0) ::close(fd);
 }
@@ -65,6 +75,8 @@ struct TcpServer::Impl {
     std::atomic<std::uint64_t> malformed{0};
     std::atomic<std::uint64_t> closed{0};
     std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> bp_pauses{0};
+    std::atomic<std::uint64_t> bp_resumes{0};
   };
 
   ServerConfig config;
@@ -80,6 +92,7 @@ struct TcpServer::Impl {
   std::atomic<bool> draining{false};
   std::atomic<bool> stopped{false};
   std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> accept_backoffs{0};
   std::mutex shutdown_mutex;
 
   // ---- acceptor ----------------------------------------------------------
@@ -100,6 +113,14 @@ struct TcpServer::Impl {
             ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
         if (fd < 0) {
           if (errno == EINTR) continue;
+          if (is_fd_exhaustion(errno)) {
+            // Out of fds: the pending connection stays in the backlog, so
+            // back off instead of spinning on the level-triggered POLLIN.
+            // Sleeping on stop_accept_fd keeps shutdown responsive.
+            accept_backoffs.fetch_add(1, std::memory_order_relaxed);
+            pollfd stop = {stop_accept_fd, POLLIN, 0};
+            ::poll(&stop, 1, kAcceptBackoffMs);
+          }
           break;  // EAGAIN or a transient accept failure: back to poll
         }
         int one = 1;
@@ -152,10 +173,22 @@ struct TcpServer::Impl {
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        bool rearm = false;
         if (!conn.writing) {
           conn.writing = true;
-          update_interest(worker, fd, conn);
+          rearm = true;
         }
+        // Hysteresis: a paused connection resumes reading as soon as at
+        // most half the backpressure budget remains queued — waiting for a
+        // completely empty outbuf (the old behaviour) stalls a pipelining
+        // client for a full round trip after every large burst.
+        if (!conn.reading && !conn.close_after_flush &&
+            conn.unsent() <= config.max_buffered_responses / 2) {
+          conn.reading = true;
+          worker.bp_resumes.fetch_add(1, std::memory_order_relaxed);
+          rearm = true;
+        }
+        if (rearm) update_interest(worker, fd, conn);
         return true;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -173,8 +206,10 @@ struct TcpServer::Impl {
       conn.writing = false;
       rearm = true;
     }
-    // Backpressure released: resume reading once the response queue is
-    // flushed.
+    // Backpressure released: the response queue flushed before the
+    // half-drain threshold had a chance to re-arm reading. (Not counted
+    // as a backpressure_resume — that counter tracks only resumes with
+    // bytes still queued, i.e. the hysteresis path.)
     if (!conn.reading && !conn.close_after_flush) {
       conn.reading = true;
       rearm = true;
@@ -236,6 +271,7 @@ struct TcpServer::Impl {
     if (!flush(worker, fd, conn)) return false;
     if (conn.unsent() > config.max_buffered_responses && conn.reading) {
       conn.reading = false;  // pipelining backpressure
+      worker.bp_pauses.fetch_add(1, std::memory_order_relaxed);
       update_interest(worker, fd, conn);
     }
     return true;
@@ -287,13 +323,18 @@ struct TcpServer::Impl {
     for (;;) {
       const int n = ::epoll_wait(worker.epoll_fd, events, 64, kTickMs);
       if (n < 0 && errno != EINTR) break;
+      bool adopt = false;
       for (int i = 0; i < std::max(n, 0); ++i) {
         const int fd = events[i].data.fd;
         if (fd == worker.wake_fd) {
           std::uint64_t drainv;
           while (::read(worker.wake_fd, &drainv, sizeof drainv) > 0) {
           }
-          adopt_pending(worker);
+          // Adopt AFTER the batch: registering a connection here could
+          // reuse an fd number closed earlier in this events[] array, and
+          // a stale EPOLLHUP/EPOLLERR for the old socket later in the
+          // batch would then kill the freshly adopted connection.
+          adopt = true;
           continue;
         }
         auto it = worker.conns.find(fd);
@@ -312,6 +353,7 @@ struct TcpServer::Impl {
           if (!handle_input(worker, fd, conn)) continue;
         }
       }
+      if (adopt) adopt_pending(worker);
 
       if (draining.load(std::memory_order_acquire)) {
         if (!drain_seen) {
@@ -351,9 +393,20 @@ struct TcpServer::Impl {
 
   bool start(std::string* error) {
     const auto fail = [&](const char* what) {
+      // strerror before any close() below can clobber errno.
       if (error != nullptr) {
         *error = std::string(what) + ": " + std::strerror(errno);
       }
+      // Unwind everything created so far — shutdown() early-returns while
+      // `started` is false, so a partial start must clean up after itself
+      // or earlier workers' epoll/event fds leak.
+      for (const auto& worker : workers) {
+        close_quietly(worker->epoll_fd);
+        close_quietly(worker->wake_fd);
+      }
+      workers.clear();
+      close_quietly(stop_accept_fd);
+      stop_accept_fd = -1;
       close_quietly(listen_fd);
       listen_fd = -1;
       return false;
@@ -440,6 +493,7 @@ struct TcpServer::Impl {
   ServerCounters counters() const {
     ServerCounters out;
     out.connections_accepted = accepted.load(std::memory_order_relaxed);
+    out.accept_backoffs = accept_backoffs.load(std::memory_order_relaxed);
     for (const auto& worker : workers) {
       out.connections_closed +=
           worker->closed.load(std::memory_order_relaxed);
@@ -448,6 +502,10 @@ struct TcpServer::Impl {
           worker->malformed.load(std::memory_order_relaxed);
       out.idle_closed +=
           worker->idle_closed.load(std::memory_order_relaxed);
+      out.backpressure_pauses +=
+          worker->bp_pauses.load(std::memory_order_relaxed);
+      out.backpressure_resumes +=
+          worker->bp_resumes.load(std::memory_order_relaxed);
     }
     return out;
   }

@@ -46,8 +46,9 @@ struct ServerConfig {
   int drain_timeout_ms = 5'000;
   /// Per-frame payload ceiling (rejected before allocation).
   std::size_t max_frame_payload = kMaxFramePayload;
-  /// Pause reading from a connection whose unsent responses exceed this
-  /// (resumes once half is flushed) — pipelining backpressure.
+  /// Pause reading from a connection whose unsent responses exceed this;
+  /// reading resumes once at most half of it remains queued (hysteresis,
+  /// so a pipelining client is not re-paused after every partial flush).
   std::size_t max_buffered_responses = 4u << 20;
 };
 
@@ -59,6 +60,11 @@ struct ServerCounters {
   std::uint64_t frames_handled = 0;     ///< well-formed frames dispatched
   std::uint64_t malformed_frames = 0;   ///< framing violations (1/connection)
   std::uint64_t idle_closed = 0;        ///< closed by the idle timeout
+  std::uint64_t accept_backoffs = 0;    ///< acceptor sleeps on fd exhaustion
+  std::uint64_t backpressure_pauses = 0;   ///< reads paused (outbuf > max)
+  /// Reads resumed with responses still queued (the half-drain
+  /// hysteresis; resumes via a fully drained outbuf are not counted).
+  std::uint64_t backpressure_resumes = 0;
 };
 
 /// The server. Construct, start(), serve until shutdown().

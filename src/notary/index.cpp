@@ -20,6 +20,8 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
   const auto& scans = archive.scans();
   const std::size_t cert_count = certs.size();
   entries_.resize(cert_count);
+  scan_count_ = scans.size();
+  last_scan_start_ = scans.empty() ? 0 : scans.back().event.start;
 
   // Key-sharing degree: certificates per SPKI fingerprint.
   std::unordered_map<scan::KeyFingerprint, std::uint32_t> key_counts;

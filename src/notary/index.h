@@ -108,6 +108,11 @@ class NotaryIndex {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Staleness bound for the kSnapshotInfo response: how many scans the
+  /// index was built over, and when the newest of them started.
+  std::size_t scan_count() const { return scan_count_; }
+  util::UnixTime last_scan_start() const { return last_scan_start_; }
+
   /// The shard a fingerprint hashes to (exposed for the per-shard caches).
   static std::size_t shard_of(const scan::CertFingerprint& fp) {
     return fp[0] % kShards;
@@ -125,6 +130,8 @@ class NotaryIndex {
     }
   };
 
+  std::size_t scan_count_ = 0;
+  util::UnixTime last_scan_start_ = 0;
   std::vector<CertKnowledge> entries_;  // [cert id]
   std::array<std::unordered_map<scan::CertFingerprint, scan::CertId,
                                 FingerprintHash>,

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/datetime.h"
 #include "util/hex.h"
 #include "util/stats.h"
 
@@ -51,14 +52,65 @@ LatencyHistogram::Summary LatencyHistogram::summarize() const {
 
 NotaryService::NotaryService(const NotaryIndex& index,
                              NotaryServiceConfig config)
-    : index_(&index), config_(config) {
+    // Aliasing, non-owning shared_ptr: the batch caller owns the index
+    // for the service's whole lifetime (the pre-live contract).
+    : NotaryService(std::shared_ptr<const NotaryIndex>(
+                        std::shared_ptr<const void>(), &index),
+                    config) {}
+
+NotaryService::NotaryService(std::shared_ptr<const NotaryIndex> index,
+                             NotaryServiceConfig config)
+    : config_(config) {
   const std::size_t per_shard = config_.cache_bytes / NotaryIndex::kShards;
   for (CacheShard& shard : cache_) shard.capacity = per_shard;
+  auto snap = std::make_shared<Snapshot>();
+  snap->index = std::move(index);
+  snap->epoch = 0;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
+
+void NotaryService::publish(std::shared_ptr<const NotaryIndex> index,
+                            std::span<const scan::CertId> changed) {
+  std::lock_guard publish_lock(publish_mutex_);
+  auto snap = std::make_shared<Snapshot>();
+  snap->index = std::move(index);
+  snap->epoch =
+      snapshot_.load(std::memory_order_relaxed)->epoch + 1;
+  // Order matters: advance the insert-guard epoch first, then swap the
+  // snapshot, then invalidate. A render that loaded the old snapshot and
+  // is about to cache a changed cert re-reads epoch_ inside the shard
+  // mutex — it either inserts before the erase below (and is erased) or
+  // sees the new epoch and skips the insert. Either way no stale bytes
+  // survive; untouched certs render identically in both epochs, so their
+  // cached entries stay byte-correct.
+  epoch_.store(snap->epoch, std::memory_order_release);
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+
+  if (config_.cache_bytes == 0) return;
+  std::uint64_t dropped = 0;
+  // Per-shard pass under each shard's own mutex: queries touching other
+  // shards (and cache hits in this shard before/after the critical
+  // section) proceed untouched.
+  for (std::size_t s = 0; s < cache_.size(); ++s) {
+    CacheShard& shard = cache_[s];
+    std::lock_guard lock(shard.mutex);
+    for (const scan::CertId id : changed) {
+      const auto it = shard.map.find(id);
+      if (it == shard.map.end()) continue;
+      shard.bytes -= it->second->second.size();
+      shard.order.erase(it->second);
+      shard.map.erase(it);
+      ++dropped;
+    }
+  }
+  cache_invalidations_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
 std::string NotaryService::rendered_response(const scan::CertFingerprint& fp,
                                              scan::CertId id,
-                                             const CertKnowledge& k) {
+                                             const CertKnowledge& k,
+                                             std::uint64_t epoch) {
   if (config_.cache_bytes == 0) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
     return render_knowledge(k);
@@ -74,11 +126,17 @@ std::string NotaryService::rendered_response(const scan::CertFingerprint& fp,
     }
   }
   // Render outside the lock: misses are the slow path, and the entry is
-  // immutable so two racing renders produce identical bytes.
+  // immutable within its epoch so two racing renders produce identical
+  // bytes.
   std::string rendered = render_knowledge(k);
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard lock(shard.mutex);
-  if (shard.map.find(id) == shard.map.end() &&
+  // Epoch guard: if a publish() advanced the epoch since this render
+  // began, its invalidation pass may already have swept this shard —
+  // inserting now could cache stale bytes for a changed cert. Skip; the
+  // next query re-renders against the new epoch.
+  if (epoch_.load(std::memory_order_acquire) == epoch &&
+      shard.map.find(id) == shard.map.end() &&
       rendered.size() <= shard.capacity) {
     shard.order.emplace_front(id, rendered);
     shard.map.emplace(id, shard.order.begin());
@@ -111,16 +169,21 @@ netio::Frame NotaryService::handle(netio::FrameType type,
       }
       scan::CertFingerprint fp{};
       std::memcpy(fp.data(), payload.data(), fp.size());
-      const CertKnowledge* k = index_->lookup(fp);
+      // The query hot path: one acquire load pins this request's epoch;
+      // lookup and render run lock-free against the immutable index
+      // (the shared_ptr keeps it alive across a concurrent publish).
+      const std::shared_ptr<const Snapshot> snap = snapshot();
+      const CertKnowledge* k = snap->index->lookup(fp);
       if (k == nullptr) {
         not_found_.fetch_add(1, std::memory_order_relaxed);
         response = {netio::FrameType::kNotFound,
                     util::hex_encode(util::BytesView(fp.data(), fp.size()))};
       } else {
         found_.fetch_add(1, std::memory_order_relaxed);
-        const auto id = static_cast<scan::CertId>(k - &index_->knowledge(0));
+        const auto id =
+            static_cast<scan::CertId>(k - &snap->index->knowledge(0));
         response = {netio::FrameType::kCertInfo,
-                    rendered_response(fp, id, *k)};
+                    rendered_response(fp, id, *k, snap->epoch)};
       }
       break;
     }
@@ -131,6 +194,10 @@ netio::Frame NotaryService::handle(netio::FrameType type,
     case netio::FrameType::kPing:
       pings_.fetch_add(1, std::memory_order_relaxed);
       response = {netio::FrameType::kPong, std::string(payload)};
+      break;
+    case netio::FrameType::kSnapshot:
+      snapshot_requests_.fetch_add(1, std::memory_order_relaxed);
+      response = {netio::FrameType::kSnapshotInfo, render_snapshot_info()};
       break;
     default:
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -152,16 +219,39 @@ NotaryMetricsSnapshot NotaryService::metrics() const {
   out.not_found = not_found_.load(std::memory_order_relaxed);
   out.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   out.pings = pings_.load(std::memory_order_relaxed);
+  out.snapshot_requests =
+      snapshot_requests_.load(std::memory_order_relaxed);
   out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.epoch = snapshot()->epoch;
+  out.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  out.cache_invalidations =
+      cache_invalidations_.load(std::memory_order_relaxed);
   out.latency = latency_.summarize();
   return out;
 }
 
+std::string NotaryService::render_snapshot_info() const {
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "epoch: %" PRIu64 "\n"
+                "scans: %zu\n"
+                "last-scan-start: %s\n"
+                "certs: %zu\n",
+                snap->epoch, snap->index->scan_count(),
+                snap->index->scan_count() == 0
+                    ? "never"
+                    : util::format_datetime(snap->index->last_scan_start())
+                          .c_str(),
+                snap->index->size());
+  return buf;
+}
+
 std::string NotaryService::render_stats() const {
   const NotaryMetricsSnapshot m = metrics();
-  char buf[640];
+  char buf[832];
   std::snprintf(
       buf, sizeof buf,
       "notary-stats\n"
@@ -174,11 +264,16 @@ std::string NotaryService::render_stats() const {
       "cache: %" PRIu64 " hits, %" PRIu64 " misses (hit rate %s)\n"
       "latency-p50-us: %.3f\n"
       "latency-p99-us: %.3f\n"
-      "latency-max-us: %.3f\n",
-      index_->size(), m.requests, m.queries, m.found, m.not_found, m.pings,
-      m.stats_requests, m.bad_requests, m.cache_hits, m.cache_misses,
-      util::percent(m.cache_hit_rate()).c_str(), m.latency.p50_us,
-      m.latency.p99_us, m.latency.max_us);
+      "latency-max-us: %.3f\n"
+      "snapshot-epoch: %" PRIu64 "\n"
+      "snapshot-swaps: %" PRIu64 "\n"
+      "snapshot-requests: %" PRIu64 "\n"
+      "cache-invalidations: %" PRIu64 "\n",
+      snapshot()->index->size(), m.requests, m.queries, m.found,
+      m.not_found, m.pings, m.stats_requests, m.bad_requests, m.cache_hits,
+      m.cache_misses, util::percent(m.cache_hit_rate()).c_str(),
+      m.latency.p50_us, m.latency.p99_us, m.latency.max_us, m.epoch,
+      m.snapshot_swaps, m.snapshot_requests, m.cache_invalidations);
   return buf;
 }
 

@@ -2,20 +2,35 @@
 // in, frames out, with a per-shard LRU cache of rendered responses and
 // lock-free request metrics.
 //
+//  * The index is published as an epoch/RCU-style snapshot
+//    (std::atomic<std::shared_ptr>): each request takes one acquire load,
+//    renders against that immutable epoch with zero locks held, and the
+//    shared_ptr keeps the epoch alive until the response is built. A
+//    live-ingestion pipeline swaps in new epochs with publish(); services
+//    built over a fixed index simply never swap.
+//  * publish() invalidates precisely: only cached renders of certificates
+//    named in the delta are dropped, everything else survives the swap
+//    (an untouched certificate renders to identical bytes in both epochs,
+//    so its cached response stays correct). An epoch guard on the insert
+//    path keeps a render that raced a swap from re-entering stale bytes.
 //  * The cache is memory-bounded (cache_bytes split evenly over the
 //    index's shards) and caches only the *rendered* text of an immutable
 //    entry, so responses are byte-identical with the cache on or off.
 //  * Metrics are relaxed atomics (request counts, cache hit/miss,
-//    malformed requests) plus a power-of-two-bucket latency histogram
-//    with p50/p99 estimates — all dumped on demand by a kStats request.
-//  * handle() is safe to call from any number of server workers.
+//    malformed requests, swap/invalidation totals) plus a power-of-two-
+//    bucket latency histogram with p50/p99 estimates — all dumped on
+//    demand by a kStats request.
+//  * handle() is safe to call from any number of server workers,
+//    concurrently with publish().
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -60,9 +75,13 @@ struct NotaryMetricsSnapshot {
   std::uint64_t not_found = 0;      ///< queries answered kNotFound
   std::uint64_t stats_requests = 0;
   std::uint64_t pings = 0;
+  std::uint64_t snapshot_requests = 0;  ///< kSnapshot frames
   std::uint64_t bad_requests = 0;   ///< well-framed but unusable requests
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;   ///< includes cache-disabled renders
+  std::uint64_t epoch = 0;              ///< currently published epoch
+  std::uint64_t snapshot_swaps = 0;     ///< publish() calls
+  std::uint64_t cache_invalidations = 0;  ///< cached renders dropped
   LatencyHistogram::Summary latency;
 
   double cache_hit_rate() const {
@@ -73,25 +92,59 @@ struct NotaryMetricsSnapshot {
   }
 };
 
-/// The notary request handler. Owns the cache and metrics; borrows the
-/// (immutable) index.
+/// The notary request handler. Owns the cache and metrics; serves the
+/// currently published index snapshot.
 class NotaryService {
  public:
+  /// Serves a fixed index the caller keeps alive (the batch shape: build
+  /// once, serve until shutdown). The index is borrowed, never swapped —
+  /// publish() still works and takes over ownership management from then
+  /// on.
   explicit NotaryService(const NotaryIndex& index,
+                         NotaryServiceConfig config = {});
+
+  /// Serves a shared index the service participates in owning — the
+  /// live-ingestion shape, where publish() later retires it.
+  explicit NotaryService(std::shared_ptr<const NotaryIndex> index,
                          NotaryServiceConfig config = {});
 
   /// Handles one well-formed frame; thread-safe. Query payloads are the
   /// 16-byte archive fingerprint or a full 32-byte SHA-256 (truncated).
   netio::Frame handle(netio::FrameType type, std::string_view payload);
 
+  /// Swaps in a new index epoch and drops exactly the cached renders of
+  /// `changed` certificate ids (certificate ids are stable across epochs,
+  /// so every other cached render is still byte-correct). Queries in
+  /// flight keep rendering against the epoch they loaded — the old index
+  /// stays alive until its last reader drops it. Serialized against
+  /// other publishers; never blocks the query path's snapshot load.
+  void publish(std::shared_ptr<const NotaryIndex> index,
+               std::span<const scan::CertId> changed);
+
   NotaryMetricsSnapshot metrics() const;
 
   /// The kStatsText body: counters, hit rate, latency percentiles.
   std::string render_stats() const;
 
-  const NotaryIndex& index() const { return *index_; }
+  /// The kSnapshotInfo body for the currently published epoch.
+  std::string render_snapshot_info() const;
+
+  /// The currently published index. The reference is guaranteed stable
+  /// only while no publish() runs; live-pipeline callers should hold the
+  /// shared_ptr via index_snapshot() instead.
+  const NotaryIndex& index() const { return *snapshot()->index; }
+  std::shared_ptr<const NotaryIndex> index_snapshot() const {
+    return snapshot()->index;
+  }
 
  private:
+  /// One published epoch: the index plus its ordinal. Immutable after
+  /// publication; reference-counted so in-flight renders pin it.
+  struct Snapshot {
+    std::shared_ptr<const NotaryIndex> index;
+    std::uint64_t epoch = 0;
+  };
+
   // One LRU shard: most-recent at the front of `order`.
   struct CacheShard {
     std::mutex mutex;
@@ -101,12 +154,24 @@ class NotaryService {
     std::size_t capacity = 0;
   };
 
-  std::string rendered_response(const scan::CertFingerprint& fp,
-                                scan::CertId id, const CertKnowledge& k);
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
-  const NotaryIndex* index_;
+  std::string rendered_response(const scan::CertFingerprint& fp,
+                                scan::CertId id, const CertKnowledge& k,
+                                std::uint64_t epoch);
+
   NotaryServiceConfig config_;
   std::array<CacheShard, NotaryIndex::kShards> cache_;
+
+  /// The query path's only shared state: one acquire load per request.
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  /// Monotonic epoch mirror used by the cache-insert guard: publish()
+  /// advances it *before* invalidating, so a render begun against an
+  /// older epoch can never re-insert bytes the invalidation removed.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex publish_mutex_;  ///< serializes publishers only
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> queries_{0};
@@ -114,9 +179,12 @@ class NotaryService {
   std::atomic<std::uint64_t> not_found_{0};
   std::atomic<std::uint64_t> stats_requests_{0};
   std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> snapshot_requests_{0};
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> snapshot_swaps_{0};
+  std::atomic<std::uint64_t> cache_invalidations_{0};
   LatencyHistogram latency_;
 };
 

@@ -22,9 +22,15 @@ namespace sm::testing {
 /// A blocking TCP connection to 127.0.0.1:port.
 class LoopbackClient {
  public:
-  explicit LoopbackClient(std::uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connecting (the backpressure
+  /// tests use a tiny receive window to keep response bytes queued on the
+  /// server).
+  explicit LoopbackClient(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -118,6 +124,17 @@ class LoopbackClient {
       ::close(fd_);
       fd_ = -1;
     }
+  }
+
+  /// Aborts the connection: SO_LINGER(0) makes close() send RST instead
+  /// of FIN, so the server sees EPOLLERR/EPOLLHUP rather than clean EOF —
+  /// the fd-churn tests use this to recycle server-side fd numbers fast.
+  void abortive_close() {
+    if (fd_ < 0) return;
+    const linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd_);
+    fd_ = -1;
   }
 
  private:

@@ -2,9 +2,14 @@
 // truncation/bit-flip rejection) and the epoll TcpServer (echo traffic,
 // pipelining, malformed-frame handling, idle timeouts, graceful drain).
 #include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,9 +33,10 @@ std::string sample_payload(std::size_t size) {
 
 TEST(FrameCodec, RoundTripsEveryTypeAndSize) {
   const FrameType types[] = {
-      FrameType::kQuery,    FrameType::kStats,     FrameType::kPing,
-      FrameType::kCertInfo, FrameType::kNotFound,  FrameType::kStatsText,
-      FrameType::kPong,     FrameType::kError,
+      FrameType::kQuery,    FrameType::kStats,        FrameType::kPing,
+      FrameType::kSnapshot, FrameType::kCertInfo,     FrameType::kNotFound,
+      FrameType::kStatsText, FrameType::kPong,
+      FrameType::kSnapshotInfo, FrameType::kError,
   };
   const std::size_t sizes[] = {0, 1, 16, 255, 256, 4096};
   for (const FrameType type : types) {
@@ -336,6 +342,247 @@ TEST_F(EchoServerTest, StartFailsOnUnbindableAddress) {
   std::string error;
   EXPECT_FALSE(server.start(&error));
   EXPECT_FALSE(error.empty());
+}
+
+// ---- event-loop lifecycle regressions ------------------------------------
+
+// Regression: a connection closed mid-batch (abortive RST) frees its fd
+// number; if the same epoll_wait batch also carries a wake event, the old
+// code adopted pending connections immediately, so a freshly adopted
+// connection could be registered under the recycled fd — and a stale
+// EPOLLHUP/EPOLLERR later in the same events[] array killed it. With
+// adoption deferred to end-of-batch, fresh connections always survive
+// this churn. One worker maximizes fd-number recycling.
+TEST_F(EchoServerTest, FdChurnDoesNotKillFreshlyAdoptedConnections) {
+  config_.workers = 1;
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  constexpr int kIterations = 100;
+  constexpr int kAborters = 4;
+  for (int i = 0; i < kIterations; ++i) {
+    // A burst of connections that RST right after sending a request: the
+    // worker sees readable bytes and an error/hup for each, closes them,
+    // and their fd numbers free up mid-batch.
+    std::vector<std::unique_ptr<LoopbackClient>> aborters;
+    for (int a = 0; a < kAborters; ++a) {
+      auto aborter = std::make_unique<LoopbackClient>(server.port());
+      ASSERT_TRUE(aborter->connected());
+      ASSERT_TRUE(aborter->send_frame(FrameType::kPing, "doomed"));
+      aborters.push_back(std::move(aborter));
+    }
+    for (auto& aborter : aborters) aborter->abortive_close();
+    // Immediately behind the churn: a connection that must survive. Its
+    // server-side fd typically recycles one of the aborted numbers.
+    LoopbackClient fresh(server.port());
+    ASSERT_TRUE(fresh.connected());
+    const std::string payload = "alive-" + std::to_string(i);
+    ASSERT_TRUE(fresh.send_frame(FrameType::kPing, payload));
+    Frame response;
+    ASSERT_TRUE(fresh.read_frame(response)) << "iteration " << i;
+    EXPECT_EQ(response.type, FrameType::kPong);
+    EXPECT_EQ(response.payload, payload);
+  }
+  server.shutdown();
+  EXPECT_EQ(server.counters().connections_closed,
+            server.counters().connections_accepted);
+}
+
+namespace {
+
+std::size_t count_open_fds() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++n;
+  }
+  return n;
+}
+
+// Fills every free fd slot under the current RLIMIT_NOFILE with dup(0),
+// then frees exactly `keep_free` of them. RAII-restores the dups and the
+// original limit.
+class FdExhauster {
+ public:
+  explicit FdExhauster(std::size_t keep_free) {
+    getrlimit(RLIMIT_NOFILE, &old_);
+    rlimit tight = old_;
+    // A low ceiling keeps the fill cheap; every fd this process has open
+    // sits far below 256.
+    tight.rlim_cur = 256;
+    setrlimit(RLIMIT_NOFILE, &tight);
+    for (;;) {
+      const int fd = ::dup(0);
+      if (fd < 0) break;
+      fillers_.push_back(fd);
+    }
+    while (keep_free > 0 && !fillers_.empty()) {
+      ::close(fillers_.back());
+      fillers_.pop_back();
+      --keep_free;
+    }
+  }
+
+  ~FdExhauster() {
+    release_all();
+    setrlimit(RLIMIT_NOFILE, &old_);
+  }
+
+  /// Frees `n` more slots (lets a backed-off acceptor make progress).
+  void release(std::size_t n) {
+    while (n > 0 && !fillers_.empty()) {
+      ::close(fillers_.back());
+      fillers_.pop_back();
+      --n;
+    }
+  }
+
+  void release_all() {
+    for (const int fd : fillers_) ::close(fd);
+    fillers_.clear();
+  }
+
+ private:
+  rlimit old_{};
+  std::vector<int> fillers_;
+};
+
+}  // namespace
+
+// Regression: accept4 failing with EMFILE used to break straight back to
+// poll(), which (level-triggered) reported POLLIN again immediately —
+// a busy spin pinning a core for as long as the fd table stayed full. The
+// acceptor now backs off ~10ms per failure and counts each backoff; once
+// an fd frees up, the backlogged connection is accepted and served.
+TEST_F(EchoServerTest, AcceptorBacksOffOnFdExhaustion) {
+  config_.workers = 1;
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  // Leave exactly one free slot — consumed by the client's own socket, so
+  // the server-side accept4 is guaranteed to hit EMFILE.
+  FdExhauster exhaust(/*keep_free=*/1);
+  LoopbackClient client(server.port());
+  ASSERT_TRUE(client.connected());  // SYN-ACKed from the backlog
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.counters().accept_backoffs == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.counters().accept_backoffs, 1u);
+
+  // Free the table: the acceptor's next poll round adopts the backlogged
+  // connection and service resumes.
+  exhaust.release_all();
+  ASSERT_TRUE(client.send_frame(FrameType::kPing, "after-emfile"));
+  Frame response;
+  ASSERT_TRUE(client.read_frame(response));
+  EXPECT_EQ(response.type, FrameType::kPong);
+  EXPECT_EQ(response.payload, "after-emfile");
+}
+
+// Regression: ServerConfig documents that a backpressured connection
+// "resumes once half is flushed", but flush() only re-armed reading when
+// the outbuf was completely empty. The hysteresis resume is observable as
+// backpressure_resumes (counted only when reading resumes with bytes
+// still queued). A pipelining client with a tiny receive buffer forces
+// the pause; a slow drain forces the EAGAIN path where the half-drain
+// resume lives.
+TEST_F(EchoServerTest, BackpressureResumesAtHalfDrainNotEmpty) {
+  config_.workers = 1;
+  // The kernel autotunes the server connection's send buffer up to
+  // tcp_wmem[2]; a single EPOLLOUT flush can therefore move that many
+  // bytes at once. The resume band (half the cap) must span at least the
+  // kernel buffer, or the drain can jump clean over it — from above the
+  // band to an empty outbuf — without ever hitting EAGAIN inside it.
+  std::size_t wmem_max = 4u << 20;
+  {
+    std::ifstream wmem("/proc/sys/net/ipv4/tcp_wmem");
+    std::size_t lo = 0, def = 0, max = 0;
+    if (wmem >> lo >> def >> max && max > 0) wmem_max = max;
+  }
+  config_.max_buffered_responses = 2 * wmem_max;
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  // Small receive window: response bytes pile up in the server's outbuf
+  // instead of the kernel buffers.
+  LoopbackClient client(server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(client.connected());
+
+  // Four caps' worth of pongs: enough to force a pause no matter how much
+  // the kernel swallows, with a long EAGAIN-paced drain behind it.
+  const std::string payload = sample_payload(16 * 1024);
+  const int kFrames =
+      static_cast<int>(4 * config_.max_buffered_responses / payload.size());
+  std::thread writer([&] {
+    std::string burst;
+    for (int i = 0; i < kFrames; ++i) {
+      burst += encode_frame(FrameType::kPing, payload);
+    }
+    client.send_raw(burst);
+  });
+
+  // Hold off reading until the server has actually paused. With the client
+  // sitting on its receive window, the kernel absorbs a bounded amount
+  // (server sndbuf + client rcvbuf) and everything else must pile up in
+  // the outbuf — so the pause is reached no matter how slowly the server
+  // runs relative to the drain (sanitizer builds are ~10x slower).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.counters().backpressure_pauses == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Drain every response; with the old all-or-nothing resume this still
+  // completes (the server resumes on empty), but backpressure_resumes
+  // stays 0 — the half-drain fix is what makes it positive.
+  Frame response;
+  int received = 0;
+  for (; received < kFrames; ++received) {
+    if (!client.read_frame(response)) break;
+    ASSERT_EQ(response.type, FrameType::kPong);
+    ASSERT_EQ(response.payload, payload) << "frame " << received;
+  }
+  writer.join();
+  EXPECT_EQ(received, kFrames);
+  server.shutdown();
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.frames_handled, static_cast<std::uint64_t>(kFrames));
+  EXPECT_GE(counters.backpressure_pauses, 1u);
+  EXPECT_GE(counters.backpressure_resumes, 1u);
+}
+
+// Regression: when a later worker's epoll_create1/eventfd failed during
+// start(), the earlier workers' fds leaked — shutdown() early-returns
+// while `started` is false, and the old failure path only closed the
+// listen socket. Sweep every fd budget that makes start() fail partway
+// and assert the fd table returns to its baseline each time.
+TEST_F(EchoServerTest, PartialStartFailureLeaksNoFds) {
+  config_.workers = 4;
+  // Full start needs 10 fds: listen + stop eventfd + 4 x (epoll + wake).
+  for (std::size_t budget = 1; budget < 10; ++budget) {
+    FdExhauster exhaust(/*keep_free=*/budget);
+    const std::size_t before = count_open_fds();
+    TcpServer server(config_, echo);
+    std::string error;
+    EXPECT_FALSE(server.start(&error)) << "budget " << budget;
+    EXPECT_FALSE(error.empty()) << "budget " << budget;
+    EXPECT_EQ(count_open_fds(), before) << "budget " << budget;
+  }
+  // Sanity: with the table unconstrained the same config starts fine.
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+  LoopbackClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(FrameType::kPing, "post-sweep"));
+  Frame response;
+  ASSERT_TRUE(client.read_frame(response));
+  EXPECT_EQ(response.payload, "post-sweep");
 }
 
 }  // namespace

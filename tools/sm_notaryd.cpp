@@ -19,12 +19,33 @@
 //   sm_notaryd --query HEX --port N [--host ADDR]
 //       One-shot client: look up a fingerprint (16- or 32-byte hex) on a
 //       running daemon and print the response.
+//
+//   sm_notaryd --ingest DIR [--ingest-poll-ms N] ...
+//       Live-ingestion mode: serve the initial corpus, then poll DIR for
+//       new `.smar` scan segments (write them atomically — rename into
+//       place). Each segment is appended through corpus::LiveCorpus and
+//       published as a new epoch/RCU snapshot; queries keep flowing
+//       lock-free throughout, and only cached renders of certificates
+//       the segment touched are invalidated. kSnapshot requests report
+//       the staleness bound ("index as of scan N").
+//
+//   sm_notaryd --split-segments K DIR ...
+//       Segment producer: write DIR/base.smar (all but the last K scans
+//       of the corpus) plus one segment-NNN.smar per held-out scan —
+//       ready to serve with `--archive base.smar --ingest DIR`.
+//
+//   sm_notaryd --ingest-bench K ...
+//       Self-contained ingestion benchmark: holds out the last K scans
+//       of the corpus, serves the rest, then appends the K held-out
+//       segments while loopback clients query continuously — reporting
+//       per-epoch swap latency and the query p50/p99 during ingestion.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -33,13 +54,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/dataset.h"
 #include "corpus/corpus_index.h"
+#include "corpus/live.h"
 #include "corpus_load.h"
 #include "linking/linker.h"
 #include "netio/frame.h"
@@ -74,6 +102,11 @@ struct Options {
   std::uint64_t bench = 0;
   std::size_t clients = 4;
   std::string query_hex;
+  std::string ingest_dir;
+  int ingest_poll_ms = 500;
+  std::uint64_t ingest_bench = 0;
+  std::uint64_t split_count = 0;
+  std::string split_dir;
   // Simulation fallback when no input file is given.
   std::uint64_t seed = 42;
   std::size_t devices = 5000;
@@ -98,7 +131,16 @@ void usage() {
       "  --bench N      loopback load generator: N queries, then exit\n"
       "  --clients C    concurrent bench connections (default 4)\n"
       "  --query HEX    one-shot client query against a running daemon\n"
-      "  --host ADDR    server address for --query (default 127.0.0.1)\n",
+      "  --host ADDR    server address for --query (default 127.0.0.1)\n"
+      "  --ingest DIR   live mode: poll DIR for new .smar segments and\n"
+      "                 publish each as a fresh index epoch (no --link)\n"
+      "  --ingest-poll-ms N  directory poll interval (default 500)\n"
+      "  --ingest-bench K    append the corpus's last K scans as live\n"
+      "                 segments under loopback query load; report swap\n"
+      "                 latency and query p99 during ingestion\n"
+      "  --split-segments K DIR  write DIR/base.smar (all but the last K\n"
+      "                 scans) plus one segment-NNN.smar per held-out\n"
+      "                 scan, then exit — the producer side of --ingest\n",
       stderr);
 }
 
@@ -143,6 +185,19 @@ std::optional<Options> parse(int argc, char** argv) {
       if (opts.clients == 0) opts.clients = 1;
     } else if (arg == "--query") {
       opts.query_hex = value();
+    } else if (arg == "--ingest") {
+      opts.ingest_dir = value();
+    } else if (arg == "--ingest-poll-ms") {
+      opts.ingest_poll_ms = static_cast<int>(
+          parse_u64_or_die("--ingest-poll-ms", value(), 3'600'000));
+      if (opts.ingest_poll_ms == 0) opts.ingest_poll_ms = 1;
+    } else if (arg == "--split-segments") {
+      opts.split_count =
+          parse_u64_or_die("--split-segments", value(), 100'000);
+      opts.split_dir = value();
+    } else if (arg == "--ingest-bench") {
+      opts.ingest_bench =
+          parse_u64_or_die("--ingest-bench", value(), 100'000);
     } else if (arg == "--seed") {
       opts.seed = parse_u64_or_die("--seed", value(), ~std::uint64_t{0});
     } else if (arg == "--devices") {
@@ -345,6 +400,368 @@ int run_bench(const Options& opts, notary::NotaryService& service,
   return failures.load(std::memory_order_relaxed) == 0 ? 0 : 1;
 }
 
+// ---- live ingestion ------------------------------------------------------
+
+// Builds the notary index over one published corpus epoch (no linking:
+// the iterative linker is corpus-global, so live mode serves observation
+// history without linked-device ids).
+std::shared_ptr<const notary::NotaryIndex> build_epoch_index(
+    const corpus::LiveSnapshot& snap) {
+  return std::make_shared<const notary::NotaryIndex>(*snap.spine);
+}
+
+// Moves the archive out of a loaded corpus (the routing history, when
+// present, stays behind in `corpus.world` and remains borrowable).
+scan::ScanArchive take_archive(tools::LoadedCorpus& corpus) {
+  return corpus.world.has_value() ? std::move(corpus.world->archive)
+                                  : std::move(corpus.archive);
+}
+
+// The --ingest poller: watches a directory for new .smar segments,
+// appends each through the LiveCorpus, and publishes the fresh epoch to
+// the service. Files are processed once, in name order — producers must
+// write segments atomically (write elsewhere, rename into place).
+void poll_ingest_dir(const Options& opts, corpus::LiveCorpus& live,
+                     notary::NotaryService& service,
+                     std::atomic<bool>& stop) {
+  std::set<std::string> seen;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::vector<std::string> fresh;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator
+             it(opts.ingest_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      const std::filesystem::path& path = it->path();
+      if (path.extension() != ".smar" || !it->is_regular_file(ec)) continue;
+      if (seen.contains(path.string())) continue;
+      fresh.push_back(path.string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "ingest: cannot read %s: %s\n",
+                   opts.ingest_dir.c_str(), ec.message().c_str());
+    }
+    std::sort(fresh.begin(), fresh.end());
+    for (const std::string& path : fresh) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      seen.insert(path);
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "ingest: cannot open %s\n", path.c_str());
+        continue;
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      const corpus::AppendResult result = live.append_segment(in);
+      if (!result.ok) {
+        std::fprintf(stderr, "ingest: %s rejected: %s\n", path.c_str(),
+                     result.error.c_str());
+        continue;
+      }
+      const auto snap = live.snapshot();
+      service.publish(build_epoch_index(*snap), snap->delta);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - begin)
+                                 .count();
+      std::fprintf(stderr,
+                   "ingest: %s -> epoch %llu (+%zu scans, +%zu certs, "
+                   "%zu certs changed) in %.3fs\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(snap->epoch),
+                   result.scans_appended, result.new_certs,
+                   result.delta_size, seconds);
+    }
+    for (int waited = 0;
+         waited < opts.ingest_poll_ms &&
+         !stop.load(std::memory_order_relaxed);
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+// The producer side of --ingest: split the corpus into a base archive
+// plus one single-scan segment per held-out scan, written with the
+// atomic write-then-rename protocol the ingest poller documents.
+int run_split_segments(const Options& opts, tools::LoadedCorpus corpus) {
+  const scan::ScanArchive full = take_archive(corpus);
+  const std::size_t total = full.scans().size();
+  if (opts.split_count >= total) {
+    std::fprintf(stderr,
+                 "--split-segments: corpus has %zu scans, cannot hold "
+                 "out %llu\n",
+                 total,
+                 static_cast<unsigned long long>(opts.split_count));
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(opts.split_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "--split-segments: cannot create %s: %s\n",
+                 opts.split_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  const std::size_t base_count =
+      total - static_cast<std::size_t>(opts.split_count);
+  const auto write = [&](const scan::ScanArchive& archive,
+                         const std::string& name) {
+    const auto path = std::filesystem::path(opts.split_dir) / name;
+    const std::string tmp = path.string() + ".tmp";
+    if (!scan::save_archive_file(archive, tmp)) {
+      std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    std::error_code rename_ec;
+    std::filesystem::rename(tmp, path, rename_ec);
+    if (rename_ec) {
+      std::fprintf(stderr, "cannot rename %s: %s\n", tmp.c_str(),
+                   rename_ec.message().c_str());
+      return false;
+    }
+    std::fprintf(stderr, "wrote %s: %zu certs, %zu scans\n",
+                 path.c_str(), archive.certs().size(),
+                 archive.scans().size());
+    return true;
+  };
+  if (!write(corpus::extract_segment(full, 0, base_count), "base.smar")) {
+    return 1;
+  }
+  for (std::size_t k = 0; k < opts.split_count; ++k) {
+    char name[40];
+    std::snprintf(name, sizeof name, "segment-%03zu.smar", k + 1);
+    if (!write(corpus::extract_segment(full, base_count + k,
+                                       base_count + k + 1),
+               name)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int run_ingest_server(const Options& opts, tools::LoadedCorpus corpus) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(opts.ingest_dir, ec)) {
+    std::fprintf(stderr, "--ingest: %s is not a directory\n",
+                 opts.ingest_dir.c_str());
+    return 2;
+  }
+  const net::RoutingHistory* routing = corpus.routing();
+  const auto begin = std::chrono::steady_clock::now();
+  corpus::LiveCorpus live(take_archive(corpus), routing, nullptr);
+  const auto snap0 = live.snapshot();
+  std::fprintf(stderr, "live corpus: epoch 0 over %zu scans, %zu "
+               "certificates in %.2fs\n",
+               snap0->spine->scan_count(), snap0->spine->cert_count(),
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count());
+
+  notary::NotaryServiceConfig service_config;
+  service_config.cache_bytes = opts.cache_mb << 20;
+  notary::NotaryService service(build_epoch_index(*snap0), service_config);
+
+  netio::ServerConfig config;
+  config.bind_address = opts.bind_address;
+  config.port = opts.port;
+  config.workers = opts.threads;
+  config.idle_timeout_ms = opts.idle_ms;
+  netio::TcpServer server(config, [&service](netio::FrameType type,
+                                             std::string_view payload) {
+    return service.handle(type, payload);
+  });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::fprintf(stderr,
+               "sm_notaryd listening on %s:%u, ingesting %s every %dms\n",
+               opts.bind_address.c_str(), server.port(),
+               opts.ingest_dir.c_str(), opts.ingest_poll_ms);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] { poll_ingest_dir(opts, live, service, stop); });
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "signal received, draining...\n");
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  server.shutdown();
+  std::fputs(service.render_stats().c_str(), stderr);
+  std::fputs(service.render_snapshot_info().c_str(), stderr);
+  return 0;
+}
+
+int run_ingest_bench(const Options& opts, tools::LoadedCorpus corpus) {
+  const net::RoutingHistory* routing = corpus.routing();
+  const scan::ScanArchive full = take_archive(corpus);
+  const std::size_t segments = opts.ingest_bench;
+  if (full.scans().size() < segments + 1) {
+    std::fprintf(stderr,
+                 "--ingest-bench %zu needs a corpus with more than %zu "
+                 "scans (have %zu)\n",
+                 segments, segments, full.scans().size());
+    return 2;
+  }
+  const std::size_t base_scans = full.scans().size() - segments;
+
+  // Serialize the held-out scans as standalone segments up front, so the
+  // timed loop measures ingestion (parse + copy-on-append + spine/index
+  // rebuild + publish), not segment production.
+  std::vector<std::string> segment_bytes;
+  segment_bytes.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    std::ostringstream out;
+    if (!scan::save_archive(
+            corpus::extract_segment(full, base_scans + i, base_scans + i + 1),
+            out)) {
+      std::fprintf(stderr, "failed to serialize segment %zu\n", i);
+      return 1;
+    }
+    segment_bytes.push_back(std::move(out).str());
+  }
+
+  corpus::LiveCorpus live(corpus::extract_segment(full, 0, base_scans),
+                          routing, nullptr);
+  notary::NotaryServiceConfig service_config;
+  service_config.cache_bytes = opts.cache_mb << 20;
+  notary::NotaryService service(build_epoch_index(*live.snapshot()),
+                                service_config);
+
+  netio::ServerConfig config;
+  config.bind_address = "127.0.0.1";
+  config.port = 0;  // ephemeral: the bench is self-contained
+  config.workers = opts.threads;
+  config.idle_timeout_ms = opts.idle_ms;
+  netio::TcpServer server(config, [&service](netio::FrameType type,
+                                             std::string_view payload) {
+    return service.handle(type, payload);
+  });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Query load for the whole run: every client walks the *full* corpus's
+  // fingerprints, so lookups hit certs from both the base and the not-
+  // yet-appended segments (kNotFound until their epoch lands).
+  std::atomic<bool> done{false};
+  std::atomic<bool> ingesting{false};
+  std::atomic<std::uint64_t> failures{0};
+  notary::LatencyHistogram overall;
+  notary::LatencyHistogram during_ingest;
+  std::vector<std::thread> clients;
+  clients.reserve(opts.clients);
+  for (std::size_t c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_tcp("127.0.0.1", server.port());
+      if (fd < 0) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      netio::FrameDecoder decoder;
+      netio::Frame response;
+      std::string payload(16, '\0');
+      const auto& certs = full.certs();
+      for (std::uint64_t q = c * 131;
+           !done.load(std::memory_order_relaxed); ++q) {
+        const auto& fp = certs[q % certs.size()].fingerprint;
+        payload.assign(reinterpret_cast<const char*>(fp.data()), fp.size());
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!send_all(fd, netio::encode_frame(netio::FrameType::kQuery,
+                                              payload)) ||
+            !read_frame(fd, decoder, response) ||
+            (response.type != netio::FrameType::kCertInfo &&
+             response.type != netio::FrameType::kNotFound)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const auto nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        overall.record(nanos);
+        if (ingesting.load(std::memory_order_relaxed)) {
+          during_ingest.record(nanos);
+        }
+      }
+      ::close(fd);
+    });
+  }
+
+  std::fprintf(stderr,
+               "ingest-bench: %zu base scans + %zu segments, %zu query "
+               "connections\n",
+               base_scans, segments, opts.clients);
+  std::vector<double> swap_seconds;
+  swap_seconds.reserve(segments);
+  bool append_failed = false;
+  for (std::size_t i = 0; i < segments; ++i) {
+    // Let the query load run against the settled epoch between swaps.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::istringstream in(segment_bytes[i]);
+    ingesting.store(true, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const corpus::AppendResult result = live.append_segment(in);
+    if (!result.ok) {
+      std::fprintf(stderr, "append %zu failed: %s\n", i,
+                   result.error.c_str());
+      append_failed = true;
+      ingesting.store(false, std::memory_order_relaxed);
+      break;
+    }
+    const auto snap = live.snapshot();
+    service.publish(build_epoch_index(*snap), snap->delta);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    ingesting.store(false, std::memory_order_relaxed);
+    swap_seconds.push_back(seconds);
+    std::fprintf(stderr,
+                 "  epoch %llu: +%zu certs, %zu changed, swap %.3fs\n",
+                 static_cast<unsigned long long>(snap->epoch),
+                 result.new_certs, result.delta_size, seconds);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  done.store(true, std::memory_order_relaxed);
+  for (auto& thread : clients) thread.join();
+  server.shutdown();
+
+  double swap_total = 0;
+  double swap_max = 0;
+  for (const double s : swap_seconds) {
+    swap_total += s;
+    swap_max = std::max(swap_max, s);
+  }
+  const auto all = overall.summarize();
+  const auto during = during_ingest.summarize();
+  std::printf("segments:   %zu appended, final epoch %llu\n",
+              swap_seconds.size(),
+              static_cast<unsigned long long>(live.epochs_published()));
+  if (!swap_seconds.empty()) {
+    std::printf("swap:       mean %.3fs  max %.3fs\n",
+                swap_total / static_cast<double>(swap_seconds.size()),
+                swap_max);
+  }
+  std::printf("queries:    %llu total (%llu failed)\n",
+              static_cast<unsigned long long>(all.count),
+              static_cast<unsigned long long>(
+                  failures.load(std::memory_order_relaxed)));
+  std::printf("rtt:        p50 %.1fus  p99 %.1fus  max %.1fus\n",
+              all.p50_us, all.p99_us, all.max_us);
+  std::printf("rtt-during-ingest: %llu queries, p50 %.1fus  p99 %.1fus\n",
+              static_cast<unsigned long long>(during.count), during.p50_us,
+              during.p99_us);
+  std::printf("\n%s%s", service.render_stats().c_str(),
+              service.render_snapshot_info().c_str());
+  return (!append_failed &&
+          failures.load(std::memory_order_relaxed) == 0)
+             ? 0
+             : 1;
+}
+
 int run_server(const Options& opts, notary::NotaryService& service) {
   netio::ServerConfig config;
   config.bind_address = opts.bind_address;
@@ -400,6 +817,13 @@ int main(int argc, char** argv) {
   if (opts->threads != 0) {
     util::ThreadPool::set_global_threads(opts->threads);
   }
+  if ((!opts->ingest_dir.empty() || opts->ingest_bench > 0) && opts->link) {
+    std::fprintf(stderr,
+                 "--link is incompatible with live ingestion: the "
+                 "iterative linker is corpus-global and cannot be "
+                 "maintained incrementally\n");
+    return 2;
+  }
 
   tools::CorpusSpec spec;
   spec.in_path = opts->in_path;
@@ -408,7 +832,18 @@ int main(int argc, char** argv) {
   spec.devices = opts->devices;
   spec.websites = opts->websites;
   spec.scale = opts->scale;
-  const tools::LoadedCorpus corpus = tools::load_or_simulate(spec);
+  tools::LoadedCorpus corpus = tools::load_or_simulate(spec);
+
+  if (opts->split_count > 0) {
+    return run_split_segments(*opts, std::move(corpus));
+  }
+  if (opts->ingest_bench > 0) {
+    return run_ingest_bench(*opts, std::move(corpus));
+  }
+  if (!opts->ingest_dir.empty()) {
+    return run_ingest_server(*opts, std::move(corpus));
+  }
+
   const scan::ScanArchive& archive = corpus.archive_ref();
 
   // One columnar spine over the corpus: the linker (under --link) and the
