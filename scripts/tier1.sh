@@ -3,7 +3,8 @@
 # ThreadSanitizer build exercising the concurrency-bearing tests
 # (thread pool, corpus spine, linking pipeline, dataset index, tracker,
 # parallel world simulation, batch verifier, notary epoll server +
-# loopback traffic, live-ingestion epoch swaps racing loopback queries),
+# loopback traffic, live-ingestion epoch swaps racing loopback queries,
+# sharded router deployment with backend kill/restart),
 # then an AddressSanitizer build running the archive I/O and notary-frame
 # corruption harnesses (exhaustive truncation + bit-flip sweeps over
 # hostile input) plus the world-determinism test.
@@ -34,11 +35,15 @@ ctest --test-dir build --output-on-failure -j
 tsan_tests=(thread_pool_test corpus_test linking_parallel_test linking_test
             analysis_test tracking_test util_test
             simworld_parallel_test batch_verifier_test
-            netio_test notary_test notary_loopback_test live_ingest_test)
+            netio_test notary_test notary_loopback_test live_ingest_test
+            router_test)
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier 1: TSan build (thread pool + linking/analysis/tracking + world/verify + notary) =="
   cmake -B build-tsan -S . -DSM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target "${tsan_tests[@]}" >/dev/null
+  # Suppressions cover the libstdc++ atomic<shared_ptr> internals (see
+  # the file's header); halt_on_error keeps a real report fatal.
+  export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan_suppressions.txt halt_on_error=1 ${TSAN_OPTIONS:-}"
   for t in "${tsan_tests[@]}"; do
     echo "-- $t (tsan)"
     ./build-tsan/tests/"$t" --gtest_brief=1
@@ -46,7 +51,8 @@ if [[ "$run_tsan" == 1 ]]; then
 fi
 
 asan_tests=(archive_corruption_test archive_io_test simworld_parallel_test
-            corpus_test netio_test notary_loopback_test live_ingest_test)
+            corpus_test netio_test notary_loopback_test live_ingest_test
+            router_test)
 if [[ "$run_asan" == 1 ]]; then
   echo "== tier 1: ASan build (archive I/O + notary-frame corruption harnesses + world determinism) =="
   cmake -B build-asan -S . -DSM_SANITIZE=address >/dev/null

@@ -167,4 +167,28 @@ scan::ScanArchive extract_segment(const scan::ScanArchive& full,
   return segment;
 }
 
+scan::ScanArchive extract_prefix_slice(const scan::ScanArchive& full,
+                                       std::uint8_t lo, std::uint8_t hi) {
+  scan::ScanArchive slice;
+  // Intern pass first, in original id order: a shard must know every
+  // in-range certificate the full corpus interned, observed or not.
+  std::vector<scan::CertId> local(full.certs().size(),
+                                  scan::CertId{0xffffffff});
+  for (std::size_t id = 0; id < full.certs().size(); ++id) {
+    const scan::CertRecord& cert = full.cert(static_cast<scan::CertId>(id));
+    if (cert.fingerprint[0] < lo || cert.fingerprint[0] > hi) continue;
+    local[id] = slice.intern(cert);
+  }
+  for (const scan::ScanData& scan : full.scans()) {
+    scan::ScanData copy;
+    copy.event = scan.event;
+    for (const scan::Observation& obs : scan.observations) {
+      if (local[obs.cert] == scan::CertId{0xffffffff}) continue;
+      copy.observations.push_back({local[obs.cert], obs.ip, obs.device});
+    }
+    slice.add_scan(std::move(copy));
+  }
+  return slice;
+}
+
 }  // namespace sm::corpus

@@ -122,4 +122,14 @@ class LiveCorpus {
 scan::ScanArchive extract_segment(const scan::ScanArchive& full,
                                   std::size_t first, std::size_t last);
 
+/// Builds the fingerprint-prefix slice of `full` for one notary shard:
+/// every certificate whose fingerprint's first byte lies in [lo, hi]
+/// (inclusive), re-interned densely in original id order — including
+/// interned-but-never-observed certificates, so the N slices of a
+/// partition cover the archive exactly. ALL scans are kept (with only
+/// the in-range observations), so each shard reports the same staleness
+/// bound (scan count, last scan start) as the unsliced corpus.
+scan::ScanArchive extract_prefix_slice(const scan::ScanArchive& full,
+                                       std::uint8_t lo, std::uint8_t hi);
+
 }  // namespace sm::corpus

@@ -1,0 +1,428 @@
+#include "netio/client_pool.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace sm::netio {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Poll ceiling so reader/prober threads notice shutdown on a silent
+// socket within one tick.
+constexpr int kTickMs = 100;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, kTickMs));
+}
+
+/// Connects with a bounded wait; returns -1 on any failure. The returned
+/// fd is blocking (writers use plain send loops bounded by SO_SNDTIMEO)
+/// and CLOEXEC.
+int connect_backend(const Endpoint& ep, int connect_timeout_ms,
+                    int send_timeout_ms) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd = {fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, connect_timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  timeval tv{};
+  tv.tv_sec = send_timeout_ms / 1000;
+  tv.tv_usec = (send_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // SO_SNDTIMEO expiry surfaces as EAGAIN: a dead peer
+  }
+  return true;
+}
+
+}  // namespace
+
+struct ClientPool::Impl {
+  struct Waiter {
+    std::promise<CallResult> promise;
+    Clock::time_point deadline;
+  };
+
+  // One pooled connection. Ownership discipline, so fd lifetime is
+  // single-writer: the fd transitions -1 -> live only by a caller (under
+  // `mutex`, and only while fd == -1, which implies the reader is parked
+  // and not touching fd/decoder), and live -> -1 only by the reader —
+  // except that a caller may close it directly when `waiters` is empty
+  // (the reader only runs its read phase with waiters in flight, so an
+  // empty deque means it is parked behind `mutex`). With waiters in
+  // flight a failing caller calls ::shutdown() instead and lets the
+  // reader observe the broken stream and clean up.
+  struct Conn {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int fd = -1;
+    FrameDecoder decoder;
+    std::deque<Waiter> waiters;
+    std::thread reader;
+    // Probe traffic is accounted in pings_ok/pings_failed only; a probe
+    // conn stays out of the data-path counters (requests, ok, errors,
+    // reconnects) so ROUTER-STATS error classes mean what they say.
+    bool is_probe = false;
+  };
+
+  struct Backend {
+    Endpoint endpoint;
+    std::vector<std::unique_ptr<Conn>> conns;  // round-robin data conns
+    std::unique_ptr<Conn> probe;  // prober-only, so a slow probe never
+                                  // queues behind (or fails) data calls
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> healthy{true};
+
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> connect_errors{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> io_errors{0};
+    std::atomic<std::uint64_t> pings_ok{0};
+    std::atomic<std::uint64_t> pings_failed{0};
+    std::atomic<std::uint64_t> mark_downs{0};
+    std::atomic<std::uint64_t> reconnects{0};
+  };
+
+  ClientPoolConfig config;
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::atomic<bool> stop{false};
+  std::thread prober;
+  std::mutex prober_mutex;
+  std::condition_variable prober_cv;
+
+  static void mark_down(Backend& b) {
+    if (b.healthy.exchange(false, std::memory_order_relaxed)) {
+      b.mark_downs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Fails and clears every in-flight waiter. Caller holds conn.mutex.
+  static void fail_waiters(Conn& conn, CallStatus status) {
+    for (Waiter& w : conn.waiters) {
+      w.promise.set_value(CallResult{status, {}});
+    }
+    conn.waiters.clear();
+  }
+
+  /// Reader-side teardown. Caller holds conn.mutex.
+  void break_connection(Backend& backend, Conn& conn, CallStatus status) {
+    if (!conn.is_probe) {
+      const std::uint64_t n = conn.waiters.size();
+      auto& counter = status == CallStatus::kTimeout ? backend.timeouts
+                                                     : backend.io_errors;
+      counter.fetch_add(n, std::memory_order_relaxed);
+    }
+    fail_waiters(conn, status);
+    ::close(conn.fd);
+    conn.fd = -1;
+    mark_down(backend);
+  }
+
+  void reader_loop(Backend& backend, Conn& conn) {
+    std::unique_lock lock(conn.mutex);
+    for (;;) {
+      conn.cv.wait(lock, [&] {
+        return stop.load(std::memory_order_acquire) ||
+               (conn.fd >= 0 && !conn.waiters.empty());
+      });
+      if (stop.load(std::memory_order_acquire)) break;
+      const int fd = conn.fd;
+      const Clock::time_point deadline = conn.waiters.front().deadline;
+      lock.unlock();
+
+      pollfd pfd = {fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (ready < 0 && errno != EINTR) {
+        lock.lock();
+        break_connection(backend, conn, CallStatus::kIoError);
+        continue;
+      }
+      if (ready <= 0) {
+        lock.lock();
+        if (Clock::now() >= deadline) {
+          // The oldest answer is overdue. Everything behind it on this
+          // connection is unidentifiable once the stream is abandoned,
+          // so the whole flight fails and the connection resets.
+          break_connection(backend, conn, CallStatus::kTimeout);
+        }
+        continue;
+      }
+
+      char buf[64 * 1024];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) {
+        lock.lock();
+        continue;
+      }
+      lock.lock();
+      if (n <= 0) {  // EOF or error: the stream is gone
+        break_connection(backend, conn, CallStatus::kIoError);
+        continue;
+      }
+      conn.decoder.feed(buf, static_cast<std::size_t>(n));
+      bool broken = false;
+      Frame frame;
+      while (!broken) {
+        const DecodeStatus status = conn.decoder.next(frame);
+        if (status == DecodeStatus::kNeedMore) break;
+        if (status == DecodeStatus::kMalformed || conn.waiters.empty()) {
+          // Garbage, or a response nobody asked for: correlation is
+          // positional, so the stream is unusable from here on.
+          break_connection(backend, conn, CallStatus::kIoError);
+          broken = true;
+          break;
+        }
+        Waiter waiter = std::move(conn.waiters.front());
+        conn.waiters.pop_front();
+        if (!conn.is_probe) {
+          backend.ok.fetch_add(1, std::memory_order_relaxed);
+        }
+        waiter.promise.set_value(CallResult{CallStatus::kOk, std::move(frame)});
+        frame = Frame{};
+      }
+    }
+    // Shutdown: resolve anything still in flight, release the socket.
+    fail_waiters(conn, CallStatus::kShutdown);
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+
+  std::future<CallResult> call_on_conn(Backend& backend, Conn& conn,
+                                       FrameType type,
+                                       std::string_view payload) {
+    std::promise<CallResult> promise;
+    std::future<CallResult> future = promise.get_future();
+    const std::string bytes = encode_frame(type, payload);
+
+    std::lock_guard lock(conn.mutex);
+    if (stop.load(std::memory_order_acquire)) {
+      promise.set_value(CallResult{CallStatus::kShutdown, {}});
+      return future;
+    }
+    if (conn.fd < 0) {
+      const int fd = connect_backend(backend.endpoint,
+                                     config.connect_timeout_ms,
+                                     config.request_timeout_ms);
+      if (fd < 0) {
+        if (!conn.is_probe) {
+          backend.connect_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        mark_down(backend);
+        promise.set_value(CallResult{CallStatus::kConnectFailed, {}});
+        return future;
+      }
+      conn.fd = fd;
+      conn.decoder = FrameDecoder(config.max_frame_payload);
+      if (!conn.is_probe) {
+        backend.reconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!send_all(conn.fd, bytes)) {
+      if (!conn.is_probe) {
+        backend.io_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      mark_down(backend);
+      if (conn.waiters.empty()) {
+        ::close(conn.fd);  // reader is parked: safe to take the fd down
+        conn.fd = -1;
+      } else {
+        ::shutdown(conn.fd, SHUT_RDWR);  // reader owns the teardown
+        conn.cv.notify_all();
+      }
+      promise.set_value(CallResult{CallStatus::kIoError, {}});
+      return future;
+    }
+    conn.waiters.push_back(
+        {std::move(promise),
+         Clock::now() + std::chrono::milliseconds(config.request_timeout_ms)});
+    conn.cv.notify_all();
+    return future;
+  }
+
+  void probe_loop() {
+    std::unique_lock lock(prober_mutex);
+    while (!stop.load(std::memory_order_acquire)) {
+      prober_cv.wait_for(
+          lock, std::chrono::milliseconds(config.ping_interval_ms),
+          [&] { return stop.load(std::memory_order_acquire); });
+      if (stop.load(std::memory_order_acquire)) break;
+      lock.unlock();
+      for (auto& backend : backends) {
+        if (stop.load(std::memory_order_acquire)) break;
+        std::future<CallResult> future =
+            call_on_conn(*backend, *backend->probe, FrameType::kPing, "hp");
+        const CallResult result = future.get();
+        if (result.ok() && result.response.type == FrameType::kPong) {
+          backend->pings_ok.fetch_add(1, std::memory_order_relaxed);
+          backend->healthy.store(true, std::memory_order_relaxed);
+        } else {
+          backend->pings_failed.fetch_add(1, std::memory_order_relaxed);
+          mark_down(*backend);
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  void start() {
+    for (auto& backend : backends) {
+      for (auto& conn : backend->conns) {
+        conn->reader = std::thread(
+            [this, b = backend.get(), c = conn.get()] { reader_loop(*b, *c); });
+      }
+      backend->probe->reader = std::thread(
+          [this, b = backend.get()] { reader_loop(*b, *b->probe); });
+    }
+    if (config.ping_interval_ms > 0) {
+      prober = std::thread([this] { probe_loop(); });
+    }
+  }
+
+  void shutdown() {
+    stop.store(true, std::memory_order_release);
+    prober_cv.notify_all();
+    const auto poke = [](Conn& conn) {
+      std::lock_guard lock(conn.mutex);
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+      conn.cv.notify_all();
+    };
+    for (auto& backend : backends) {
+      for (auto& conn : backend->conns) poke(*conn);
+      poke(*backend->probe);
+    }
+    for (auto& backend : backends) {
+      for (auto& conn : backend->conns) {
+        if (conn->reader.joinable()) conn->reader.join();
+      }
+      if (backend->probe->reader.joinable()) backend->probe->reader.join();
+    }
+    if (prober.joinable()) prober.join();
+  }
+};
+
+ClientPool::ClientPool(std::vector<Endpoint> backends,
+                       ClientPoolConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+  if (impl_->config.connections_per_backend == 0) {
+    impl_->config.connections_per_backend = 1;
+  }
+  for (Endpoint& endpoint : backends) {
+    auto backend = std::make_unique<Impl::Backend>();
+    backend->endpoint = std::move(endpoint);
+    for (std::size_t i = 0; i < impl_->config.connections_per_backend; ++i) {
+      backend->conns.push_back(std::make_unique<Impl::Conn>());
+    }
+    backend->probe = std::make_unique<Impl::Conn>();
+    backend->probe->is_probe = true;
+    impl_->backends.push_back(std::move(backend));
+  }
+  impl_->start();
+}
+
+ClientPool::~ClientPool() { impl_->shutdown(); }
+
+std::size_t ClientPool::backend_count() const {
+  return impl_->backends.size();
+}
+
+const Endpoint& ClientPool::backend(std::size_t index) const {
+  return impl_->backends[index]->endpoint;
+}
+
+std::future<CallResult> ClientPool::call(std::size_t backend,
+                                         FrameType type,
+                                         std::string_view payload) {
+  Impl::Backend& b = *impl_->backends[backend];
+  b.requests.fetch_add(1, std::memory_order_relaxed);
+  Impl::Conn& conn =
+      *b.conns[b.next.fetch_add(1, std::memory_order_relaxed) %
+               b.conns.size()];
+  return impl_->call_on_conn(b, conn, type, payload);
+}
+
+bool ClientPool::healthy(std::size_t backend) const {
+  return impl_->backends[backend]->healthy.load(std::memory_order_relaxed);
+}
+
+BackendCounters ClientPool::counters(std::size_t backend) const {
+  const Impl::Backend& b = *impl_->backends[backend];
+  BackendCounters out;
+  out.requests = b.requests.load(std::memory_order_relaxed);
+  out.ok = b.ok.load(std::memory_order_relaxed);
+  out.connect_errors = b.connect_errors.load(std::memory_order_relaxed);
+  out.timeouts = b.timeouts.load(std::memory_order_relaxed);
+  out.io_errors = b.io_errors.load(std::memory_order_relaxed);
+  out.pings_ok = b.pings_ok.load(std::memory_order_relaxed);
+  out.pings_failed = b.pings_failed.load(std::memory_order_relaxed);
+  out.mark_downs = b.mark_downs.load(std::memory_order_relaxed);
+  out.reconnects = b.reconnects.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sm::netio

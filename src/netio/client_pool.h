@@ -1,0 +1,121 @@
+// ClientPool — pooled, pipelined frame-protocol client connections, the
+// router tier's path to its backends.
+//
+//  * Each backend gets a fixed set of persistent connections. A call()
+//    picks one (round-robin), appends the request frame, and returns a
+//    future; many calls share one connection in flight (pipelining), so
+//    a single TCP stream amortizes syscalls and keeps the backend's
+//    epoll loop busy.
+//  * Correlation is FIFO per connection: the server answers every frame
+//    on the connection it arrived on, in arrival order, so the oldest
+//    unanswered call owns the next response. (No request ids on the
+//    wire — ordering IS the correlation scheme. Responses across
+//    *different* connections complete out of order freely.)
+//  * One reader thread per connection parses responses and completes
+//    futures; the oldest waiter's deadline is the connection's read
+//    timeout. A timeout, EOF, or malformed response fails every call in
+//    flight on that connection (their responses are unidentifiable once
+//    the stream is broken) and the connection reconnects lazily.
+//  * A prober thread kPings every backend on a fixed cadence and flips
+//    its health bit; callers can route around unhealthy backends and
+//    the prober's successful ping marks them back up.
+//  * Counters are per-backend and per-error-class, since-start
+//    (requests, ok, connect errors, timeouts, io errors, pings ok/
+//    failed, mark-downs, reconnects) — the ROUTER-STATS raw material.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netio/frame.h"
+
+namespace sm::netio {
+
+/// One backend address.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Pool tunables.
+struct ClientPoolConfig {
+  /// Persistent connections per backend.
+  std::size_t connections_per_backend = 2;
+  int connect_timeout_ms = 1'000;
+  /// Deadline for the oldest in-flight call on a connection; hitting it
+  /// fails everything queued behind it too.
+  int request_timeout_ms = 2'000;
+  /// Health-probe cadence; 0 disables the prober thread.
+  int ping_interval_ms = 200;
+  /// Response decoder ceiling. Batch responses aggregate many rendered
+  /// certificates, so this defaults well above the frame codec's
+  /// single-frame kMaxFramePayload.
+  std::size_t max_frame_payload = 32u << 20;
+};
+
+/// How a call() ended.
+enum class CallStatus {
+  kOk,            ///< response frame received
+  kConnectFailed, ///< could not establish a connection
+  kTimeout,       ///< oldest-waiter deadline expired
+  kIoError,       ///< send/recv error, EOF, or malformed response
+  kShutdown,      ///< pool destroyed with the call in flight
+};
+
+struct CallResult {
+  CallStatus status = CallStatus::kShutdown;
+  Frame response;  ///< valid only when status == kOk
+
+  bool ok() const { return status == CallStatus::kOk; }
+};
+
+/// Since-start, per-backend counters (relaxed atomics under the hood;
+/// this is the copied-out view).
+struct BackendCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t connect_errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t pings_ok = 0;
+  std::uint64_t pings_failed = 0;
+  std::uint64_t mark_downs = 0;   ///< healthy -> unhealthy transitions
+  std::uint64_t reconnects = 0;   ///< successful (re-)connects
+};
+
+/// The pool. Construct with the backend list, then call() from any
+/// thread. Destruction fails outstanding calls with kShutdown and joins
+/// every reader/prober thread.
+class ClientPool {
+ public:
+  ClientPool(std::vector<Endpoint> backends, ClientPoolConfig config = {});
+  ~ClientPool();
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  std::size_t backend_count() const;
+  const Endpoint& backend(std::size_t index) const;
+
+  /// Sends one request frame to `backend` and resolves the future when
+  /// its response arrives (or the call fails). Thread-safe; returns
+  /// immediately.
+  std::future<CallResult> call(std::size_t backend, FrameType type,
+                               std::string_view payload);
+
+  /// Current health bit: set by successful probes/calls, cleared by any
+  /// failure. A fresh pool reports healthy until proven otherwise.
+  bool healthy(std::size_t backend) const;
+
+  BackendCounters counters(std::size_t backend) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sm::netio

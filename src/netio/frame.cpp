@@ -5,7 +5,6 @@
 #include "util/crc32.h"
 
 namespace sm::netio {
-namespace {
 
 void put_u32le(std::string& out, std::uint32_t value) {
   out.push_back(static_cast<char>(value & 0xff));
@@ -21,19 +20,19 @@ std::uint32_t get_u32le(const char* p) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
 }
 
-}  // namespace
-
 bool is_known_frame_type(std::uint8_t value) {
   switch (static_cast<FrameType>(value)) {
     case FrameType::kQuery:
     case FrameType::kStats:
     case FrameType::kPing:
     case FrameType::kSnapshot:
+    case FrameType::kBatchQuery:
     case FrameType::kCertInfo:
     case FrameType::kNotFound:
     case FrameType::kStatsText:
     case FrameType::kPong:
     case FrameType::kSnapshotInfo:
+    case FrameType::kBatchInfo:
     case FrameType::kError:
       return true;
   }

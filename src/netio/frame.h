@@ -13,10 +13,12 @@
 //
 // Request frames a client may send: kQuery (payload = 16- or 32-byte
 // certificate fingerprint; 32-byte SHA-256 inputs are truncated to the
-// archive's 128-bit intern key), kStats (empty payload), kPing (arbitrary
-// payload, echoed), kSnapshot (empty payload; asks which index epoch is
-// serving). The server answers kCertInfo / kNotFound / kStatsText / kPong
-// / kSnapshotInfo, or kError with a human-readable reason. A frame that cannot be
+// archive's 128-bit intern key), kBatchQuery (u32le count + count 16-byte
+// fingerprints — one frame, many lookups, amortizing framing cost on the
+// hot path), kStats (empty payload), kPing (arbitrary payload, echoed),
+// kSnapshot (empty payload; asks which index epoch is serving). The server
+// answers kCertInfo / kNotFound / kBatchInfo / kStatsText / kPong /
+// kSnapshotInfo, or kError with a human-readable reason. A frame that cannot be
 // parsed at all (unknown type, oversized length, checksum mismatch) gets
 // one kError response and the connection is closed — framing is lost, so
 // the stream cannot be resynchronized — but the worker and every other
@@ -45,17 +47,24 @@ enum class FrameType : std::uint8_t {
   kStats = 0x02,      ///< metrics snapshot request
   kPing = 0x03,       ///< liveness probe; payload echoed back
   kSnapshot = 0x04,   ///< which index epoch is serving? (empty payload)
+  kBatchQuery = 0x05,  ///< many fingerprint lookups in one frame
   kCertInfo = 0x81,   ///< rendered certificate knowledge
   kNotFound = 0x82,   ///< fingerprint unknown to the notary
   kStatsText = 0x83,  ///< rendered metrics
   kPong = 0x84,       ///< ping echo
   kSnapshotInfo = 0x85,  ///< snapshot staleness bound ("as of scan N")
+  kBatchInfo = 0x86,  ///< per-entry answers to a kBatchQuery
   kError = 0xee,      ///< malformed/unsupported request; payload = reason
 };
 
 /// True for the byte values enumerated above (anything else on the wire is
 /// a framing error).
 bool is_known_frame_type(std::uint8_t value);
+
+/// Little-endian u32 helpers, shared by the frame codec and the batch
+/// payload format layered on top of it (notary/batch.h).
+void put_u32le(std::string& out, std::uint32_t value);
+std::uint32_t get_u32le(const char* p);
 
 /// One decoded (or to-be-encoded) frame.
 struct Frame {

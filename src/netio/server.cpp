@@ -54,6 +54,7 @@ struct TcpServer::Impl {
     std::string outbuf;
     std::size_t out_off = 0;  // bytes of outbuf already sent
     bool close_after_flush = false;
+    bool discard_input = false;  // half-closed; draining input to EOF
     bool reading = true;    // EPOLLIN armed
     bool writing = false;   // EPOLLOUT armed
     Clock::time_point last_activity = Clock::now();
@@ -75,8 +76,10 @@ struct TcpServer::Impl {
     std::atomic<std::uint64_t> malformed{0};
     std::atomic<std::uint64_t> closed{0};
     std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> idle_exempted{0};
     std::atomic<std::uint64_t> bp_pauses{0};
     std::atomic<std::uint64_t> bp_resumes{0};
+    std::atomic<std::uint64_t> lingering{0};
   };
 
   ServerConfig config;
@@ -109,8 +112,8 @@ struct TcpServer::Impl {
       if (fds[1].revents != 0) break;  // shutdown requested
       if ((fds[0].revents & POLLIN) == 0) continue;
       for (;;) {
-        const int fd =
-            ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+        const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) {
           if (errno == EINTR) continue;
           if (is_fd_exhaustion(errno)) {
@@ -198,6 +201,27 @@ struct TcpServer::Impl {
     conn.outbuf.clear();
     conn.out_off = 0;
     if (conn.close_after_flush) {
+      // Closing while unread request bytes sit in the receive queue makes
+      // the kernel send RST, which destroys response bytes still in
+      // flight to the peer (a pipelining client mid-burst would lose the
+      // tail of a stream we just promised to flush). Probe the queue: if
+      // bytes are pending, half-close instead — FIN after the last
+      // response byte — and discard input until the peer's EOF completes
+      // the close (bounded by the idle sweep / drain deadline).
+      char probe;
+      if (::recv(fd, &probe, 1, MSG_PEEK) > 0) {
+        if (!conn.discard_input) {
+          conn.discard_input = true;
+          worker.lingering.fetch_add(1, std::memory_order_relaxed);
+          ::shutdown(fd, SHUT_WR);
+        }
+        // Re-arm unconditionally: the drain pass clears `reading` on
+        // every connection, including one already lingering.
+        conn.reading = true;  // EPOLLIN drives discard_until_eof
+        conn.writing = false;
+        update_interest(worker, fd, conn);
+        return true;
+      }
       close_connection(worker, fd);
       return false;
     }
@@ -216,6 +240,23 @@ struct TcpServer::Impl {
     }
     if (rearm) update_interest(worker, fd, conn);
     return true;
+  }
+
+  /// Consumes and discards input on a half-closed lingering connection;
+  /// the peer's EOF completes the close. Returns false when the
+  /// connection was closed. last_activity is deliberately not refreshed:
+  /// the idle sweep bounds how long a peer that never stops sending (or
+  /// never closes) can hold the lingering connection open.
+  bool discard_until_eof(Worker& worker, int fd) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      close_connection(worker, fd);  // EOF (or error): linger complete
+      return false;
+    }
   }
 
   /// Reads, decodes, and dispatches everything available on `fd`. Returns
@@ -308,7 +349,17 @@ struct TcpServer::Impl {
     const auto limit = std::chrono::milliseconds(config.idle_timeout_ms);
     std::vector<int> idle;
     for (const auto& [fd, conn] : worker.conns) {
-      if (now - conn->last_activity > limit) idle.push_back(fd);
+      if (now - conn->last_activity <= limit) continue;
+      // A connection stalled behind our own EPOLLOUT queue is not idle:
+      // the server still owes it bytes, and only reads/writes refresh
+      // last_activity, so reaping here would cut a response off
+      // mid-frame. Leave it to the kernel's write path — if the peer is
+      // truly gone, send() fails and close_connection runs then.
+      if (conn->unsent() > 0 && conn->writing) {
+        worker.idle_exempted.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      idle.push_back(fd);
     }
     for (const int fd : idle) {
       worker.idle_closed.fetch_add(1, std::memory_order_relaxed);
@@ -348,9 +399,14 @@ struct TcpServer::Impl {
         if ((events[i].events & EPOLLOUT) != 0) {
           if (!flush(worker, fd, conn)) continue;
         }
-        if ((events[i].events & EPOLLIN) != 0 && conn.reading &&
-            !drain_seen) {
-          if (!handle_input(worker, fd, conn)) continue;
+        if ((events[i].events & EPOLLIN) != 0) {
+          if (conn.discard_input) {
+            // Lingering half-closed connections drain input even while
+            // the server itself is draining.
+            if (!discard_until_eof(worker, fd)) continue;
+          } else if (conn.reading && !drain_seen) {
+            if (!handle_input(worker, fd, conn)) continue;
+          }
         }
       }
       if (adopt) adopt_pending(worker);
@@ -412,7 +468,12 @@ struct TcpServer::Impl {
       return false;
     };
 
-    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    // Every fd the server creates is CLOEXEC: the embedding tool may
+    // fork/exec helpers, and a leaked listen socket would hold the port
+    // open (and leaked epoll/event fds pin kernel resources) after
+    // shutdown for as long as the child lives.
+    listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (listen_fd < 0) return fail("socket");
     int one = 1;
     ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -432,7 +493,7 @@ struct TcpServer::Impl {
     ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     bound_port = ntohs(addr.sin_port);
 
-    stop_accept_fd = ::eventfd(0, EFD_NONBLOCK);
+    stop_accept_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (stop_accept_fd < 0) return fail("eventfd");
 
     std::size_t count = config.workers;
@@ -440,8 +501,8 @@ struct TcpServer::Impl {
     if (count == 0) count = 1;
     for (std::size_t i = 0; i < count; ++i) {
       auto worker = std::make_unique<Worker>();
-      worker->epoll_fd = ::epoll_create1(0);
-      worker->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+      worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+      worker->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
       if (worker->epoll_fd < 0 || worker->wake_fd < 0) {
         close_quietly(worker->epoll_fd);
         close_quietly(worker->wake_fd);
@@ -502,10 +563,14 @@ struct TcpServer::Impl {
           worker->malformed.load(std::memory_order_relaxed);
       out.idle_closed +=
           worker->idle_closed.load(std::memory_order_relaxed);
+      out.idle_exempted +=
+          worker->idle_exempted.load(std::memory_order_relaxed);
       out.backpressure_pauses +=
           worker->bp_pauses.load(std::memory_order_relaxed);
       out.backpressure_resumes +=
           worker->bp_resumes.load(std::memory_order_relaxed);
+      out.lingering_closes +=
+          worker->lingering.load(std::memory_order_relaxed);
     }
     return out;
   }

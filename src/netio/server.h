@@ -60,7 +60,16 @@ struct ServerCounters {
   std::uint64_t frames_handled = 0;     ///< well-formed frames dispatched
   std::uint64_t malformed_frames = 0;   ///< framing violations (1/connection)
   std::uint64_t idle_closed = 0;        ///< closed by the idle timeout
+  /// Idle-sweep passes that spared a connection because the server still
+  /// owed it queued response bytes (unsent() > 0 with EPOLLOUT armed).
+  std::uint64_t idle_exempted = 0;
   std::uint64_t accept_backoffs = 0;    ///< acceptor sleeps on fd exhaustion
+  /// Flush-complete closes that found unread request bytes still queued
+  /// and half-closed (FIN) instead: closing outright would have made the
+  /// kernel send RST, destroying response bytes still in flight to the
+  /// peer. The connection lingers, discarding input, until the peer's
+  /// EOF (bounded by the idle sweep / drain deadline).
+  std::uint64_t lingering_closes = 0;
   std::uint64_t backpressure_pauses = 0;   ///< reads paused (outbuf > max)
   /// Reads resumed with responses still queued (the half-drain
   /// hysteresis; resumes via a fully drained outbuf are not counted).

@@ -1,0 +1,89 @@
+#include "notary/batch.h"
+
+#include <cstring>
+
+namespace sm::notary {
+namespace {
+
+constexpr std::size_t kFpSize = sizeof(scan::CertFingerprint);
+
+bool is_response_status(std::uint8_t value) {
+  switch (static_cast<netio::FrameType>(value)) {
+    case netio::FrameType::kCertInfo:
+    case netio::FrameType::kNotFound:
+    case netio::FrameType::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string encode_batch_query(
+    const std::vector<scan::CertFingerprint>& fingerprints) {
+  std::string out;
+  out.reserve(4 + fingerprints.size() * kFpSize);
+  netio::put_u32le(out, static_cast<std::uint32_t>(fingerprints.size()));
+  for (const auto& fp : fingerprints) {
+    out.append(reinterpret_cast<const char*>(fp.data()), kFpSize);
+  }
+  return out;
+}
+
+bool parse_batch_query(std::string_view payload,
+                       std::vector<scan::CertFingerprint>& out) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t count = netio::get_u32le(payload.data());
+  if (count > kMaxBatchEntries) return false;
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * kFpSize) {
+    return false;
+  }
+  out.clear();
+  out.reserve(count);
+  const char* p = payload.data() + 4;
+  for (std::uint32_t i = 0; i < count; ++i, p += kFpSize) {
+    scan::CertFingerprint fp;
+    std::memcpy(fp.data(), p, kFpSize);
+    out.push_back(fp);
+  }
+  return true;
+}
+
+std::string encode_batch_info_header(std::uint32_t count) {
+  std::string out;
+  netio::put_u32le(out, count);
+  return out;
+}
+
+void append_batch_entry(std::string& payload, netio::FrameType status,
+                        std::string_view body) {
+  payload.push_back(static_cast<char>(status));
+  netio::put_u32le(payload, static_cast<std::uint32_t>(body.size()));
+  payload.append(body);
+}
+
+bool parse_batch_info(std::string_view payload, std::vector<BatchEntry>& out) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t count = netio::get_u32le(payload.data());
+  if (count > kMaxBatchEntries) return false;
+  out.clear();
+  out.reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 5) return false;
+    const std::uint8_t status = static_cast<std::uint8_t>(payload[off]);
+    if (!is_response_status(status)) return false;
+    const std::uint32_t len = netio::get_u32le(payload.data() + off + 1);
+    off += 5;
+    if (payload.size() - off < len) return false;
+    BatchEntry entry;
+    entry.status = static_cast<netio::FrameType>(status);
+    entry.body.assign(payload.data() + off, len);
+    out.push_back(std::move(entry));
+    off += len;
+  }
+  return off == payload.size();
+}
+
+}  // namespace sm::notary

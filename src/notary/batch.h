@@ -1,0 +1,71 @@
+// Batch query/response payload codec, layered on the frame protocol.
+//
+// kBatchQuery payload (all integers little-endian):
+//
+//   offset  size   field
+//   0       4      count (number of fingerprints; bounded by
+//                  kMaxBatchEntries)
+//   4       16*i   fingerprint[i]  (128-bit archive intern key)
+//
+// kBatchInfo payload: u32le count, then count entries of
+//
+//   offset  size   field
+//   0       1      status (a response FrameType byte: kCertInfo,
+//                  kNotFound, or kError — exactly the type the same
+//                  fingerprint would get as a standalone kQuery)
+//   1       4      length of body
+//   5       len    body (byte-identical to the standalone response
+//                  payload)
+//
+// Reusing response FrameType bytes as per-entry status makes "batch ==
+// sequence of singles" a literal byte property, which the router relies
+// on when it scatter/gathers sub-batches across shards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netio/frame.h"
+#include "scan/cert_record.h"
+
+namespace sm::notary {
+
+/// Ceiling on fingerprints per kBatchQuery frame. 4096 * 16 bytes stays
+/// comfortably below the frame codec's 1 MiB payload ceiling while the
+/// typical *response* (dozens of rendered lines per entry) is what
+/// actually bounds useful batch sizes.
+inline constexpr std::size_t kMaxBatchEntries = 4096;
+
+/// One decoded kBatchInfo entry: the response type and payload the
+/// fingerprint would have received as a standalone kQuery.
+struct BatchEntry {
+  netio::FrameType status = netio::FrameType::kError;
+  std::string body;
+
+  friend bool operator==(const BatchEntry&, const BatchEntry&) = default;
+};
+
+/// Serializes a kBatchQuery payload.
+std::string encode_batch_query(
+    const std::vector<scan::CertFingerprint>& fingerprints);
+
+/// Parses a kBatchQuery payload. Returns false (and leaves `out`
+/// unspecified) if the payload is truncated, oversized, has a count
+/// disagreeing with its size, or exceeds kMaxBatchEntries.
+bool parse_batch_query(std::string_view payload,
+                       std::vector<scan::CertFingerprint>& out);
+
+/// Appends one entry to a kBatchInfo payload under construction. Start
+/// from encode_batch_info_header(count).
+std::string encode_batch_info_header(std::uint32_t count);
+void append_batch_entry(std::string& payload, netio::FrameType status,
+                        std::string_view body);
+
+/// Parses a kBatchInfo payload. Returns false on any structural
+/// violation (truncated entry, trailing bytes, non-response status
+/// byte, count above kMaxBatchEntries).
+bool parse_batch_info(std::string_view payload, std::vector<BatchEntry>& out);
+
+}  // namespace sm::notary

@@ -23,11 +23,17 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
   scan_count_ = scans.size();
   last_scan_start_ = scans.empty() ? 0 : scans.back().event.start;
 
-  // Key-sharing degree: certificates per SPKI fingerprint.
-  std::unordered_map<scan::KeyFingerprint, std::uint32_t> key_counts;
-  key_counts.reserve(cert_count);
-  for (const scan::CertRecord& cert : certs) {
-    ++key_counts[cert.key_fingerprint];
+  // Key-sharing degree: certificates per SPKI fingerprint — over this
+  // archive, unless the caller supplies degrees computed over a larger
+  // corpus (the prefix-shard case, where the slice under-counts).
+  std::unordered_map<scan::KeyFingerprint, std::uint32_t> local_key_counts;
+  const auto* key_counts = options.key_counts;
+  if (key_counts == nullptr) {
+    local_key_counts.reserve(cert_count);
+    for (const scan::CertRecord& cert : certs) {
+      ++local_key_counts[cert.key_fingerprint];
+    }
+    key_counts = &local_key_counts;
   }
 
   // Per-certificate derivation over the shared spine's CSR and ASN
@@ -49,7 +55,7 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
       k.issuer_cn = record.issuer_cn;
       k.not_before = record.not_before;
       k.not_after = record.not_after;
-      k.key_sharing = key_counts.at(record.key_fingerprint);
+      k.key_sharing = key_counts->at(record.key_fingerprint);
 
       const auto id = static_cast<scan::CertId>(i);
       const std::span<const corpus::Obs> obs = corpus.observations(id);

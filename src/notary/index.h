@@ -84,6 +84,14 @@ struct NotaryIndexOptions {
   const std::vector<std::vector<scan::CertId>>* device_groups = nullptr;
   /// Pool for the parallel build; null = the process-global pool.
   util::ThreadPool* pool = nullptr;
+  /// Key-sharing degrees per SPKI fingerprint, computed over a larger
+  /// corpus than this index's archive (borrowed; must cover every key in
+  /// the archive). A fingerprint-prefix shard (sm_notaryd --shard-prefix)
+  /// must report the FULL corpus's degree — its slice alone under-counts
+  /// keys whose other holders live on other shards. Null = count over
+  /// the archive being indexed (the single-process case).
+  const std::unordered_map<scan::KeyFingerprint, std::uint32_t>* key_counts =
+      nullptr;
 };
 
 /// The immutable index: fingerprint -> CertKnowledge across `kShards`

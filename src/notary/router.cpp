@@ -1,0 +1,336 @@
+#include "notary/router.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "notary/batch.h"
+
+namespace sm::notary {
+namespace {
+
+std::string unavailable_reason(std::size_t shard,
+                               std::pair<std::uint8_t, std::uint8_t> range) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "shard %zu (prefix %u-%u) unavailable",
+                shard, range.first, range.second);
+  return buf;
+}
+
+}  // namespace
+
+struct RouterService::Impl {
+  struct Shard {
+    std::vector<std::size_t> backends;  // indices into the flat pool
+    std::atomic<std::size_t> next{0};   // replica round-robin cursor
+    std::atomic<std::uint64_t> unavailable{0};  // calls failed on every replica
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::unique_ptr<netio::ClientPool> pool;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> query_errors{0};
+  std::atomic<std::uint64_t> batch_queries{0};
+  std::atomic<std::uint64_t> batch_entries{0};
+  std::atomic<std::uint64_t> batch_entry_errors{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> pings{0};
+  std::atomic<std::uint64_t> stats_requests{0};
+  std::atomic<std::uint64_t> snapshot_requests{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+
+  std::size_t shard_of(std::uint8_t first_byte) const {
+    // Exact inverse of the lo = i*256/N partition, including when N does
+    // not divide 256.
+    return ((static_cast<std::size_t>(first_byte) + 1) * shards.size() - 1) /
+           256;
+  }
+
+  std::pair<std::uint8_t, std::uint8_t> shard_range(std::size_t i) const {
+    const std::size_t n = shards.size();
+    return {static_cast<std::uint8_t>(i * 256 / n),
+            static_cast<std::uint8_t>((i + 1) * 256 / n - 1)};
+  }
+
+  /// Replica order for one call: round-robin start, healthy replicas
+  /// first, unhealthy ones kept as last-resort tail (a marked-down
+  /// backend may have recovered between probes).
+  std::vector<std::size_t> replica_order(Shard& shard) {
+    const std::size_t n = shard.backends.size();
+    const std::size_t start =
+        shard.next.fetch_add(1, std::memory_order_relaxed) % n;
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b = shard.backends[(start + i) % n];
+      if (pool->healthy(b)) order.push_back(b);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b = shard.backends[(start + i) % n];
+      if (!pool->healthy(b)) order.push_back(b);
+    }
+    return order;
+  }
+
+  /// Forwards one frame to the shard, retrying across replicas. Returns
+  /// false if every replica failed.
+  bool forward(std::size_t shard_index, netio::FrameType type,
+               std::string_view payload, netio::Frame& out) {
+    Shard& shard = *shards[shard_index];
+    bool first = true;
+    for (const std::size_t backend : replica_order(shard)) {
+      if (!first) retries.fetch_add(1, std::memory_order_relaxed);
+      first = false;
+      netio::CallResult result = pool->call(backend, type, payload).get();
+      if (result.ok()) {
+        out = std::move(result.response);
+        return true;
+      }
+    }
+    shard.unavailable.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  netio::Frame handle_query(std::string_view payload) {
+    queries.fetch_add(1, std::memory_order_relaxed);
+    if (payload.empty()) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kError,
+              "query payload must carry at least the fingerprint's first "
+              "byte to route on"};
+    }
+    const std::size_t s =
+        shard_of(static_cast<std::uint8_t>(payload[0]));
+    netio::Frame response;
+    if (!forward(s, netio::FrameType::kQuery, payload, response)) {
+      query_errors.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kError,
+              unavailable_reason(s, shard_range(s))};
+    }
+    return response;  // backend bytes pass through verbatim
+  }
+
+  netio::Frame handle_batch(std::string_view payload) {
+    batch_queries.fetch_add(1, std::memory_order_relaxed);
+    std::vector<scan::CertFingerprint> fps;
+    if (!parse_batch_query(payload, fps)) {
+      bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kError,
+              "batch query payload must be a u32le count followed by "
+              "that many 16-byte fingerprints"};
+    }
+    batch_entries.fetch_add(fps.size(), std::memory_order_relaxed);
+
+    // Scatter: group entries by shard, remembering each one's original
+    // position so the gathered response preserves request order.
+    std::vector<std::vector<std::size_t>> positions(shards.size());
+    std::vector<std::vector<scan::CertFingerprint>> groups(shards.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      const std::size_t s = shard_of(fps[i][0]);
+      positions[s].push_back(i);
+      groups[s].push_back(fps[i]);
+    }
+
+    // One concurrent first attempt per shard; failures retry serially in
+    // the gather loop below (forward() handles the replica walk).
+    struct SubBatch {
+      std::size_t shard = 0;
+      std::string request;
+      std::future<netio::CallResult> first_attempt;
+    };
+    std::vector<SubBatch> subs;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (groups[s].empty()) continue;
+      SubBatch sub;
+      sub.shard = s;
+      sub.request = encode_batch_query(groups[s]);
+      const std::size_t backend = replica_order(*shards[s]).front();
+      sub.first_attempt =
+          pool->call(backend, netio::FrameType::kBatchQuery, sub.request);
+      subs.push_back(std::move(sub));
+    }
+
+    std::vector<BatchEntry> entries(fps.size());
+    for (SubBatch& sub : subs) {
+      const std::size_t count = positions[sub.shard].size();
+      std::vector<BatchEntry> shard_entries;
+      bool ok = false;
+      netio::CallResult first = sub.first_attempt.get();
+      if (first.ok() &&
+          first.response.type == netio::FrameType::kBatchInfo &&
+          parse_batch_info(first.response.payload, shard_entries) &&
+          shard_entries.size() == count) {
+        ok = true;
+      } else {
+        // First replica failed (or answered garbage): walk the rest.
+        netio::Frame response;
+        if (forward(sub.shard, netio::FrameType::kBatchQuery, sub.request,
+                    response) &&
+            response.type == netio::FrameType::kBatchInfo &&
+            parse_batch_info(response.payload, shard_entries) &&
+            shard_entries.size() == count) {
+          ok = true;
+        }
+      }
+      if (ok) {
+        for (std::size_t i = 0; i < count; ++i) {
+          entries[positions[sub.shard][i]] = std::move(shard_entries[i]);
+        }
+      } else {
+        batch_entry_errors.fetch_add(count, std::memory_order_relaxed);
+        const std::string reason =
+            unavailable_reason(sub.shard, shard_range(sub.shard));
+        for (const std::size_t pos : positions[sub.shard]) {
+          entries[pos] = {netio::FrameType::kError, reason};
+        }
+      }
+    }
+
+    std::string body =
+        encode_batch_info_header(static_cast<std::uint32_t>(entries.size()));
+    for (const BatchEntry& entry : entries) {
+      append_batch_entry(body, entry.status, entry.body);
+    }
+    return {netio::FrameType::kBatchInfo, std::move(body)};
+  }
+
+  netio::Frame handle_snapshot() {
+    snapshot_requests.fetch_add(1, std::memory_order_relaxed);
+    // Scatter to every shard; a shard's staleness bound is its own, so
+    // the aggregate view labels each section with the prefix range.
+    std::string body;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const auto range = shard_range(s);
+      char header[64];
+      std::snprintf(header, sizeof header, "shard %zu (prefix %u-%u):\n", s,
+                    range.first, range.second);
+      body += header;
+      netio::Frame response;
+      if (forward(s, netio::FrameType::kSnapshot, {}, response) &&
+          response.type == netio::FrameType::kSnapshotInfo) {
+        body += response.payload;
+      } else {
+        body += "unavailable\n";
+      }
+    }
+    return {netio::FrameType::kSnapshotInfo, std::move(body)};
+  }
+
+  std::string render_stats() const {
+    std::string out;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "router-stats\n"
+        "shards: %zu\n"
+        "requests: %" PRIu64 "\n"
+        "queries: %" PRIu64 " (failed %" PRIu64 ")\n"
+        "batch-queries: %" PRIu64 " (entries %" PRIu64 ", entry-errors %"
+        PRIu64 ")\n"
+        "retries: %" PRIu64 "\n"
+        "pings: %" PRIu64 "\n"
+        "stats-requests: %" PRIu64 "\n"
+        "snapshot-requests: %" PRIu64 "\n"
+        "bad-requests: %" PRIu64 "\n",
+        shards.size(), requests.load(std::memory_order_relaxed),
+        queries.load(std::memory_order_relaxed),
+        query_errors.load(std::memory_order_relaxed),
+        batch_queries.load(std::memory_order_relaxed),
+        batch_entries.load(std::memory_order_relaxed),
+        batch_entry_errors.load(std::memory_order_relaxed),
+        retries.load(std::memory_order_relaxed),
+        pings.load(std::memory_order_relaxed),
+        stats_requests.load(std::memory_order_relaxed),
+        snapshot_requests.load(std::memory_order_relaxed),
+        bad_requests.load(std::memory_order_relaxed));
+    out = buf;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const auto range = shard_range(s);
+      std::snprintf(buf, sizeof buf,
+                    "shard %zu (prefix %u-%u): unavailable %" PRIu64 "\n", s,
+                    range.first, range.second,
+                    shards[s]->unavailable.load(std::memory_order_relaxed));
+      out += buf;
+      for (const std::size_t b : shards[s]->backends) {
+        const netio::Endpoint& ep = pool->backend(b);
+        const netio::BackendCounters c = pool->counters(b);
+        std::snprintf(
+            buf, sizeof buf,
+            "  backend %s:%u: %s requests %" PRIu64 " ok %" PRIu64
+            " connect-errors %" PRIu64 " timeouts %" PRIu64 " io-errors %"
+            PRIu64 " pings-ok %" PRIu64 " pings-failed %" PRIu64
+            " mark-downs %" PRIu64 " reconnects %" PRIu64 "\n",
+            ep.host.c_str(), ep.port,
+            pool->healthy(b) ? "healthy" : "down", c.requests, c.ok,
+            c.connect_errors, c.timeouts, c.io_errors, c.pings_ok,
+            c.pings_failed, c.mark_downs, c.reconnects);
+        out += buf;
+      }
+    }
+    return out;
+  }
+};
+
+RouterService::RouterService(RouterConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  std::vector<netio::Endpoint> endpoints;
+  for (const RouterShard& shard : config.shards) {
+    auto impl_shard = std::make_unique<Impl::Shard>();
+    for (const netio::Endpoint& replica : shard.replicas) {
+      impl_shard->backends.push_back(endpoints.size());
+      endpoints.push_back(replica);
+    }
+    impl_->shards.push_back(std::move(impl_shard));
+  }
+  impl_->pool = std::make_unique<netio::ClientPool>(std::move(endpoints),
+                                                    config.pool);
+}
+
+RouterService::~RouterService() = default;
+
+netio::Frame RouterService::handle(netio::FrameType type,
+                                   std::string_view payload) {
+  impl_->requests.fetch_add(1, std::memory_order_relaxed);
+  switch (type) {
+    case netio::FrameType::kQuery:
+      return impl_->handle_query(payload);
+    case netio::FrameType::kBatchQuery:
+      return impl_->handle_batch(payload);
+    case netio::FrameType::kPing:
+      impl_->pings.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kPong, std::string(payload)};
+    case netio::FrameType::kStats:
+      impl_->stats_requests.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kStatsText, impl_->render_stats()};
+    case netio::FrameType::kSnapshot:
+      return impl_->handle_snapshot();
+    default:
+      impl_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return {netio::FrameType::kError, "unsupported request frame"};
+  }
+}
+
+std::size_t RouterService::shard_of(std::uint8_t first_byte) const {
+  return impl_->shard_of(first_byte);
+}
+
+std::size_t RouterService::shard_count() const {
+  return impl_->shards.size();
+}
+
+std::pair<std::uint8_t, std::uint8_t> RouterService::shard_range(
+    std::size_t index) const {
+  return impl_->shard_range(index);
+}
+
+std::string RouterService::render_stats() const {
+  return impl_->render_stats();
+}
+
+const netio::ClientPool& RouterService::pool() const { return *impl_->pool; }
+
+}  // namespace sm::notary

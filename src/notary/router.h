@@ -1,0 +1,76 @@
+// RouterService — the request handler of the notary routing tier. It
+// owns no corpus: every lookup is forwarded to one of N sm_notaryd
+// backends, each serving a fingerprint-prefix slice (see sm_notaryd
+// --shard-prefix), over a netio::ClientPool.
+//
+//  * Shard i owns first-byte prefixes [i*256/N, (i+1)*256/N). Routing a
+//    kQuery reads payload byte 0 — a truncated 32-byte SHA-256 keeps its
+//    first byte, so both query forms route identically.
+//  * A kBatchQuery is scattered: entries grouped by shard, one sub-batch
+//    per shard issued concurrently, responses gathered and reassembled
+//    in the original entry order. A shard that cannot answer turns into
+//    per-entry kError statuses; the rest of the batch still succeeds.
+//  * Each shard may have replicas. Calls prefer healthy replicas (the
+//    pool's kPing prober maintains the health bit) and retry a failed
+//    call once per remaining replica before giving up with kError
+//    "shard N (prefix LO-HI) unavailable".
+//  * kStats renders ROUTER-STATS: router-level counters plus, per shard
+//    and per backend, the pool's per-error-class counters since start.
+//  * handle() is thread-safe (shared state is atomics + the pool) but
+//    blocks the calling server worker for up to the pool's request
+//    timeout while the backend answers — size the router's worker count
+//    to the concurrency you need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netio/client_pool.h"
+#include "netio/frame.h"
+
+namespace sm::notary {
+
+/// One shard: the replicas that all serve the same prefix slice.
+struct RouterShard {
+  std::vector<netio::Endpoint> replicas;
+};
+
+struct RouterConfig {
+  std::vector<RouterShard> shards;  ///< shard i serves [i*256/N, (i+1)*256/N)
+  netio::ClientPoolConfig pool;
+};
+
+class RouterService {
+ public:
+  explicit RouterService(RouterConfig config);
+  ~RouterService();
+
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+
+  /// The netio::TcpServer handler: routes/scatters request frames to the
+  /// backends and returns the (re)assembled response.
+  netio::Frame handle(netio::FrameType type, std::string_view payload);
+
+  /// Which shard owns fingerprints starting with `first_byte`.
+  std::size_t shard_of(std::uint8_t first_byte) const;
+  std::size_t shard_count() const;
+  /// Inclusive first-byte prefix range [lo, hi] served by shard `index`.
+  std::pair<std::uint8_t, std::uint8_t> shard_range(std::size_t index) const;
+
+  /// The ROUTER-STATS text (also served for kStats frames).
+  std::string render_stats() const;
+
+  /// The underlying pool — health bits and per-backend counters, mainly
+  /// for tests and operator tooling.
+  const netio::ClientPool& pool() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sm::notary

@@ -1,11 +1,14 @@
 #include "notary/service.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "notary/batch.h"
 #include "util/datetime.h"
 #include "util/hex.h"
 #include "util/stats.h"
@@ -20,10 +23,19 @@ double bucket_upper_us(std::size_t bucket) {
 }  // namespace
 
 void LatencyHistogram::record(std::uint64_t nanos) {
-  std::size_t bucket =
+  const std::size_t bucket =
       static_cast<std::size_t>(std::bit_width(nanos | 1) - 1);
-  if (bucket >= kBuckets) bucket = kBuckets - 1;
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (bucket >= kBuckets) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+  // Relaxed running maximum: the CAS loop only spins while this sample is
+  // the new record, so the hot path is one load.
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
 }
 
 LatencyHistogram::Summary LatencyHistogram::summarize() const {
@@ -32,18 +44,26 @@ LatencyHistogram::Summary LatencyHistogram::summarize() const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     out.count += counts[i];
-    if (counts[i] != 0) out.max_us = bucket_upper_us(i);
   }
+  out.overflow = overflow_.load(std::memory_order_relaxed);
+  out.count += out.overflow;
   if (out.count == 0) return out;
+  out.max_us =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+      1000.0;
   const auto percentile = [&](double p) {
     const std::uint64_t rank = static_cast<std::uint64_t>(
         p * static_cast<double>(out.count - 1)) + 1;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
       seen += counts[i];
-      if (seen >= rank) return bucket_upper_us(i);
+      // The true maximum tightens a bucket's upper bound whenever the
+      // largest sample landed in (or below) this bucket.
+      if (seen >= rank) return std::min(bucket_upper_us(i), out.max_us);
     }
-    return bucket_upper_us(kBuckets - 1);
+    // The rank falls among overflow samples — past every bucket. The only
+    // honest bound left is the exact recorded maximum.
+    return out.max_us;
   };
   out.p50_us = percentile(0.50);
   out.p99_us = percentile(0.99);
@@ -187,6 +207,42 @@ netio::Frame NotaryService::handle(netio::FrameType type,
       }
       break;
     }
+    case netio::FrameType::kBatchQuery: {
+      batch_queries_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<scan::CertFingerprint> fps;
+      if (!parse_batch_query(payload, fps)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        response = {netio::FrameType::kError,
+                    "batch query payload must be a u32le count followed "
+                    "by that many 16-byte fingerprints"};
+        break;
+      }
+      batch_entries_.fetch_add(fps.size(), std::memory_order_relaxed);
+      // One acquire pins a single epoch for the whole batch, so every
+      // entry is answered from the same index — and byte-identical to
+      // what the same fingerprint would get as a standalone kQuery
+      // against that epoch.
+      const std::shared_ptr<const Snapshot> snap = snapshot();
+      std::string body =
+          encode_batch_info_header(static_cast<std::uint32_t>(fps.size()));
+      for (const scan::CertFingerprint& fp : fps) {
+        const CertKnowledge* k = snap->index->lookup(fp);
+        if (k == nullptr) {
+          not_found_.fetch_add(1, std::memory_order_relaxed);
+          append_batch_entry(
+              body, netio::FrameType::kNotFound,
+              util::hex_encode(util::BytesView(fp.data(), fp.size())));
+        } else {
+          found_.fetch_add(1, std::memory_order_relaxed);
+          const auto id =
+              static_cast<scan::CertId>(k - &snap->index->knowledge(0));
+          append_batch_entry(body, netio::FrameType::kCertInfo,
+                             rendered_response(fp, id, *k, snap->epoch));
+        }
+      }
+      response = {netio::FrameType::kBatchInfo, std::move(body)};
+      break;
+    }
     case netio::FrameType::kStats:
       stats_requests_.fetch_add(1, std::memory_order_relaxed);
       response = {netio::FrameType::kStatsText, render_stats()};
@@ -215,6 +271,8 @@ NotaryMetricsSnapshot NotaryService::metrics() const {
   NotaryMetricsSnapshot out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.queries = queries_.load(std::memory_order_relaxed);
+  out.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  out.batch_entries = batch_entries_.load(std::memory_order_relaxed);
   out.found = found_.load(std::memory_order_relaxed);
   out.not_found = not_found_.load(std::memory_order_relaxed);
   out.stats_requests = stats_requests_.load(std::memory_order_relaxed);
@@ -250,14 +308,20 @@ std::string NotaryService::render_snapshot_info() const {
 }
 
 std::string NotaryService::render_stats() const {
+  // One snapshot acquire serves BOTH index-size and snapshot-epoch: a
+  // second acquire (the old code took one here and another inside
+  // metrics()) could straddle a concurrent publish() and pair epoch N
+  // with epoch N+1's size.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
   const NotaryMetricsSnapshot m = metrics();
-  char buf[832];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "notary-stats\n"
       "index-size: %zu\n"
       "requests: %" PRIu64 "\n"
       "queries: %" PRIu64 " (found %" PRIu64 ", unknown %" PRIu64 ")\n"
+      "batch-queries: %" PRIu64 " (entries %" PRIu64 ")\n"
       "pings: %" PRIu64 "\n"
       "stats-requests: %" PRIu64 "\n"
       "bad-requests: %" PRIu64 "\n"
@@ -265,14 +329,17 @@ std::string NotaryService::render_stats() const {
       "latency-p50-us: %.3f\n"
       "latency-p99-us: %.3f\n"
       "latency-max-us: %.3f\n"
+      "latency-overflow: %" PRIu64 " (samples >= %.3f us)\n"
       "snapshot-epoch: %" PRIu64 "\n"
       "snapshot-swaps: %" PRIu64 "\n"
       "snapshot-requests: %" PRIu64 "\n"
       "cache-invalidations: %" PRIu64 "\n",
-      snapshot()->index->size(), m.requests, m.queries, m.found,
-      m.not_found, m.pings, m.stats_requests, m.bad_requests, m.cache_hits,
-      m.cache_misses, util::percent(m.cache_hit_rate()).c_str(),
-      m.latency.p50_us, m.latency.p99_us, m.latency.max_us, m.epoch,
+      snap->index->size(), m.requests, m.queries, m.found, m.not_found,
+      m.batch_queries, m.batch_entries, m.pings, m.stats_requests,
+      m.bad_requests, m.cache_hits, m.cache_misses,
+      util::percent(m.cache_hit_rate()).c_str(), m.latency.p50_us,
+      m.latency.p99_us, m.latency.max_us, m.latency.overflow,
+      bucket_upper_us(LatencyHistogram::kBuckets - 1), snap->epoch,
       m.snapshot_swaps, m.snapshot_requests, m.cache_invalidations);
   return buf;
 }

@@ -48,7 +48,11 @@ struct NotaryServiceConfig {
 
 /// Lock-free latency histogram: bucket b counts requests whose handling
 /// took [2^b, 2^(b+1)) nanoseconds. Percentile estimates report a bucket's
-/// upper bound, so they are deterministic in the counts.
+/// upper bound (never above the true maximum), so they are deterministic
+/// in the counts. Samples past the top bucket are counted separately as
+/// overflow instead of being clamped into it — clamping would let
+/// max_us/p99_us report the top bucket's bound as if it were a measured
+/// ceiling.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 48;
@@ -56,23 +60,30 @@ class LatencyHistogram {
   void record(std::uint64_t nanos);
 
   struct Summary {
-    std::uint64_t count = 0;
+    std::uint64_t count = 0;     ///< all samples, overflow included
+    std::uint64_t overflow = 0;  ///< samples >= 2^kBuckets ns
     double p50_us = 0;  ///< upper bound of the median bucket
     double p99_us = 0;
-    double max_us = 0;  ///< upper bound of the highest non-empty bucket
+    double max_us = 0;  ///< exact maximum recorded sample
   };
   Summary summarize() const;
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};  ///< relaxed running maximum
 };
 
 /// A point-in-time copy of the service counters.
 struct NotaryMetricsSnapshot {
   std::uint64_t requests = 0;       ///< all frames handled
   std::uint64_t queries = 0;        ///< kQuery frames
-  std::uint64_t found = 0;          ///< queries answered kCertInfo
-  std::uint64_t not_found = 0;      ///< queries answered kNotFound
+  std::uint64_t batch_queries = 0;  ///< kBatchQuery frames
+  std::uint64_t batch_entries = 0;  ///< fingerprints across all batches
+  /// Lookups answered kCertInfo / kNotFound — single queries and batch
+  /// entries both count, so found + not_found can exceed queries.
+  std::uint64_t found = 0;
+  std::uint64_t not_found = 0;
   std::uint64_t stats_requests = 0;
   std::uint64_t pings = 0;
   std::uint64_t snapshot_requests = 0;  ///< kSnapshot frames
@@ -175,6 +186,8 @@ class NotaryService {
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> batch_queries_{0};
+  std::atomic<std::uint64_t> batch_entries_{0};
   std::atomic<std::uint64_t> found_{0};
   std::atomic<std::uint64_t> not_found_{0};
   std::atomic<std::uint64_t> stats_requests_{0};

@@ -1,10 +1,12 @@
 // Tests for sm::netio: the frame codec (round-trips, incremental decode,
 // truncation/bit-flip rejection) and the epoll TcpServer (echo traffic,
 // pipelining, malformed-frame handling, idle timeouts, graceful drain).
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -583,6 +585,199 @@ TEST_F(EchoServerTest, PartialStartFailureLeaksNoFds) {
   Frame response;
   ASSERT_TRUE(client.read_frame(response));
   EXPECT_EQ(response.payload, "post-sweep");
+}
+
+namespace {
+
+// fd -> readlink target. Keyed on both so a *new* fd that recycles a
+// pre-existing number (e.g. the number this listing's own directory fd
+// frees) is still recognized as new.
+std::vector<std::pair<int, std::string>> list_open_fds() {
+  std::vector<std::pair<int, std::string>> fds;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    std::error_code ec;
+    const auto target = std::filesystem::read_symlink(entry.path(), ec);
+    if (!ec) fds.emplace_back(std::stoi(entry.path().filename().string()),
+                              target.string());
+  }
+  return fds;
+}
+
+}  // namespace
+
+// Regression: none of the server's fds (listen socket, eventfds, epoll
+// instances, accepted connections) carried FD_CLOEXEC, so every one of
+// them leaked into any child the host process forked — sm_notaryd's
+// shard/router deployments fork-exec freely. Every fd the server creates
+// after this snapshot must be close-on-exec.
+TEST_F(EchoServerTest, AllServerFdsAreCloexec) {
+  config_.workers = 2;
+  const auto before = list_open_fds();
+
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+  // An accepted connection adds the accept4'd fd to the set under test.
+  // Raw client socket (not LoopbackClient) so the test can mark its own
+  // fd CLOEXEC and then assert the property on *every* new fd.
+  const int client = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::string ping = encode_frame(FrameType::kPing, "fd-audit");
+  ASSERT_EQ(::send(client, ping.data(), ping.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(ping.size()));
+  char buf[256];
+  ASSERT_GT(::recv(client, buf, sizeof buf, 0), 0);  // conn fd exists now
+
+  std::size_t audited = 0;
+  for (const auto& [fd, target] : list_open_fds()) {
+    if (std::find(before.begin(), before.end(),
+                  std::make_pair(fd, target)) != before.end()) {
+      continue;  // pre-existing (stdio, gtest, ...), not ours to judge
+    }
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags < 0) continue;  // closed since listing (the /proc dir fd)
+    EXPECT_TRUE(flags & FD_CLOEXEC) << "fd " << fd << " leaks across exec";
+    ++audited;
+  }
+  // listen + stop eventfd + per-worker (epoll + wake) + conn + client.
+  EXPECT_GE(audited, 2 + 2 * config_.workers + 2);
+  ::close(client);
+  server.shutdown();
+}
+
+// Regression: sweep_idle reaped connections purely by last_activity, and
+// a backpressured connection whose peer drains slowly makes no write
+// progress — so the sweep cut off connections mid-response with unsent
+// bytes queued and EPOLLOUT armed. Such connections are now exempt (and
+// counted); only truly idle connections are reaped.
+TEST_F(EchoServerTest, IdleSweepSparesBackpressuredConnections) {
+  config_.workers = 1;
+  config_.idle_timeout_ms = 100;  // far below the time the pause lasts
+  config_.max_buffered_responses = 256 * 1024;
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  std::size_t wmem_max = 4u << 20;
+  {
+    std::ifstream wmem("/proc/sys/net/ipv4/tcp_wmem");
+    std::size_t lo = 0, def = 0, max = 0;
+    if (wmem >> lo >> def >> max && max > 0) wmem_max = max;
+  }
+
+  // Enough response bytes to fill the kernel buffers (forcing EAGAIN,
+  // which arms EPOLLOUT) and then the outbuf cap (forcing the pause).
+  // Encoded BEFORE connecting: under sanitizers the CRC/concat work takes
+  // longer than idle_timeout_ms, and the sweep would reap a connection
+  // that had not yet sent its first byte.
+  const std::string payload = sample_payload(16 * 1024);
+  const int kFrames = static_cast<int>(
+      (wmem_max + 8 * config_.max_buffered_responses) / payload.size());
+  std::string burst;
+  burst.reserve(static_cast<std::size_t>(kFrames) * (payload.size() + 16));
+  for (int i = 0; i < kFrames; ++i) {
+    burst += encode_frame(FrameType::kPing, payload);
+  }
+
+  LoopbackClient client(server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(client.connected());
+  std::thread writer([&] { client.send_raw(burst); });
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.counters().backpressure_pauses == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // EXPECT (not ASSERT) throughout: the drain below must run even on
+  // failure so `writer` unblocks and joins instead of hitting terminate.
+  EXPECT_GE(server.counters().backpressure_pauses, 1u);
+
+  // Sit through several idle periods without reading: the sweep must see
+  // the stalled-but-backpressured connection and spare it.
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.counters().idle_exempted == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.counters().idle_exempted, 1u);
+
+  // The connection survived: every queued response is still deliverable.
+  Frame response;
+  int received = 0;
+  for (; received < kFrames; ++received) {
+    if (!client.read_frame(response)) break;
+    ASSERT_EQ(response.type, FrameType::kPong);
+  }
+  writer.join();
+  EXPECT_EQ(received, kFrames);
+  server.shutdown();
+  EXPECT_EQ(server.counters().frames_handled,
+            static_cast<std::uint64_t>(kFrames));
+}
+
+// A graceful drain must deliver every response already queued on a
+// backpressured connection — the peer is reading, just slowly — before
+// closing, rather than cutting the stream at the first sweep.
+TEST_F(EchoServerTest, DrainFlushesBackpressuredOutbufBeforeDeadline) {
+  config_.workers = 1;
+  config_.max_buffered_responses = 256 * 1024;
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  std::size_t wmem_max = 4u << 20;
+  {
+    std::ifstream wmem("/proc/sys/net/ipv4/tcp_wmem");
+    std::size_t lo = 0, def = 0, max = 0;
+    if (wmem >> lo >> def >> max && max > 0) wmem_max = max;
+  }
+
+  LoopbackClient client(server.port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(client.connected());
+  const std::string payload = sample_payload(16 * 1024);
+  const int kFrames = static_cast<int>(
+      (wmem_max + 8 * config_.max_buffered_responses) / payload.size());
+  std::thread writer([&] {
+    std::string burst;
+    for (int i = 0; i < kFrames; ++i) {
+      burst += encode_frame(FrameType::kPing, payload);
+    }
+    client.send_raw(burst);
+  });
+
+  // Initiate the drain while responses are still queued server-side.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.counters().backpressure_pauses == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(server.counters().backpressure_pauses, 1u);
+  std::thread drainer([&] { server.shutdown(); });
+
+  // The draining server delivers every response it accepted, then EOF —
+  // even when it paused reading mid-burst and our unread request bytes
+  // are still queued on its side (the lingering half-close; closing
+  // outright there would RST and destroy the in-flight response tail).
+  std::vector<Frame> frames;
+  EXPECT_TRUE(client.read_until_eof(frames));
+  writer.join();
+  // Complete the linger: our EOF lets the server close instead of
+  // holding the connection until the drain deadline.
+  client.shutdown_write();
+  drainer.join();
+  const std::uint64_t handled = server.counters().frames_handled;
+  EXPECT_EQ(frames.size(), handled);
+  for (const Frame& frame : frames) {
+    EXPECT_EQ(frame.type, FrameType::kPong);
+  }
+  EXPECT_EQ(server.counters().connections_closed,
+            server.counters().connections_accepted);
 }
 
 }  // namespace

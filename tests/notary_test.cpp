@@ -4,13 +4,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/corpus_index.h"
+#include "corpus/live.h"
 #include "net/ipv4.h"
+#include "notary/batch.h"
 #include "notary/index.h"
 #include "notary/service.h"
 #include "simworld/world.h"
@@ -352,6 +360,182 @@ TEST(LatencyHistogram, PercentilesAreMonotoneAndBounded) {
   EXPECT_GT(summary.p50_us, 0.0);
   EXPECT_LE(summary.p50_us, summary.p99_us);
   EXPECT_LE(summary.p99_us, summary.max_us);
+}
+
+// Regression: max_us reported the top of the maximum sample's *bucket*,
+// not the sample — a 3ms request showed up as 4.194ms. The histogram now
+// tracks the exact maximum alongside the buckets.
+TEST(LatencyHistogram, MaxReportsExactSampleNotBucketBound) {
+  LatencyHistogram histogram;
+  histogram.record(1'500);
+  histogram.record(3'000'000);  // 3ms: bucket [2^21, 2^22) ns
+  const auto summary = histogram.summarize();
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_DOUBLE_EQ(summary.max_us, 3'000.0);
+  EXPECT_LE(summary.p99_us, summary.max_us);
+}
+
+// Regression: samples past the top bucket were silently clamped *into*
+// it, so a pathological multi-day stall was indistinguishable from a
+// sample at the top bucket's bound — and the count lied about where the
+// tail mass lives. Overflow is now counted separately and max_us still
+// reports the true sample.
+TEST(LatencyHistogram, OverflowSamplesAreCountedNotClamped) {
+  LatencyHistogram histogram;
+  histogram.record(1'000);
+  const std::uint64_t huge = (std::uint64_t{1} << 50) + 12'345;
+  histogram.record(huge);  // >= 2^48 ns: past the last bucket
+  const auto summary = histogram.summarize();
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_EQ(summary.overflow, 1u);
+  EXPECT_DOUBLE_EQ(summary.max_us, static_cast<double>(huge) / 1000.0);
+  EXPECT_LE(summary.p99_us, summary.max_us);
+}
+
+// ---- batch queries -------------------------------------------------------
+
+TEST(BatchCodec, QueryAndInfoRoundTrip) {
+  std::vector<scan::CertFingerprint> fps(5);
+  for (std::size_t i = 0; i < fps.size(); ++i) fps[i].fill(i * 17);
+  std::vector<scan::CertFingerprint> parsed;
+  ASSERT_TRUE(parse_batch_query(encode_batch_query(fps), parsed));
+  EXPECT_EQ(parsed, fps);
+
+  std::string body = encode_batch_info_header(3);
+  append_batch_entry(body, netio::FrameType::kCertInfo, "status: valid\n");
+  append_batch_entry(body, netio::FrameType::kNotFound, "deadbeef");
+  append_batch_entry(body, netio::FrameType::kError, "shard down");
+  std::vector<BatchEntry> entries;
+  ASSERT_TRUE(parse_batch_info(body, entries));
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].status, netio::FrameType::kCertInfo);
+  EXPECT_EQ(entries[0].body, "status: valid\n");
+  EXPECT_EQ(entries[1].status, netio::FrameType::kNotFound);
+  EXPECT_EQ(entries[2].status, netio::FrameType::kError);
+  EXPECT_EQ(entries[2].body, "shard down");
+}
+
+TEST(BatchCodec, RejectsMalformedPayloads) {
+  std::vector<scan::CertFingerprint> fps(2);
+  const std::string good = encode_batch_query(fps);
+  std::vector<scan::CertFingerprint> out;
+  EXPECT_TRUE(parse_batch_query(good, out));
+  // Truncated, padded, count/size disagreement, count over the cap.
+  EXPECT_FALSE(parse_batch_query(good.substr(0, good.size() - 1), out));
+  EXPECT_FALSE(parse_batch_query(good + "x", out));
+  EXPECT_FALSE(parse_batch_query(good.substr(0, 3), out));
+  std::string oversized(4 + (kMaxBatchEntries + 1) * 16, '\0');
+  const std::uint32_t n = kMaxBatchEntries + 1;
+  std::memcpy(oversized.data(), &n, 4);
+  EXPECT_FALSE(parse_batch_query(oversized, out));
+
+  std::string info = encode_batch_info_header(1);
+  append_batch_entry(info, netio::FrameType::kCertInfo, "x");
+  std::vector<BatchEntry> entries;
+  EXPECT_TRUE(parse_batch_info(info, entries));
+  EXPECT_FALSE(parse_batch_info(info.substr(0, info.size() - 1), entries));
+  EXPECT_FALSE(parse_batch_info(info + "y", entries));
+  std::string bad_status = info;
+  bad_status[4] = 0x03;  // kPing is not a valid per-entry status
+  EXPECT_FALSE(parse_batch_info(bad_status, entries));
+}
+
+// The protocol promise: a kBatchQuery answers exactly what the same
+// fingerprints would get as standalone kQuery frames against the same
+// epoch — same statuses, byte-identical bodies, in request order.
+TEST(NotaryService, BatchEqualsSequenceOfSingles) {
+  const auto& world = micro_world();
+  const NotaryIndex index(micro_spine());
+  NotaryService service(index);
+
+  std::vector<scan::CertFingerprint> fps;
+  for (std::size_t i = 0; i < 8 && i < world.archive.certs().size(); ++i) {
+    fps.push_back(world.archive.cert(static_cast<scan::CertId>(i))
+                      .fingerprint);
+  }
+  scan::CertFingerprint missing{};
+  missing.fill(0xfe);
+  fps.insert(fps.begin() + 3, missing);  // a miss in the middle
+
+  const netio::Frame batched =
+      service.handle(netio::FrameType::kBatchQuery, encode_batch_query(fps));
+  ASSERT_EQ(batched.type, netio::FrameType::kBatchInfo);
+  std::vector<BatchEntry> entries;
+  ASSERT_TRUE(parse_batch_info(batched.payload, entries));
+  ASSERT_EQ(entries.size(), fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    const netio::Frame single =
+        service.handle(netio::FrameType::kQuery, fp_payload(fps[i]));
+    EXPECT_EQ(entries[i].status, single.type) << "entry " << i;
+    EXPECT_EQ(entries[i].body, single.payload) << "entry " << i;
+  }
+
+  const NotaryMetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.batch_queries, 1u);
+  EXPECT_EQ(m.batch_entries, fps.size());
+  // Singles + batch entries both land in found/not_found.
+  EXPECT_EQ(m.found + m.not_found, 2 * fps.size());
+  EXPECT_EQ(m.not_found, 2u);
+}
+
+TEST(NotaryService, MalformedBatchQueryAnswersError) {
+  const NotaryIndex index(micro_spine());
+  NotaryService service(index);
+  const netio::Frame response =
+      service.handle(netio::FrameType::kBatchQuery, "garbage");
+  EXPECT_EQ(response.type, netio::FrameType::kError);
+  EXPECT_EQ(service.metrics().bad_requests, 1u);
+}
+
+// Regression: render_stats() read the index size from one snapshot
+// acquire and the epoch from another (inside metrics()), so a publish()
+// landing between the two produced a stats dump pairing epoch N with
+// epoch N+1's index size. Two indexes of different sizes swapped in a
+// tight loop catch the tear: epoch parity determines which size must be
+// reported.
+TEST(NotaryService, RenderStatsPairsEpochWithThatEpochsIndexSize) {
+  const auto& world = micro_world();
+  // A second index with a different certificate count: the lower half of
+  // the fingerprint space (sliced from the same archive).
+  const scan::ScanArchive half_archive =
+      corpus::extract_prefix_slice(world.archive, 0, 127);
+  const corpus::CorpusIndex half_spine(half_archive, corpus::CorpusOptions{});
+  auto full = std::make_shared<const NotaryIndex>(micro_spine());
+  auto half = std::make_shared<const NotaryIndex>(half_spine);
+  ASSERT_NE(full->size(), half->size());
+
+  NotaryService service(full);
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    // Odd epochs carry the half index, even epochs the full one.
+    for (std::uint64_t e = 1; !stop.load(std::memory_order_relaxed); ++e) {
+      service.publish(e % 2 == 1 ? half : full, {});
+    }
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::uint64_t checked = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string stats = service.render_stats();
+    std::size_t size = 0;
+    std::uint64_t epoch = 0;
+    ASSERT_EQ(std::sscanf(stats.c_str(), "notary-stats\nindex-size: %zu",
+                          &size),
+              1);
+    const std::size_t at = stats.find("snapshot-epoch: ");
+    ASSERT_NE(at, std::string::npos);
+    ASSERT_EQ(std::sscanf(stats.c_str() + at, "snapshot-epoch: %" SCNu64,
+                          &epoch),
+              1);
+    const std::size_t expected =
+        epoch % 2 == 1 ? half->size() : full->size();
+    ASSERT_EQ(size, expected) << "torn stats at epoch " << epoch;
+    ++checked;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+  EXPECT_GT(checked, 100u);
 }
 
 }  // namespace

@@ -11,10 +11,22 @@
 //       With neither --in nor --archive, a world is simulated from
 //       --seed/--devices/--websites/--scale (handy for demos).
 //
+//   sm_notaryd --shard-prefix LO-HI|i/n ...
+//       Shard mode: serve only the certificates whose fingerprint's first
+//       byte lies in [LO, HI] (i/n expands to shard i's range under an
+//       n-way split). N such processes behind sm_notary_router
+//       partition the corpus; key-sharing degrees are still computed over
+//       the full corpus before slicing, so every shard's responses are
+//       byte-identical to an unsharded daemon's.
+//
 //   sm_notaryd --bench N [--clients C] ...
 //       Load-generator mode: serve on an ephemeral loopback port, drive N
-//       queries from C concurrent client connections, and report QPS and
-//       client-side latency percentiles plus the server's own STATS dump.
+//       lookups from C concurrent client connections, and report
+//       throughput and client-side latency percentiles. --bench-batch B
+//       groups lookups into kBatchQuery frames, --bench-zipf S draws
+//       fingerprints from a Zipf(S) popularity curve, and
+//       --bench-open-loop QPS switches to open-loop arrivals (latency
+//       measured from the scheduled send time, so queueing counts).
 //
 //   sm_notaryd --query HEX --port N [--host ADDR]
 //       One-shot client: look up a fingerprint (16- or 32-byte hex) on a
@@ -54,14 +66,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <random>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -72,6 +88,7 @@
 #include "linking/linker.h"
 #include "netio/frame.h"
 #include "netio/server.h"
+#include "notary/batch.h"
 #include "notary/index.h"
 #include "notary/service.h"
 #include "scan/archive_io.h"
@@ -101,6 +118,12 @@ struct Options {
   bool link = false;
   std::uint64_t bench = 0;
   std::size_t clients = 4;
+  std::size_t bench_batch = 0;   // fingerprints per kBatchQuery; 0 = singles
+  double bench_zipf = 0;         // Zipf exponent; 0 = uniform round-robin
+  double bench_open_loop = 0;    // target arrival rate (qps); 0 = closed loop
+  bool has_shard = false;        // --shard-prefix LO-HI
+  std::uint8_t shard_lo = 0;
+  std::uint8_t shard_hi = 255;
   std::string query_hex;
   std::string ingest_dir;
   int ingest_poll_ms = 500;
@@ -128,8 +151,18 @@ void usage() {
       "                 so --in or a simulated world)\n"
       "  --seed/--devices/--websites/--scale   simulate when no input "
       "given\n"
+      "  --shard-prefix LO-HI  serve only certificates whose fingerprint\n"
+      "                 first byte is in [LO, HI] (decimal 0-255; i/n\n"
+      "                 means shard i's range under an n-way split) —\n"
+      "                 the backend side of sm_notary_router; key-sharing\n"
+      "                 degrees still reflect the full corpus\n"
       "  --bench N      loopback load generator: N queries, then exit\n"
       "  --clients C    concurrent bench connections (default 4)\n"
+      "  --bench-batch M      group M fingerprints per kBatchQuery frame\n"
+      "  --bench-zipf S       Zipf(S)-distributed fingerprint popularity\n"
+      "                 (S > 0, e.g. 0.99) instead of a uniform sweep\n"
+      "  --bench-open-loop R  open-loop arrivals at R requests/s: sends\n"
+      "                 are scheduled, latency includes queue delay\n"
       "  --query HEX    one-shot client query against a running daemon\n"
       "  --host ADDR    server address for --query (default 127.0.0.1)\n"
       "  --ingest DIR   live mode: poll DIR for new .smar segments and\n"
@@ -145,6 +178,50 @@ void usage() {
 }
 
 using tools::parse_u64_or_die;
+
+double parse_positive_double_or_die(const char* flag, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value > 0) || value > 1e9) {
+    std::fprintf(stderr, "%s wants a positive number, got \"%s\"\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
+}
+
+std::pair<std::uint8_t, std::uint8_t> parse_prefix_range_or_die(
+    const char* text) {
+  // i/n: shard i of n, the range the router expects backend i to own.
+  const char* slash = std::strchr(text, '/');
+  if (slash != nullptr && slash != text && slash[1] != '\0') {
+    const std::uint64_t n = parse_u64_or_die("--shard-prefix", slash + 1,
+                                             256);
+    const std::uint64_t i =
+        parse_u64_or_die("--shard-prefix", std::string(text, slash).c_str(),
+                         255);
+    if (n >= 1 && i < n) {
+      return {static_cast<std::uint8_t>(i * 256 / n),
+              static_cast<std::uint8_t>((i + 1) * 256 / n - 1)};
+    }
+  }
+  const char* dash = std::strchr(text, '-');
+  if (dash != nullptr && dash != text && dash[1] != '\0') {
+    const std::uint64_t lo =
+        parse_u64_or_die("--shard-prefix", std::string(text, dash).c_str(),
+                         255);
+    const std::uint64_t hi = parse_u64_or_die("--shard-prefix", dash + 1,
+                                              255);
+    if (lo <= hi) {
+      return {static_cast<std::uint8_t>(lo), static_cast<std::uint8_t>(hi)};
+    }
+  }
+  std::fprintf(stderr,
+               "--shard-prefix wants LO-HI (first-byte range) or i/n "
+               "(shard i of n), got \"%s\"\n",
+               text);
+  std::exit(2);
+}
 
 std::optional<Options> parse(int argc, char** argv) {
   Options opts;
@@ -183,6 +260,18 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (arg == "--clients") {
       opts.clients = parse_u64_or_die("--clients", value(), 1024);
       if (opts.clients == 0) opts.clients = 1;
+    } else if (arg == "--bench-batch") {
+      opts.bench_batch = parse_u64_or_die("--bench-batch", value(),
+                                          notary::kMaxBatchEntries);
+    } else if (arg == "--bench-zipf") {
+      opts.bench_zipf = parse_positive_double_or_die("--bench-zipf", value());
+    } else if (arg == "--bench-open-loop") {
+      opts.bench_open_loop =
+          parse_positive_double_or_die("--bench-open-loop", value());
+    } else if (arg == "--shard-prefix") {
+      std::tie(opts.shard_lo, opts.shard_hi) =
+          parse_prefix_range_or_die(value());
+      opts.has_shard = true;
     } else if (arg == "--query") {
       opts.query_hex = value();
     } else if (arg == "--ingest") {
@@ -325,13 +414,45 @@ int run_bench(const Options& opts, notary::NotaryService& service,
     return 1;
   }
   const std::size_t clients = opts.clients;
-  const std::uint64_t per_client = (opts.bench + clients - 1) / clients;
+  const std::size_t batch = std::max<std::size_t>(opts.bench_batch, 1);
+  // Round requests up so every client issues whole frames.
+  const std::uint64_t frames_per_client =
+      (opts.bench + clients * batch - 1) / (clients * batch);
+
+  // Zipf(S) popularity over certificate ranks: one shared CDF, sampled
+  // per client by binary search. Rank r (1-based) gets weight r^-S —
+  // with S near 1 a few fingerprints dominate, which is what a notary
+  // fronting real TLS clients would see (and what makes the LRU earn
+  // its keep).
+  std::vector<double> zipf_cdf;
+  if (opts.bench_zipf > 0) {
+    zipf_cdf.resize(certs.size());
+    double total = 0;
+    for (std::size_t r = 0; r < certs.size(); ++r) {
+      total += std::pow(static_cast<double>(r + 1), -opts.bench_zipf);
+      zipf_cdf[r] = total;
+    }
+    for (double& v : zipf_cdf) v /= total;
+  }
+
+  // Open-loop arrivals: each client sends on a fixed schedule regardless
+  // of responses, so latency includes the queueing a closed loop hides
+  // (coordinated omission). Latency is measured from the *scheduled*
+  // send time.
+  const std::uint64_t interval_ns =
+      opts.bench_open_loop > 0
+          ? static_cast<std::uint64_t>(1e9 * static_cast<double>(clients) /
+                                       opts.bench_open_loop)
+          : 0;
+
   std::atomic<std::uint64_t> failures{0};
   notary::LatencyHistogram latency;
 
-  std::fprintf(stderr, "bench: %llu queries over %zu connections...\n",
-               static_cast<unsigned long long>(per_client * clients),
-               clients);
+  std::fprintf(
+      stderr, "bench: %llu lookups over %zu connections (batch %zu%s%s)...\n",
+      static_cast<unsigned long long>(frames_per_client * clients * batch),
+      clients, batch, opts.bench_zipf > 0 ? ", zipf" : "",
+      interval_ns > 0 ? ", open-loop" : "");
   const auto begin = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -339,21 +460,55 @@ int run_bench(const Options& opts, notary::NotaryService& service,
     threads.emplace_back([&, c] {
       const int fd = connect_tcp("127.0.0.1", server.port());
       if (fd < 0) {
-        failures.fetch_add(per_client, std::memory_order_relaxed);
+        failures.fetch_add(frames_per_client * batch,
+                           std::memory_order_relaxed);
         return;
       }
-      netio::FrameDecoder decoder;
+      netio::FrameDecoder decoder(32u << 20);  // batch responses are big
       netio::Frame response;
-      std::string payload(16, '\0');
-      for (std::uint64_t q = 0; q < per_client; ++q) {
-        const auto& fp = certs[(q * clients + c) % certs.size()].fingerprint;
-        payload.assign(reinterpret_cast<const char*>(fp.data()), fp.size());
-        const auto t0 = std::chrono::steady_clock::now();
-        if (!send_all(fd, netio::encode_frame(netio::FrameType::kQuery,
-                                              payload)) ||
-            !read_frame(fd, decoder, response) ||
-            response.type != netio::FrameType::kCertInfo) {
-          failures.fetch_add(1, std::memory_order_relaxed);
+      std::mt19937_64 rng(0x5eed0000 + c);
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      std::vector<scan::CertFingerprint> fps(batch);
+      std::uint64_t serial = 0;
+      const auto pick = [&]() -> const scan::CertFingerprint& {
+        std::size_t index;
+        if (!zipf_cdf.empty()) {
+          index = static_cast<std::size_t>(
+              std::upper_bound(zipf_cdf.begin(), zipf_cdf.end(),
+                               uniform(rng)) -
+              zipf_cdf.begin());
+          if (index >= certs.size()) index = certs.size() - 1;
+        } else {
+          index = (serial * clients + c) % certs.size();
+        }
+        ++serial;
+        return certs[index].fingerprint;
+      };
+      for (std::uint64_t q = 0; q < frames_per_client; ++q) {
+        std::string request;
+        if (opts.bench_batch > 0) {
+          for (std::size_t i = 0; i < batch; ++i) fps[i] = pick();
+          request = netio::encode_frame(netio::FrameType::kBatchQuery,
+                                        notary::encode_batch_query(fps));
+        } else {
+          const auto& fp = pick();
+          request = netio::encode_frame(
+              netio::FrameType::kQuery,
+              std::string_view(reinterpret_cast<const char*>(fp.data()),
+                               fp.size()));
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        if (interval_ns > 0) {
+          t0 = begin + std::chrono::nanoseconds(q * interval_ns +
+                                                c * interval_ns / clients);
+          std::this_thread::sleep_until(t0);
+        }
+        const netio::FrameType want = opts.bench_batch > 0
+                                          ? netio::FrameType::kBatchInfo
+                                          : netio::FrameType::kCertInfo;
+        if (!send_all(fd, request) || !read_frame(fd, decoder, response) ||
+            response.type != want) {
+          failures.fetch_add(batch, std::memory_order_relaxed);
           continue;
         }
         latency.record(static_cast<std::uint64_t>(
@@ -370,20 +525,24 @@ int run_bench(const Options& opts, notary::NotaryService& service,
           .count();
 
   const auto summary = latency.summarize();
-  std::printf("queries:    %llu ok, %llu failed in %.3fs\n",
-              static_cast<unsigned long long>(summary.count),
+  const std::uint64_t lookups_ok =
+      summary.count * static_cast<std::uint64_t>(batch);
+  std::printf("lookups:    %llu ok, %llu failed in %.3fs\n",
+              static_cast<unsigned long long>(lookups_ok),
               static_cast<unsigned long long>(
                   failures.load(std::memory_order_relaxed)),
               seconds);
-  std::printf("throughput: %.0f queries/s (%zu client connections, %zu "
-              "workers)\n",
+  std::printf("throughput: %.0f lookups/s, %.0f frames/s (%zu client "
+              "connections, %zu workers)\n",
+              static_cast<double>(lookups_ok) / seconds,
               static_cast<double>(summary.count) / seconds, clients,
               opts.threads == 0
                   ? static_cast<std::size_t>(
                         std::thread::hardware_concurrency())
                   : opts.threads);
-  std::printf("rtt:        p50 %.1fus  p99 %.1fus  max %.1fus\n",
-              summary.p50_us, summary.p99_us, summary.max_us);
+  std::printf("rtt:        p50 %.1fus  p99 %.1fus  max %.1fus%s\n",
+              summary.p50_us, summary.p99_us, summary.max_us,
+              interval_ns > 0 ? "  (from scheduled send)" : "");
 
   // The server's own view, through the protocol like any client.
   const int fd = connect_tcp("127.0.0.1", server.port());
@@ -824,6 +983,15 @@ int main(int argc, char** argv) {
                  "maintained incrementally\n");
     return 2;
   }
+  if (opts->has_shard &&
+      (opts->link || !opts->ingest_dir.empty() || opts->ingest_bench > 0 ||
+       opts->split_count > 0)) {
+    std::fprintf(stderr,
+                 "--shard-prefix serves a static slice; it is incompatible "
+                 "with --link, --ingest, --ingest-bench and "
+                 "--split-segments\n");
+    return 2;
+  }
 
   tools::CorpusSpec spec;
   spec.in_path = opts->in_path;
@@ -844,7 +1012,28 @@ int main(int argc, char** argv) {
     return run_ingest_server(*opts, std::move(corpus));
   }
 
-  const scan::ScanArchive& archive = corpus.archive_ref();
+  // --shard-prefix: this process serves only its fingerprint slice, but
+  // the key-sharing degree is a property of the FULL corpus (an SPKI's
+  // other holders live on other shards), so count keys before slicing
+  // and inject the full-corpus degrees into the shard's index build.
+  std::unordered_map<scan::KeyFingerprint, std::uint32_t> full_key_counts;
+  std::optional<scan::ScanArchive> shard_slice;
+  if (opts->has_shard) {
+    const scan::ScanArchive& full = corpus.archive_ref();
+    full_key_counts.reserve(full.certs().size());
+    for (const scan::CertRecord& cert : full.certs()) {
+      ++full_key_counts[cert.key_fingerprint];
+    }
+    shard_slice.emplace(
+        corpus::extract_prefix_slice(full, opts->shard_lo, opts->shard_hi));
+    std::fprintf(stderr,
+                 "shard: prefix %u-%u, %zu of %zu certificates\n",
+                 static_cast<unsigned>(opts->shard_lo),
+                 static_cast<unsigned>(opts->shard_hi),
+                 shard_slice->certs().size(), full.certs().size());
+  }
+  const scan::ScanArchive& archive =
+      shard_slice.has_value() ? *shard_slice : corpus.archive_ref();
 
   // One columnar spine over the corpus: the linker (under --link) and the
   // notary index both consume it; nothing below re-derives observations.
@@ -886,6 +1075,9 @@ int main(int argc, char** argv) {
   notary::NotaryIndexOptions index_options;
   if (!device_groups.empty()) {
     index_options.device_groups = &device_groups;
+  }
+  if (opts->has_shard) {
+    index_options.key_counts = &full_key_counts;
   }
   const notary::NotaryIndex index(spine, index_options);
   std::fprintf(stderr, "notary index: %zu certificates in %.2fs\n",
