@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Regression gate for the notary serving benchmarks: re-runs bench_notary
+# and bench_router and compares each benchmark family against the
+# committed baselines in bench-results/BENCH_notary.json and
+# BENCH_router.json.
+#
+# Tolerances by metric class:
+#   * items_per_second — one-sided lower bound. Wall-clock throughput on
+#     shared CI hardware is noisy, so a run only fails when it drops
+#     below RATIO (default 0.60) of the committed number. Regressions
+#     hide in noise; collapses do not.
+#   * allocs_per_query — exact. The allocation count of a deterministic
+#     code path is a property of the code, not the machine; any drift is
+#     a real change and must be re-baselined deliberately.
+#   * send_syscalls_per_rtt — 2% band. Syscall counts are near-exact but
+#     flush timing can add the odd extra sendmsg at iteration edges.
+#
+# Benchmarks present in the run but absent from the baseline (new
+# families) are reported and skipped; benchmarks present in the baseline
+# but missing from the run fail the check (a silently-deleted benchmark
+# is a coverage regression).
+#
+# Usage: scripts/bench_check.sh [--ratio R] [-- extra benchmark args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ratio=0.60
+extra_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --ratio) ratio="$2"; shift 2 ;;
+    --) shift; extra_args=("$@"); break ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_notary bench_router >/dev/null
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+status=0
+for name in notary router; do
+  baseline="bench-results/BENCH_${name}.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "MISSING baseline $baseline" >&2
+    status=1
+    continue
+  fi
+  current="$tmpdir/BENCH_${name}.json"
+  echo "== bench_${name} (vs $baseline)"
+  ./build/bench/"bench_${name}" \
+      --benchmark_out="$current" --benchmark_out_format=json \
+      "${extra_args[@]}" >/dev/null
+  python3 - "$baseline" "$current" "$ratio" <<'PY' || status=1
+import json
+import sys
+
+baseline_path, current_path, ratio_text = sys.argv[1:4]
+ratio = float(ratio_text)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        out[row["name"]] = row
+    return out
+
+
+base = load(baseline_path)
+cur = load(current_path)
+failures = []
+
+for name, brow in sorted(base.items()):
+    crow = cur.get(name)
+    if crow is None:
+        failures.append(f"{name}: present in baseline but not in this run")
+        continue
+    bips = brow.get("items_per_second")
+    cips = crow.get("items_per_second")
+    if bips and cips:
+        floor = bips * ratio
+        verdict = "ok" if cips >= floor else "FAIL"
+        print(f"  {verdict:4s} {name}: {cips:,.0f} items/s "
+              f"(baseline {bips:,.0f}, floor {floor:,.0f})")
+        if cips < floor:
+            failures.append(
+                f"{name}: items_per_second {cips:,.0f} below floor "
+                f"{floor:,.0f} ({ratio:.2f} x baseline {bips:,.0f})")
+    # Counter classes: exact for allocation counts, 2% for syscalls.
+    for key, tol in (("allocs_per_query", 0.0),
+                     ("send_syscalls_per_rtt", 0.02)):
+        if key not in brow:
+            continue
+        if key not in crow:
+            failures.append(f"{name}: counter {key} vanished from the run")
+            continue
+        bval, cval = float(brow[key]), float(crow[key])
+        # Exact class: any difference fails. Banded class: only growth
+        # beyond the band fails (fewer syscalls is an improvement).
+        if tol == 0.0:
+            bad = cval != bval
+        else:
+            bad = cval > bval * (1.0 + tol) + 1e-9
+        verdict = "FAIL" if bad else "ok"
+        print(f"  {verdict:4s} {name}: {key} = {cval:g} "
+              f"(baseline {bval:g})")
+        if bad:
+            failures.append(
+                f"{name}: {key} {cval:g} vs baseline {bval:g} "
+                f"(tolerance {'exact' if tol == 0.0 else f'{tol:.0%}'})")
+
+for name in sorted(set(cur) - set(base)):
+    print(f"  new  {name}: no baseline, skipped")
+
+if failures:
+    print("bench_check FAILURES:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+PY
+done
+
+if [[ "$status" != 0 ]]; then
+  echo "bench check FAILED" >&2
+  exit 1
+fi
+echo "bench check OK"

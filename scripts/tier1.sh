@@ -13,16 +13,21 @@
 # sanitizer configs: any thread-count divergence in the simulated archive
 # bytes fails the pass.
 #
-# Usage: scripts/tier1.sh [--no-tsan] [--no-asan]
+# Usage: scripts/tier1.sh [--no-tsan] [--no-asan] [--bench]
+#   --bench additionally runs scripts/bench_check.sh (notary/router
+#   benchmarks vs the committed bench-results/ baselines) — opt-in
+#   because benchmark timings need a quiet machine to mean anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
+    --bench) run_bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -61,6 +66,11 @@ if [[ "$run_asan" == 1 ]]; then
     echo "-- $t (asan)"
     ./build-asan/tests/"$t" --gtest_brief=1
   done
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== tier 1: bench regression check (notary/router vs committed baselines) =="
+  scripts/bench_check.sh
 fi
 
 echo "tier 1 OK"

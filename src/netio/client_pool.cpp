@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -17,6 +18,8 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+
+#include "util/crc32.h"
 
 namespace sm::netio {
 namespace {
@@ -82,17 +85,67 @@ int connect_backend(const Endpoint& ep, int connect_timeout_ms,
   return fd;
 }
 
-bool send_all(int fd, std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
+void put_u32le_bytes(unsigned char* p, std::uint32_t value) {
+  p[0] = static_cast<unsigned char>(value & 0xff);
+  p[1] = static_cast<unsigned char>((value >> 8) & 0xff);
+  p[2] = static_cast<unsigned char>((value >> 16) & 0xff);
+  p[3] = static_cast<unsigned char>((value >> 24) & 0xff);
+}
+
+/// Encodes and sends a run of same-typed frames scatter/gather: per-frame
+/// header and CRC trailer live on the stack, payload bytes go straight
+/// from the caller's views — no frame string is ever materialized. Frames
+/// ship in sendmsg chunks of up to kSendChunk (3 iovecs each, well under
+/// IOV_MAX), resuming mid-iovec after partial sends.
+bool send_frames(int fd, FrameType type,
+                 std::span<const std::string_view> payloads) {
+  constexpr std::size_t kSendChunk = 64;
+  unsigned char headers[kSendChunk][kFrameHeaderSize];
+  unsigned char trailers[kSendChunk][kFrameTrailerSize];
+  iovec iov[kSendChunk * 3];
+  for (std::size_t base = 0; base < payloads.size(); base += kSendChunk) {
+    const std::size_t count = std::min(kSendChunk, payloads.size() - base);
+    std::size_t iovcnt = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string_view payload = payloads[base + i];
+      unsigned char* header = headers[i];
+      header[0] = static_cast<unsigned char>(type);
+      put_u32le_bytes(header + 1,
+                      static_cast<std::uint32_t>(payload.size()));
+      std::uint32_t crc = util::crc32(header, kFrameHeaderSize);
+      crc = util::crc32(payload.data(), payload.size(), crc);
+      put_u32le_bytes(trailers[i], crc);
+      iov[iovcnt++] = {header, kFrameHeaderSize};
+      if (!payload.empty()) {
+        iov[iovcnt++] = {const_cast<char*>(payload.data()), payload.size()};
+      }
+      iov[iovcnt++] = {trailers[i], kFrameTrailerSize};
+      total += kFrameHeaderSize + payload.size() + kFrameTrailerSize;
     }
-    if (n < 0 && errno == EINTR) continue;
-    return false;  // SO_SNDTIMEO expiry surfaces as EAGAIN: a dead peer
+    std::size_t iov_idx = 0;
+    std::size_t sent_total = 0;
+    while (sent_total < total) {
+      msghdr msg{};
+      msg.msg_iov = iov + iov_idx;
+      msg.msg_iovlen = iovcnt - iov_idx;
+      const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;  // SO_SNDTIMEO expiry surfaces as EAGAIN: dead peer
+      }
+      sent_total += static_cast<std::size_t>(n);
+      std::size_t sent = static_cast<std::size_t>(n);
+      while (sent > 0 && sent >= iov[iov_idx].iov_len) {
+        sent -= iov[iov_idx].iov_len;
+        ++iov_idx;
+      }
+      if (sent > 0) {
+        iov[iov_idx].iov_base =
+            static_cast<char*>(iov[iov_idx].iov_base) + sent;
+        iov[iov_idx].iov_len -= sent;
+      }
+    }
   }
   return true;
 }
@@ -252,17 +305,27 @@ struct ClientPool::Impl {
     }
   }
 
-  std::future<CallResult> call_on_conn(Backend& backend, Conn& conn,
-                                       FrameType type,
-                                       std::string_view payload) {
-    std::promise<CallResult> promise;
-    std::future<CallResult> future = promise.get_future();
-    const std::string bytes = encode_frame(type, payload);
+  /// Sends every payload as one pipelined flight on `conn`: one lock, one
+  /// vectored send, payloads.size() FIFO waiters. Futures are appended to
+  /// `out` in payload order. Any failure fails the whole batch — the
+  /// frames share one stream, so none of them can be answered once it
+  /// breaks.
+  void call_many_on_conn(Backend& backend, Conn& conn, FrameType type,
+                         std::span<const std::string_view> payloads,
+                         std::vector<std::future<CallResult>>& out) {
+    std::vector<std::promise<CallResult>> promises(payloads.size());
+    out.reserve(out.size() + promises.size());
+    for (auto& promise : promises) out.push_back(promise.get_future());
+    const auto fail_all = [&](CallStatus status) {
+      for (auto& promise : promises) {
+        promise.set_value(CallResult{status, {}});
+      }
+    };
 
     std::lock_guard lock(conn.mutex);
     if (stop.load(std::memory_order_acquire)) {
-      promise.set_value(CallResult{CallStatus::kShutdown, {}});
-      return future;
+      fail_all(CallStatus::kShutdown);
+      return;
     }
     if (conn.fd < 0) {
       const int fd = connect_backend(backend.endpoint,
@@ -270,11 +333,12 @@ struct ClientPool::Impl {
                                      config.request_timeout_ms);
       if (fd < 0) {
         if (!conn.is_probe) {
-          backend.connect_errors.fetch_add(1, std::memory_order_relaxed);
+          backend.connect_errors.fetch_add(promises.size(),
+                                           std::memory_order_relaxed);
         }
         mark_down(backend);
-        promise.set_value(CallResult{CallStatus::kConnectFailed, {}});
-        return future;
+        fail_all(CallStatus::kConnectFailed);
+        return;
       }
       conn.fd = fd;
       conn.decoder = FrameDecoder(config.max_frame_payload);
@@ -282,9 +346,10 @@ struct ClientPool::Impl {
         backend.reconnects.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (!send_all(conn.fd, bytes)) {
+    if (!send_frames(conn.fd, type, payloads)) {
       if (!conn.is_probe) {
-        backend.io_errors.fetch_add(1, std::memory_order_relaxed);
+        backend.io_errors.fetch_add(promises.size(),
+                                    std::memory_order_relaxed);
       }
       mark_down(backend);
       if (conn.waiters.empty()) {
@@ -294,14 +359,24 @@ struct ClientPool::Impl {
         ::shutdown(conn.fd, SHUT_RDWR);  // reader owns the teardown
         conn.cv.notify_all();
       }
-      promise.set_value(CallResult{CallStatus::kIoError, {}});
-      return future;
+      fail_all(CallStatus::kIoError);
+      return;
     }
-    conn.waiters.push_back(
-        {std::move(promise),
-         Clock::now() + std::chrono::milliseconds(config.request_timeout_ms)});
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(config.request_timeout_ms);
+    for (auto& promise : promises) {
+      conn.waiters.push_back({std::move(promise), deadline});
+    }
     conn.cv.notify_all();
-    return future;
+  }
+
+  std::future<CallResult> call_on_conn(Backend& backend, Conn& conn,
+                                       FrameType type,
+                                       std::string_view payload) {
+    const std::string_view payloads[1] = {payload};
+    std::vector<std::future<CallResult>> futures;
+    call_many_on_conn(backend, conn, type, payloads, futures);
+    return std::move(futures[0]);
   }
 
   void probe_loop() {
@@ -404,6 +479,20 @@ std::future<CallResult> ClientPool::call(std::size_t backend,
       *b.conns[b.next.fetch_add(1, std::memory_order_relaxed) %
                b.conns.size()];
   return impl_->call_on_conn(b, conn, type, payload);
+}
+
+std::vector<std::future<CallResult>> ClientPool::call_many(
+    std::size_t backend, FrameType type,
+    std::span<const std::string_view> payloads) {
+  std::vector<std::future<CallResult>> out;
+  if (payloads.empty()) return out;
+  Impl::Backend& b = *impl_->backends[backend];
+  b.requests.fetch_add(payloads.size(), std::memory_order_relaxed);
+  Impl::Conn& conn =
+      *b.conns[b.next.fetch_add(1, std::memory_order_relaxed) %
+               b.conns.size()];
+  impl_->call_many_on_conn(b, conn, type, payloads, out);
+  return out;
 }
 
 bool ClientPool::healthy(std::size_t backend) const {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -106,6 +107,16 @@ class ClientPool {
   /// immediately.
   std::future<CallResult> call(std::size_t backend, FrameType type,
                                std::string_view payload);
+
+  /// Pipelines payloads.size() same-typed request frames to `backend`
+  /// over ONE pooled connection in one vectored send: one lock, one
+  /// sendmsg batch, N FIFO-correlated futures (result i answers
+  /// payloads[i]). A send failure fails every call in the batch. The
+  /// frames are encoded scatter/gather straight from the payload views —
+  /// no per-call frame string is built.
+  std::vector<std::future<CallResult>> call_many(
+      std::size_t backend, FrameType type,
+      std::span<const std::string_view> payloads);
 
   /// Current health bit: set by successful probes/calls, cleared by any
   /// failure. A fresh pool reports healthy until proven otherwise.

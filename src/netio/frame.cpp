@@ -39,6 +39,29 @@ bool is_known_frame_type(std::uint8_t value) {
   return false;
 }
 
+void patch_u32le(std::string& out, std::size_t offset, std::uint32_t value) {
+  out[offset] = static_cast<char>(value & 0xff);
+  out[offset + 1] = static_cast<char>((value >> 8) & 0xff);
+  out[offset + 2] = static_cast<char>((value >> 16) & 0xff);
+  out[offset + 3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+std::uint32_t FrameWriter::finish() {
+  const std::size_t payload = out_.size() - start_ - kFrameHeaderSize;
+  patch_u32le(out_, start_ + 1, static_cast<std::uint32_t>(payload));
+  const std::uint32_t crc =
+      util::crc32(out_.data() + start_, out_.size() - start_);
+  put_u32le(out_, crc);
+  return crc;
+}
+
+void encode_frame_into(std::string& out, FrameType type,
+                       std::string_view payload) {
+  FrameWriter frame(out, type);
+  out.append(payload);
+  frame.finish();
+}
+
 std::string encode_frame(FrameType type, std::string_view payload) {
   std::string out;
   out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);

@@ -80,6 +80,45 @@ inline std::string encode_frame(const Frame& frame) {
   return encode_frame(frame.type, frame.payload);
 }
 
+/// Overwrites 4 bytes at `offset` with `value` (little-endian). The
+/// counterpart of put_u32le for length fields patched after the fact.
+void patch_u32le(std::string& out, std::size_t offset, std::uint32_t value);
+
+/// Builds one frame in place at the tail of an output buffer, so response
+/// bytes go straight into a connection's outbuf with no intermediate
+/// string. Usage:
+///
+///   FrameWriter frame(out, FrameType::kCertInfo);
+///   render_into(out);        // append payload bytes directly
+///   frame.finish();          // patches the size field, appends the CRC
+///
+/// finish() must be called exactly once, before anything else appends to
+/// `out`; it returns the frame's CRC32 (useful to cache alongside the
+/// payload so a later replay skips the checksum pass entirely).
+class FrameWriter {
+ public:
+  FrameWriter(std::string& out, FrameType type) : out_(out),
+                                                  start_(out.size()) {
+    out_.push_back(static_cast<char>(type));
+    out_.append(4, '\0');  // size, patched by finish()
+  }
+
+  /// Offset in the output buffer where the payload begins.
+  std::size_t payload_offset() const { return start_ + kFrameHeaderSize; }
+
+  std::uint32_t finish();
+
+ private:
+  std::string& out_;
+  std::size_t start_;
+};
+
+/// Appends a fully-encoded frame to `out` — byte-identical to
+/// `out += encode_frame(type, payload)` without the temporary string.
+/// `payload` must not alias `out` (appending may reallocate).
+void encode_frame_into(std::string& out, FrameType type,
+                       std::string_view payload);
+
 /// Outcome of one FrameDecoder::next call.
 enum class DecodeStatus {
   kNeedMore,   ///< no complete frame buffered yet

@@ -8,6 +8,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -46,20 +47,29 @@ void close_quietly(int fd) {
 }  // namespace
 
 struct TcpServer::Impl {
-  // One connection, owned exclusively by one worker.
+  // One connection, owned exclusively by one worker. Responses use two
+  // buffers: `outbuf` is the in-flight flush (prefix out_off already on
+  // the wire), `queued` is where the handler appends new frames. flush()
+  // sends both in one vectored sendmsg and swaps `queued` forward when
+  // `outbuf` drains — the swap recycles both heap buffers, so a steady
+  // pipelined connection stops allocating entirely once the buffers
+  // reach their high-water capacity.
   struct Connection {
     explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
 
     FrameDecoder decoder;
     std::string outbuf;
     std::size_t out_off = 0;  // bytes of outbuf already sent
+    std::string queued;       // frames appended since the last flush
     bool close_after_flush = false;
     bool discard_input = false;  // half-closed; draining input to EOF
     bool reading = true;    // EPOLLIN armed
     bool writing = false;   // EPOLLOUT armed
     Clock::time_point last_activity = Clock::now();
 
-    std::size_t unsent() const { return outbuf.size() - out_off; }
+    std::size_t unsent() const {
+      return outbuf.size() - out_off + queued.size();
+    }
   };
 
   // One worker event loop. All members except `pending`/`wake_fd` are
@@ -80,10 +90,11 @@ struct TcpServer::Impl {
     std::atomic<std::uint64_t> bp_pauses{0};
     std::atomic<std::uint64_t> bp_resumes{0};
     std::atomic<std::uint64_t> lingering{0};
+    std::atomic<std::uint64_t> send_calls{0};
   };
 
   ServerConfig config;
-  Handler handler;
+  StreamHandler handler;
 
   int listen_fd = -1;
   int stop_accept_fd = -1;  // eventfd: tells the acceptor to exit
@@ -162,16 +173,49 @@ struct TcpServer::Impl {
     worker.closed.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Sends as much of outbuf as the socket accepts. Returns false when the
-  /// connection was closed (write error or flush-complete on a connection
-  /// marked close_after_flush).
+  /// Sends as much of outbuf + queued as the socket accepts, in one
+  /// vectored sendmsg per kernel round (a response queued while the
+  /// previous one was still blocked rides out in the same syscall).
+  /// Returns false when the connection was closed (write error or
+  /// flush-complete on a connection marked close_after_flush).
   bool flush(Worker& worker, int fd, Connection& conn) {
-    while (conn.out_off < conn.outbuf.size()) {
-      const ssize_t n =
-          ::send(fd, conn.outbuf.data() + conn.out_off, conn.unsent(),
-                 MSG_NOSIGNAL);
+    while (conn.unsent() > 0) {
+      if (conn.out_off == conn.outbuf.size()) {
+        // outbuf drained: promote queued frames. swap (not assign)
+        // recycles both buffers' heap storage.
+        conn.outbuf.clear();
+        conn.out_off = 0;
+        std::swap(conn.outbuf, conn.queued);
+      }
+      iovec iov[2];
+      iov[0].iov_base = conn.outbuf.data() + conn.out_off;
+      iov[0].iov_len = conn.outbuf.size() - conn.out_off;
+      int iovcnt = 1;
+      if (!conn.queued.empty()) {
+        iov[1].iov_base = conn.queued.data();
+        iov[1].iov_len = conn.queued.size();
+        iovcnt = 2;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iovcnt;
+      // sendmsg, not writev: the flags argument carries MSG_NOSIGNAL (a
+      // peer that closed mid-response must not SIGPIPE the worker).
+      const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (n > 0) {
-        conn.out_off += static_cast<std::size_t>(n);
+        worker.send_calls.fetch_add(1, std::memory_order_relaxed);
+        std::size_t sent = static_cast<std::size_t>(n);
+        if (sent < iov[0].iov_len) {
+          conn.out_off += sent;
+        } else {
+          // outbuf finished (and possibly part of queued): promote queued
+          // to outbuf and mark the bytes sendmsg already covered.
+          sent -= iov[0].iov_len;
+          conn.outbuf.clear();
+          conn.out_off = 0;
+          std::swap(conn.outbuf, conn.queued);
+          conn.out_off = sent;
+        }
         conn.last_activity = Clock::now();
         continue;
       }
@@ -290,16 +334,17 @@ struct TcpServer::Impl {
         // One error frame, then drop the connection: framing is lost, so
         // nothing after the bad bytes can be trusted.
         worker.malformed.fetch_add(1, std::memory_order_relaxed);
-        conn.outbuf +=
-            encode_frame(FrameType::kError, conn.decoder.error());
+        encode_frame_into(conn.queued, FrameType::kError,
+                          conn.decoder.error());
         conn.close_after_flush = true;
         conn.reading = false;
         update_interest(worker, fd, conn);
         return flush(worker, fd, conn);
       }
       worker.frames.fetch_add(1, std::memory_order_relaxed);
-      const Frame response = handler(request.type, request.payload);
-      conn.outbuf += encode_frame(response);
+      // The handler appends the encoded response frame straight into the
+      // connection's queue buffer — no intermediate Frame, no re-encode.
+      handler(request.type, request.payload, conn.queued);
     }
 
     if (saw_eof) {
@@ -571,12 +616,23 @@ struct TcpServer::Impl {
           worker->bp_resumes.load(std::memory_order_relaxed);
       out.lingering_closes +=
           worker->lingering.load(std::memory_order_relaxed);
+      out.send_syscalls +=
+          worker->send_calls.load(std::memory_order_relaxed);
     }
     return out;
   }
 };
 
 TcpServer::TcpServer(ServerConfig config, Handler handler)
+    : TcpServer(std::move(config),
+                StreamHandler([h = std::move(handler)](
+                                  FrameType type, std::string_view payload,
+                                  std::string& out) {
+                  const Frame response = h(type, payload);
+                  encode_frame_into(out, response.type, response.payload);
+                })) {}
+
+TcpServer::TcpServer(ServerConfig config, StreamHandler handler)
     : impl_(std::make_unique<Impl>()) {
   impl_->config = std::move(config);
   impl_->handler = std::move(handler);

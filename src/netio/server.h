@@ -74,6 +74,10 @@ struct ServerCounters {
   /// Reads resumed with responses still queued (the half-drain
   /// hysteresis; resumes via a fully drained outbuf are not counted).
   std::uint64_t backpressure_resumes = 0;
+  /// sendmsg(2) calls that moved at least one byte. Responses queued
+  /// while a flush is blocked ride out in the same vectored call, so for
+  /// a pipelining client this grows far slower than frames_handled.
+  std::uint64_t send_syscalls = 0;
 };
 
 /// The server. Construct, start(), serve until shutdown().
@@ -85,7 +89,19 @@ class TcpServer {
   /// event loop).
   using Handler = std::function<Frame(FrameType, std::string_view payload)>;
 
+  /// The zero-copy handler shape: appends the complete, already-encoded
+  /// response frame (header, payload, CRC) directly to `out`, which is
+  /// the connection's output buffer — no intermediate Frame, no payload
+  /// copy. Same threading rules as Handler. Must append exactly one
+  /// well-formed frame per call.
+  using StreamHandler =
+      std::function<void(FrameType, std::string_view payload,
+                         std::string& out)>;
+
+  /// The Handler form re-encodes the returned frame into the connection
+  /// buffer; the StreamHandler form skips that copy.
   TcpServer(ServerConfig config, Handler handler);
+  TcpServer(ServerConfig config, StreamHandler handler);
   ~TcpServer();  ///< implies shutdown()
 
   TcpServer(const TcpServer&) = delete;

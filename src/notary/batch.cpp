@@ -50,6 +50,20 @@ bool parse_batch_query(std::string_view payload,
   return true;
 }
 
+bool BatchQueryView::parse(std::string_view payload) {
+  fps_ = nullptr;
+  count_ = 0;
+  if (payload.size() < 4) return false;
+  const std::uint32_t count = netio::get_u32le(payload.data());
+  if (count > kMaxBatchEntries) return false;
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * kFpSize) {
+    return false;
+  }
+  fps_ = payload.data() + 4;
+  count_ = count;
+  return true;
+}
+
 std::string encode_batch_info_header(std::uint32_t count) {
   std::string out;
   netio::put_u32le(out, count);
@@ -61,6 +75,17 @@ void append_batch_entry(std::string& payload, netio::FrameType status,
   payload.push_back(static_cast<char>(status));
   netio::put_u32le(payload, static_cast<std::uint32_t>(body.size()));
   payload.append(body);
+}
+
+std::size_t begin_batch_entry(std::string& payload, netio::FrameType status) {
+  payload.push_back(static_cast<char>(status));
+  payload.append(4, '\0');  // length, patched by end_batch_entry
+  return payload.size();
+}
+
+void end_batch_entry(std::string& payload, std::size_t body_start) {
+  netio::patch_u32le(payload, body_start - 4,
+                     static_cast<std::uint32_t>(payload.size() - body_start));
 }
 
 bool parse_batch_info(std::string_view payload, std::vector<BatchEntry>& out) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,11 +58,42 @@ std::string encode_batch_query(
 bool parse_batch_query(std::string_view payload,
                        std::vector<scan::CertFingerprint>& out);
 
+/// Zero-copy alternative: validates the payload once and iterates the
+/// fingerprints in place (no vector materialized — the service's batch
+/// hot path reads them straight out of the request buffer). The view
+/// borrows `payload`; it must outlive the view.
+class BatchQueryView {
+ public:
+  /// Same validation rules as parse_batch_query.
+  bool parse(std::string_view payload);
+
+  std::uint32_t size() const { return count_; }
+
+  scan::CertFingerprint fingerprint(std::uint32_t i) const {
+    scan::CertFingerprint fp;
+    std::memcpy(fp.data(), fps_ + static_cast<std::size_t>(i) * fp.size(),
+                fp.size());
+    return fp;
+  }
+
+ private:
+  const char* fps_ = nullptr;
+  std::uint32_t count_ = 0;
+};
+
 /// Appends one entry to a kBatchInfo payload under construction. Start
 /// from encode_batch_info_header(count).
 std::string encode_batch_info_header(std::uint32_t count);
 void append_batch_entry(std::string& payload, netio::FrameType status,
                         std::string_view body);
+
+/// Streaming form of append_batch_entry for bodies rendered in place:
+/// begin_batch_entry writes the status byte and a length placeholder, the
+/// caller appends the body bytes directly to `payload`, and
+/// end_batch_entry patches the length. Returns the body start offset to
+/// pass back to end_batch_entry.
+std::size_t begin_batch_entry(std::string& payload, netio::FrameType status);
+void end_batch_entry(std::string& payload, std::size_t body_start);
 
 /// Parses a kBatchInfo payload. Returns false on any structural
 /// violation (truncated entry, trailing bytes, non-response status

@@ -1,12 +1,13 @@
 #include "notary/index.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdio>
 #include <span>
+#include <string_view>
 
 #include "util/datetime.h"
-#include "util/hex.h"
 #include "util/thread_pool.h"
 
 namespace sm::notary {
@@ -96,8 +97,11 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
     }
   }
 
-  // Shard maps: bucket serially (deterministic id order), build the hash
-  // tables in parallel — each shard is written by exactly one chunk.
+  // Shard tables: bucket serially (deterministic id order), build the
+  // flat open-addressing arrays in parallel — each shard is written by
+  // exactly one chunk, and insertion order (ascending cert id) plus a
+  // fixed probe sequence make the table bytes identical at every thread
+  // count.
   std::array<std::vector<scan::CertId>, kShards> buckets;
   for (std::size_t i = 0; i < cert_count; ++i) {
     buckets[shard_of(certs[i].fingerprint)].push_back(
@@ -105,9 +109,29 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
   }
   pool.parallel_for(kShards, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
-      shards_[s].reserve(buckets[s].size());
+      Shard& shard = shards_[s];
+      const std::size_t n = buckets[s].size();
+      if (n == 0) continue;  // empty shard: no table at all
+      // Power-of-two capacity at most 70% full, so linear probes stay
+      // short; min 8 slots keeps the mask math uniform for tiny shards.
+      const std::size_t want = std::max<std::size_t>(8, n + (n * 3) / 7 + 1);
+      shard.slots.assign(std::bit_ceil(want), Slot{});
+      shard.mask = shard.slots.size() - 1;
       for (const scan::CertId id : buckets[s]) {
-        shards_[s].emplace(certs[id].fingerprint, id);
+        const scan::CertFingerprint& fp = certs[id].fingerprint;
+        std::size_t i = static_cast<std::size_t>(probe_hash(fp)) & shard.mask;
+        for (;; i = (i + 1) & shard.mask) {
+          Slot& slot = shard.slots[i];
+          if (slot.id == kEmptySlot) {
+            slot.fp = fp;
+            slot.id = id;
+            ++shard.count;
+            break;
+          }
+          // Duplicate fingerprint (interned archives should not produce
+          // one): keep the first id, matching the old map's emplace.
+          if (slot.fp == fp) break;
+        }
       }
     }
   });
@@ -115,16 +139,43 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
 
 const CertKnowledge* NotaryIndex::lookup(
     const scan::CertFingerprint& fp) const {
-  const auto& shard = shards_[shard_of(fp)];
-  const auto it = shard.find(fp);
-  if (it == shard.end()) return nullptr;
-  return &entries_[it->second];
+  const Shard& shard = shards_[shard_of(fp)];
+  if (shard.slots.empty()) return nullptr;
+  std::size_t i = static_cast<std::size_t>(probe_hash(fp)) & shard.mask;
+  for (;; i = (i + 1) & shard.mask) {
+    const Slot& slot = shard.slots[i];
+    if (slot.id == kEmptySlot) return nullptr;
+    if (slot.fp == fp) return &entries_[slot.id];
+  }
 }
 
-std::string render_knowledge(const CertKnowledge& k) {
-  std::string out;
-  out.reserve(512);
-  const auto line = [&out](const char* key, const std::string& value) {
+namespace {
+
+// Stack-buffer formatting helpers: the render path appends straight into
+// the caller's buffer (a connection outbuf or the response cache arena
+// staging) and must not allocate beyond growing that buffer.
+
+void append_datetime(std::string& out, util::UnixTime t) {
+  const util::CivilDateTime c = util::from_unix(t);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02u:%02u:%02u", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  out += buf;
+}
+
+}  // namespace
+
+void append_hex_fingerprint(std::string& out,
+                            const scan::CertFingerprint& fp) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (const std::uint8_t b : fp) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+}
+
+void render_knowledge_into(const CertKnowledge& k, std::string& out) {
+  const auto line = [&out](const char* key, std::string_view value) {
     out += key;
     out += ": ";
     out += value;
@@ -135,27 +186,33 @@ std::string render_knowledge(const CertKnowledge& k) {
     std::snprintf(buf, sizeof buf, "%" PRIu64, value);
     line(key, buf);
   };
+  const auto datetime = [&out](const char* key, util::UnixTime t) {
+    out += key;
+    out += ": ";
+    append_datetime(out, t);
+    out += '\n';
+  };
 
-  line("fingerprint",
-       util::hex_encode(util::BytesView(k.fingerprint.data(),
-                                        k.fingerprint.size())));
-  std::string status;
+  out += "fingerprint: ";
+  append_hex_fingerprint(out, k.fingerprint);
+  out += '\n';
   if (k.valid) {
-    status = k.transvalid ? "valid (transvalid)" : "valid";
+    line("status", k.transvalid ? "valid (transvalid)" : "valid");
   } else {
-    status = "invalid (" + pki::to_string(k.reason) + ")";
+    out += "status: invalid (";
+    out += pki::reason_cstr(k.reason);
+    out += ")\n";
   }
-  line("status", status);
   line("subject-cn", k.subject_cn);
   line("issuer-cn", k.issuer_cn);
-  line("not-before", util::format_datetime(k.not_before));
-  line("not-after", util::format_datetime(k.not_after));
+  datetime("not-before", k.not_before);
+  datetime("not-after", k.not_after);
   if (k.observations == 0) {
     line("first-seen", "never");
     line("last-seen", "never");
   } else {
-    line("first-seen", util::format_datetime(k.first_seen));
-    line("last-seen", util::format_datetime(k.last_seen));
+    datetime("first-seen", k.first_seen);
+    datetime("last-seen", k.last_seen);
   }
   num("scans-seen", k.scans_seen);
   num("observations", k.observations);
@@ -168,6 +225,12 @@ std::string render_knowledge(const CertKnowledge& k) {
   } else {
     num("linked-device", k.linked_device);
   }
+}
+
+std::string render_knowledge(const CertKnowledge& k) {
+  std::string out;
+  out.reserve(512);
+  render_knowledge_into(k, out);
   return out;
 }
 

@@ -95,8 +95,15 @@ struct NotaryIndexOptions {
 };
 
 /// The immutable index: fingerprint -> CertKnowledge across `kShards`
-/// hash shards (shard = first fingerprint byte, so the mapping is stable
-/// across runs and thread counts).
+/// open-addressing hash shards (shard = first fingerprint byte, so the
+/// mapping is stable across runs and thread counts).
+///
+/// Each shard is one contiguous array of {fingerprint, cert id} slots —
+/// no per-node heap allocations, no pointer chasing: a lookup hashes
+/// fingerprint bytes 8..15, lands on a slot, and probes linearly until it
+/// hits the fingerprint or an empty slot. The table is built at most 70%
+/// full and never mutated afterwards, so probes are short and the whole
+/// structure is read-only (lock-free from any number of workers).
 class NotaryIndex {
  public:
   static constexpr std::size_t kShards = 64;
@@ -126,30 +133,59 @@ class NotaryIndex {
     return fp[0] % kShards;
   }
 
+  /// Certificates whose fingerprints map to shard `s`. A prefix-sliced
+  /// index (sm_notaryd --shard-prefix) leaves most shards empty; the
+  /// response cache sizes its per-shard budgets by the populated set.
+  std::size_t shard_population(std::size_t s) const {
+    return shards_[s].count;
+  }
+
  private:
-  struct FingerprintHash {
-    std::size_t operator()(const scan::CertFingerprint& fp) const {
-      // The fingerprint is itself hash output; bytes 8..15 are already
-      // uniform (bytes 0.. pick the shard, so use the other half for the
-      // in-shard hash).
-      std::uint64_t h = 0;
-      std::memcpy(&h, fp.data() + 8, sizeof h);
-      return static_cast<std::size_t>(h);
-    }
+  /// Sentinel cert id marking an unused table slot (real archives top out
+  /// far below 2^32 certificates).
+  static constexpr scan::CertId kEmptySlot = 0xffffffff;
+
+  /// One table slot: 20 bytes, so a probe touches at most two cache
+  /// lines even when it crosses a slot boundary.
+  struct Slot {
+    scan::CertFingerprint fp{};
+    scan::CertId id = kEmptySlot;
   };
+
+  /// One open-addressing shard: power-of-two slot array, linear probing.
+  struct Shard {
+    std::vector<Slot> slots;
+    std::size_t mask = 0;   ///< slots.size() - 1 (slots is pow2 or empty)
+    std::size_t count = 0;  ///< live entries
+  };
+
+  /// The fingerprint is itself hash output; bytes 8..15 are already
+  /// uniform (byte 0 picks the shard, so use the other half for the
+  /// in-shard probe start).
+  static std::uint64_t probe_hash(const scan::CertFingerprint& fp) {
+    std::uint64_t h = 0;
+    std::memcpy(&h, fp.data() + 8, sizeof h);
+    return h;
+  }
 
   std::size_t scan_count_ = 0;
   util::UnixTime last_scan_start_ = 0;
   std::vector<CertKnowledge> entries_;  // [cert id]
-  std::array<std::unordered_map<scan::CertFingerprint, scan::CertId,
-                                FingerprintHash>,
-             kShards>
-      shards_;
+  std::array<Shard, kShards> shards_;
 };
 
 /// Renders one certificate's knowledge as the canonical notary response
 /// body — a pure function of the entry (deterministic bytes regardless of
 /// thread count or caching; the loopback tests pin this).
 std::string render_knowledge(const CertKnowledge& knowledge);
+
+/// The same bytes appended to a caller-supplied buffer (the connection
+/// outbuf on the query hot path). Performs no heap allocation beyond
+/// growing `out`.
+void render_knowledge_into(const CertKnowledge& knowledge, std::string& out);
+
+/// Appends the lowercase-hex fingerprint (the kNotFound body) without
+/// allocating — byte-identical to util::hex_encode over the same bytes.
+void append_hex_fingerprint(std::string& out, const scan::CertFingerprint& fp);
 
 }  // namespace sm::notary

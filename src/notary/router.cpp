@@ -292,26 +292,57 @@ RouterService::RouterService(RouterConfig config)
 
 RouterService::~RouterService() = default;
 
-netio::Frame RouterService::handle(netio::FrameType type,
-                                   std::string_view payload) {
+void RouterService::handle_into(netio::FrameType type,
+                                std::string_view payload, std::string& out) {
   impl_->requests.fetch_add(1, std::memory_order_relaxed);
   switch (type) {
-    case netio::FrameType::kQuery:
-      return impl_->handle_query(payload);
-    case netio::FrameType::kBatchQuery:
-      return impl_->handle_batch(payload);
+    case netio::FrameType::kQuery: {
+      const netio::Frame r = impl_->handle_query(payload);
+      netio::encode_frame_into(out, r.type, r.payload);
+      return;
+    }
+    case netio::FrameType::kBatchQuery: {
+      const netio::Frame r = impl_->handle_batch(payload);
+      netio::encode_frame_into(out, r.type, r.payload);
+      return;
+    }
     case netio::FrameType::kPing:
       impl_->pings.fetch_add(1, std::memory_order_relaxed);
-      return {netio::FrameType::kPong, std::string(payload)};
-    case netio::FrameType::kStats:
+      // Zero-copy echo: the request payload is framed straight into the
+      // connection buffer, never copied into a response string.
+      netio::encode_frame_into(out, netio::FrameType::kPong, payload);
+      return;
+    case netio::FrameType::kStats: {
       impl_->stats_requests.fetch_add(1, std::memory_order_relaxed);
-      return {netio::FrameType::kStatsText, impl_->render_stats()};
-    case netio::FrameType::kSnapshot:
-      return impl_->handle_snapshot();
+      netio::FrameWriter frame(out, netio::FrameType::kStatsText);
+      out += impl_->render_stats();
+      frame.finish();
+      return;
+    }
+    case netio::FrameType::kSnapshot: {
+      const netio::Frame r = impl_->handle_snapshot();
+      netio::encode_frame_into(out, r.type, r.payload);
+      return;
+    }
     default:
       impl_->bad_requests.fetch_add(1, std::memory_order_relaxed);
-      return {netio::FrameType::kError, "unsupported request frame"};
+      netio::encode_frame_into(out, netio::FrameType::kError,
+                               "unsupported request frame");
+      return;
   }
+}
+
+netio::Frame RouterService::handle(netio::FrameType type,
+                                   std::string_view payload) {
+  std::string buf;
+  handle_into(type, payload, buf);
+  netio::Frame response;
+  response.type =
+      static_cast<netio::FrameType>(static_cast<std::uint8_t>(buf[0]));
+  response.payload.assign(
+      buf.data() + netio::kFrameHeaderSize,
+      buf.size() - netio::kFrameHeaderSize - netio::kFrameTrailerSize);
+  return response;
 }
 
 std::size_t RouterService::shard_of(std::uint8_t first_byte) const {

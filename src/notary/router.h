@@ -55,6 +55,13 @@ class RouterService {
   /// backends and returns the (re)assembled response.
   netio::Frame handle(netio::FrameType type, std::string_view payload);
 
+  /// StreamHandler form: appends the complete encoded response frame to
+  /// `out` (the connection's output buffer). kPing echoes the request
+  /// payload straight into `out` — no intermediate response string at
+  /// all; other frame types encode their assembled response in place.
+  void handle_into(netio::FrameType type, std::string_view payload,
+                   std::string& out);
+
   /// Which shard owns fingerprints starting with `first_byte`.
   std::size_t shard_of(std::uint8_t first_byte) const;
   std::size_t shard_count() const;

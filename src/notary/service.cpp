@@ -6,11 +6,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <vector>
 
 #include "notary/batch.h"
+#include "util/crc32.h"
 #include "util/datetime.h"
-#include "util/hex.h"
 #include "util/stats.h"
 
 namespace sm::notary {
@@ -18,6 +17,19 @@ namespace {
 
 double bucket_upper_us(std::size_t bucket) {
   return static_cast<double>(std::uint64_t{1} << (bucket + 1)) / 1000.0;
+}
+
+// Slot-table probing: a fixed window of linearly-probed slots per id.
+// Lookups scan the whole window (never stopping early at an empty slot —
+// publish() invalidation punches holes mid-chain), so the window must
+// stay small; 8 slots is two cache lines of 16-byte CacheSlots.
+constexpr std::size_t kProbeWindow = 8;
+
+// Fibonacci-hash home slot: cert ids are dense small integers, so spread
+// them with the golden-ratio multiplier before masking.
+std::size_t slot_home(scan::CertId id) {
+  return static_cast<std::size_t>(
+      (std::uint64_t{id} * 0x9E3779B97F4A7C15ull) >> 32);
 }
 
 }  // namespace
@@ -81,12 +93,109 @@ NotaryService::NotaryService(const NotaryIndex& index,
 NotaryService::NotaryService(std::shared_ptr<const NotaryIndex> index,
                              NotaryServiceConfig config)
     : config_(config) {
-  const std::size_t per_shard = config_.cache_bytes / NotaryIndex::kShards;
-  for (CacheShard& shard : cache_) shard.capacity = per_shard;
   auto snap = std::make_shared<Snapshot>();
   snap->index = std::move(index);
   snap->epoch = 0;
+  const NotaryIndex* idx = snap->index.get();
   snapshot_.store(std::move(snap), std::memory_order_release);
+  resize_cache(*idx);
+}
+
+void NotaryService::resize_cache(const NotaryIndex& index) {
+  if (config_.cache_bytes == 0) return;
+  // Budget only the shards this index can answer from: a fingerprint-
+  // prefix slice (sm_notaryd --shard-prefix) reaches a handful of the 64
+  // shard values, and splitting the budget 64 ways would strand most of
+  // it on shards that can never see a kCertInfo render.
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < NotaryIndex::kShards; ++s) {
+    if (index.shard_population(s) > 0) ++populated;
+  }
+  const std::size_t per =
+      populated == 0 ? 0 : config_.cache_bytes / populated;
+  for (std::size_t s = 0; s < NotaryIndex::kShards; ++s) {
+    const std::size_t want = index.shard_population(s) > 0 ? per : 0;
+    CacheShard& shard = cache_[s];
+    std::lock_guard lock(shard.mutex);
+    if (shard.capacity == want) continue;  // keep arena AND cached entries
+    shard.capacity = want;
+    shard.total = 0;
+    if (want == 0) {
+      shard.arena.reset();
+      shard.slots.clear();
+      shard.slots.shrink_to_fit();
+      shard.slot_mask = 0;
+      continue;
+    }
+    shard.arena = std::make_unique<char[]>(want);
+    // Slot count scaled to the arena (responses run a few hundred bytes),
+    // clamped so tiny test caches still get a workable table and huge
+    // arenas don't drown in slot metadata.
+    const std::size_t n = std::bit_ceil(
+        std::clamp<std::size_t>(want / 128, 16, 65536));
+    shard.slots.assign(n, CacheSlot{});
+    shard.slot_mask = n - 1;
+  }
+}
+
+std::size_t NotaryService::cache_shard_capacity(std::size_t s) const {
+  const CacheShard& shard = cache_[s];
+  std::lock_guard lock(shard.mutex);
+  return shard.capacity;
+}
+
+const NotaryService::CacheSlot* NotaryService::cache_find(
+    const CacheShard& shard, scan::CertId id) {
+  std::size_t i = slot_home(id) & shard.slot_mask;
+  for (std::size_t j = 0; j < kProbeWindow; ++j, i = (i + 1) & shard.slot_mask) {
+    const CacheSlot& slot = shard.slots[i];
+    if (slot.id != id) continue;
+    // At most one slot holds a given id (inserts reuse it), so this is
+    // the verdict: live if the ring has not lapped the entry.
+    if (shard.total <= slot.start + shard.capacity) return &slot;
+    return nullptr;
+  }
+  return nullptr;
+}
+
+void NotaryService::cache_insert(CacheShard& shard, scan::CertId id,
+                                 const char* body, std::uint32_t len,
+                                 std::uint32_t crc) {
+  // Pick a slot: reuse this id's, else any empty/lapped one, else evict
+  // the oldest render in the window (its arena bytes stay put; the slot
+  // simply forgets them).
+  CacheSlot* dest = nullptr;
+  CacheSlot* stale = nullptr;
+  CacheSlot* oldest = nullptr;
+  std::size_t i = slot_home(id) & shard.slot_mask;
+  for (std::size_t j = 0; j < kProbeWindow; ++j, i = (i + 1) & shard.slot_mask) {
+    CacheSlot& slot = shard.slots[i];
+    if (slot.id == id) {
+      dest = &slot;
+      break;
+    }
+    if (slot.id == kEmptyCacheSlot ||
+        shard.total > slot.start + shard.capacity) {
+      if (stale == nullptr) stale = &slot;
+    } else if (oldest == nullptr || slot.start < oldest->start) {
+      oldest = &slot;
+    }
+  }
+  if (dest == nullptr) dest = stale != nullptr ? stale : oldest;
+  // Ring write that never straddles the arena edge: pad the tail instead,
+  // so every live entry is one contiguous memcpy. Advancing `total` is
+  // the eviction — entries it laps fail the liveness check.
+  std::size_t pos = static_cast<std::size_t>(shard.total % shard.capacity);
+  if (pos + len > shard.capacity) {
+    shard.total += shard.capacity - pos;
+    pos = 0;
+  }
+  std::memcpy(shard.arena.get() + pos, body, len);
+  dest->start = shard.total;
+  dest->id = id;
+  dest->len = len;
+  dest->crc = crc;
+  shard.total += len;
 }
 
 void NotaryService::publish(std::shared_ptr<const NotaryIndex> index,
@@ -96,6 +205,7 @@ void NotaryService::publish(std::shared_ptr<const NotaryIndex> index,
   snap->index = std::move(index);
   snap->epoch =
       snapshot_.load(std::memory_order_relaxed)->epoch + 1;
+  const NotaryIndex* idx = snap->index.get();  // pinned by snapshot_ below
   // Order matters: advance the insert-guard epoch first, then swap the
   // snapshot, then invalidate. A render that loaded the old snapshot and
   // is about to cache a changed cert re-reads epoch_ inside the shard
@@ -108,83 +218,120 @@ void NotaryService::publish(std::shared_ptr<const NotaryIndex> index,
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
 
   if (config_.cache_bytes == 0) return;
+  // Population changes (live ingestion growing a shard from empty)
+  // rebalance per-shard budgets; a shard whose budget is unchanged keeps
+  // its arena and every cached entry.
+  resize_cache(*idx);
   std::uint64_t dropped = 0;
-  // Per-shard pass under each shard's own mutex: queries touching other
-  // shards (and cache hits in this shard before/after the critical
-  // section) proceed untouched.
-  for (std::size_t s = 0; s < cache_.size(); ++s) {
-    CacheShard& shard = cache_[s];
+  // Ids are stable intern keys, so a changed cert can only be cached in
+  // the one shard its fingerprint maps to — no 64-shard sweep.
+  for (const scan::CertId id : changed) {
+    if (id >= idx->size()) continue;
+    CacheShard& shard =
+        cache_[NotaryIndex::shard_of(idx->knowledge(id).fingerprint)];
     std::lock_guard lock(shard.mutex);
-    for (const scan::CertId id : changed) {
-      const auto it = shard.map.find(id);
-      if (it == shard.map.end()) continue;
-      shard.bytes -= it->second->second.size();
-      shard.order.erase(it->second);
-      shard.map.erase(it);
-      ++dropped;
+    if (shard.capacity == 0) continue;
+    std::size_t i = slot_home(id) & shard.slot_mask;
+    for (std::size_t j = 0; j < kProbeWindow;
+         ++j, i = (i + 1) & shard.slot_mask) {
+      CacheSlot& slot = shard.slots[i];
+      if (slot.id != id) continue;
+      // Count only live entries — a lapped slot is not a cached render.
+      if (shard.total <= slot.start + shard.capacity) ++dropped;
+      slot = CacheSlot{};
+      break;
     }
   }
   cache_invalidations_.fetch_add(dropped, std::memory_order_relaxed);
 }
 
-std::string NotaryService::rendered_response(const scan::CertFingerprint& fp,
-                                             scan::CertId id,
-                                             const CertKnowledge& k,
-                                             std::uint64_t epoch) {
-  if (config_.cache_bytes == 0) {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    return render_knowledge(k);
-  }
+void NotaryService::append_knowledge(const scan::CertFingerprint& fp,
+                                     scan::CertId id, const CertKnowledge& k,
+                                     std::uint64_t epoch, bool as_frame,
+                                     std::string& out) {
   CacheShard& shard = cache_[NotaryIndex::shard_of(fp)];
-  {
+  if (shard.capacity != 0) {
     std::lock_guard lock(shard.mutex);
-    const auto it = shard.map.find(id);
-    if (it != shard.map.end()) {
-      shard.order.splice(shard.order.begin(), shard.order, it->second);
+    if (const CacheSlot* slot = cache_find(shard, id)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->second;
+      // The hit path: one memcpy, arena -> out, under the shard mutex
+      // (the copy is what lets the ring overwrite the arena afterwards).
+      // The cached CRC is the standalone frame's, so the single-query
+      // form skips the checksum pass entirely.
+      const char* body =
+          shard.arena.get() +
+          static_cast<std::size_t>(slot->start % shard.capacity);
+      if (as_frame) {
+        out.push_back(static_cast<char>(netio::FrameType::kCertInfo));
+        netio::put_u32le(out, slot->len);
+        out.append(body, slot->len);
+        netio::put_u32le(out, slot->crc);
+      } else {
+        out.append(body, slot->len);
+      }
+      return;
     }
   }
-  // Render outside the lock: misses are the slow path, and the entry is
-  // immutable within its epoch so two racing renders produce identical
-  // bytes.
-  std::string rendered = render_knowledge(k);
+  // Miss: render straight into `out` (no staging string), then copy the
+  // fresh body into the arena. Rendering outside the lock is deliberate:
+  // misses are the slow path, and the entry is immutable within its
+  // epoch, so two racing renders produce identical bytes.
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t body_start = 0;
+  std::uint32_t frame_crc = 0;
+  if (as_frame) {
+    netio::FrameWriter frame(out, netio::FrameType::kCertInfo);
+    body_start = frame.payload_offset();
+    render_knowledge_into(k, out);
+    frame_crc = frame.finish();
+  } else {
+    body_start = out.size();
+    render_knowledge_into(k, out);
+  }
+  const std::size_t body_end =
+      as_frame ? out.size() - netio::kFrameTrailerSize : out.size();
+  const std::size_t body_len = body_end - body_start;
+  if (shard.capacity == 0 || body_len > shard.capacity) return;
+  if (!as_frame) {
+    // The batch path never built the standalone frame, but the cached CRC
+    // must be the standalone frame's (a later single-query hit appends
+    // it). Chain it over a stack header + the body already in `out`.
+    char hdr[netio::kFrameHeaderSize];
+    hdr[0] = static_cast<char>(netio::FrameType::kCertInfo);
+    const auto len32 = static_cast<std::uint32_t>(body_len);
+    hdr[1] = static_cast<char>(len32 & 0xff);
+    hdr[2] = static_cast<char>((len32 >> 8) & 0xff);
+    hdr[3] = static_cast<char>((len32 >> 16) & 0xff);
+    hdr[4] = static_cast<char>((len32 >> 24) & 0xff);
+    frame_crc = util::crc32(hdr, sizeof hdr);
+    frame_crc = util::crc32(out.data() + body_start, body_len, frame_crc);
+  }
   std::lock_guard lock(shard.mutex);
   // Epoch guard: if a publish() advanced the epoch since this render
   // began, its invalidation pass may already have swept this shard —
   // inserting now could cache stale bytes for a changed cert. Skip; the
   // next query re-renders against the new epoch.
   if (epoch_.load(std::memory_order_acquire) == epoch &&
-      shard.map.find(id) == shard.map.end() &&
-      rendered.size() <= shard.capacity) {
-    shard.order.emplace_front(id, rendered);
-    shard.map.emplace(id, shard.order.begin());
-    shard.bytes += rendered.size();
-    while (shard.bytes > shard.capacity) {
-      const auto& [victim_id, victim] = shard.order.back();
-      shard.bytes -= victim.size();
-      shard.map.erase(victim_id);
-      shard.order.pop_back();
-    }
+      cache_find(shard, id) == nullptr) {
+    cache_insert(shard, id, out.data() + body_start,
+                 static_cast<std::uint32_t>(body_len), frame_crc);
   }
-  return rendered;
 }
 
-netio::Frame NotaryService::handle(netio::FrameType type,
-                                   std::string_view payload) {
+void NotaryService::handle_into(netio::FrameType type,
+                                std::string_view payload, std::string& out) {
   const auto start = std::chrono::steady_clock::now();
   requests_.fetch_add(1, std::memory_order_relaxed);
-  netio::Frame response;
   switch (type) {
     case netio::FrameType::kQuery: {
       queries_.fetch_add(1, std::memory_order_relaxed);
       if (payload.size() != std::tuple_size_v<scan::CertFingerprint> &&
           payload.size() != 32) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        response = {netio::FrameType::kError,
-                    "query payload must be a 16-byte fingerprint or a "
-                    "32-byte SHA-256"};
+        netio::encode_frame_into(
+            out, netio::FrameType::kError,
+            "query payload must be a 16-byte fingerprint or a "
+            "32-byte SHA-256");
         break;
       }
       scan::CertFingerprint fp{};
@@ -196,74 +343,99 @@ netio::Frame NotaryService::handle(netio::FrameType type,
       const CertKnowledge* k = snap->index->lookup(fp);
       if (k == nullptr) {
         not_found_.fetch_add(1, std::memory_order_relaxed);
-        response = {netio::FrameType::kNotFound,
-                    util::hex_encode(util::BytesView(fp.data(), fp.size()))};
+        netio::FrameWriter frame(out, netio::FrameType::kNotFound);
+        append_hex_fingerprint(out, fp);
+        frame.finish();
       } else {
         found_.fetch_add(1, std::memory_order_relaxed);
         const auto id =
             static_cast<scan::CertId>(k - &snap->index->knowledge(0));
-        response = {netio::FrameType::kCertInfo,
-                    rendered_response(fp, id, *k, snap->epoch)};
+        append_knowledge(fp, id, *k, snap->epoch, /*as_frame=*/true, out);
       }
       break;
     }
     case netio::FrameType::kBatchQuery: {
       batch_queries_.fetch_add(1, std::memory_order_relaxed);
-      std::vector<scan::CertFingerprint> fps;
-      if (!parse_batch_query(payload, fps)) {
+      BatchQueryView view;
+      if (!view.parse(payload)) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        response = {netio::FrameType::kError,
-                    "batch query payload must be a u32le count followed "
-                    "by that many 16-byte fingerprints"};
+        netio::encode_frame_into(
+            out, netio::FrameType::kError,
+            "batch query payload must be a u32le count followed "
+            "by that many 16-byte fingerprints");
         break;
       }
-      batch_entries_.fetch_add(fps.size(), std::memory_order_relaxed);
+      batch_entries_.fetch_add(view.size(), std::memory_order_relaxed);
       // One acquire pins a single epoch for the whole batch, so every
       // entry is answered from the same index — and byte-identical to
       // what the same fingerprint would get as a standalone kQuery
       // against that epoch.
       const std::shared_ptr<const Snapshot> snap = snapshot();
-      std::string body =
-          encode_batch_info_header(static_cast<std::uint32_t>(fps.size()));
-      for (const scan::CertFingerprint& fp : fps) {
+      netio::FrameWriter frame(out, netio::FrameType::kBatchInfo);
+      netio::put_u32le(out, view.size());
+      for (std::uint32_t i = 0; i < view.size(); ++i) {
+        const scan::CertFingerprint fp = view.fingerprint(i);
         const CertKnowledge* k = snap->index->lookup(fp);
         if (k == nullptr) {
           not_found_.fetch_add(1, std::memory_order_relaxed);
-          append_batch_entry(
-              body, netio::FrameType::kNotFound,
-              util::hex_encode(util::BytesView(fp.data(), fp.size())));
+          const std::size_t body =
+              begin_batch_entry(out, netio::FrameType::kNotFound);
+          append_hex_fingerprint(out, fp);
+          end_batch_entry(out, body);
         } else {
           found_.fetch_add(1, std::memory_order_relaxed);
           const auto id =
               static_cast<scan::CertId>(k - &snap->index->knowledge(0));
-          append_batch_entry(body, netio::FrameType::kCertInfo,
-                             rendered_response(fp, id, *k, snap->epoch));
+          const std::size_t body =
+              begin_batch_entry(out, netio::FrameType::kCertInfo);
+          append_knowledge(fp, id, *k, snap->epoch, /*as_frame=*/false, out);
+          end_batch_entry(out, body);
         }
       }
-      response = {netio::FrameType::kBatchInfo, std::move(body)};
+      frame.finish();
       break;
     }
-    case netio::FrameType::kStats:
+    case netio::FrameType::kStats: {
       stats_requests_.fetch_add(1, std::memory_order_relaxed);
-      response = {netio::FrameType::kStatsText, render_stats()};
+      netio::FrameWriter frame(out, netio::FrameType::kStatsText);
+      render_stats_into(out);
+      frame.finish();
       break;
+    }
     case netio::FrameType::kPing:
       pings_.fetch_add(1, std::memory_order_relaxed);
-      response = {netio::FrameType::kPong, std::string(payload)};
+      // Zero-copy echo: the request payload goes straight back out.
+      netio::encode_frame_into(out, netio::FrameType::kPong, payload);
       break;
-    case netio::FrameType::kSnapshot:
+    case netio::FrameType::kSnapshot: {
       snapshot_requests_.fetch_add(1, std::memory_order_relaxed);
-      response = {netio::FrameType::kSnapshotInfo, render_snapshot_info()};
+      netio::FrameWriter frame(out, netio::FrameType::kSnapshotInfo);
+      render_snapshot_info_into(out);
+      frame.finish();
       break;
+    }
     default:
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      response = {netio::FrameType::kError, "unsupported request frame"};
+      netio::encode_frame_into(out, netio::FrameType::kError,
+                               "unsupported request frame");
       break;
   }
   latency_.record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count()));
+}
+
+netio::Frame NotaryService::handle(netio::FrameType type,
+                                   std::string_view payload) {
+  std::string buf;
+  handle_into(type, payload, buf);
+  netio::Frame response;
+  response.type =
+      static_cast<netio::FrameType>(static_cast<std::uint8_t>(buf[0]));
+  response.payload.assign(
+      buf.data() + netio::kFrameHeaderSize,
+      buf.size() - netio::kFrameHeaderSize - netio::kFrameTrailerSize);
   return response;
 }
 
@@ -290,7 +462,7 @@ NotaryMetricsSnapshot NotaryService::metrics() const {
   return out;
 }
 
-std::string NotaryService::render_snapshot_info() const {
+void NotaryService::render_snapshot_info_into(std::string& out) const {
   const std::shared_ptr<const Snapshot> snap = snapshot();
   char buf[192];
   std::snprintf(buf, sizeof buf,
@@ -304,10 +476,16 @@ std::string NotaryService::render_snapshot_info() const {
                     : util::format_datetime(snap->index->last_scan_start())
                           .c_str(),
                 snap->index->size());
-  return buf;
+  out += buf;
 }
 
-std::string NotaryService::render_stats() const {
+std::string NotaryService::render_snapshot_info() const {
+  std::string out;
+  render_snapshot_info_into(out);
+  return out;
+}
+
+void NotaryService::render_stats_into(std::string& out) const {
   // One snapshot acquire serves BOTH index-size and snapshot-epoch: a
   // second acquire (the old code took one here and another inside
   // metrics()) could straddle a concurrent publish() and pair epoch N
@@ -341,7 +519,13 @@ std::string NotaryService::render_stats() const {
       m.latency.p99_us, m.latency.max_us, m.latency.overflow,
       bucket_upper_us(LatencyHistogram::kBuckets - 1), snap->epoch,
       m.snapshot_swaps, m.snapshot_requests, m.cache_invalidations);
-  return buf;
+  out += buf;
+}
+
+std::string NotaryService::render_stats() const {
+  std::string out;
+  render_stats_into(out);
+  return out;
 }
 
 }  // namespace sm::notary

@@ -1,5 +1,5 @@
 // NotaryService — the request handler sm_notaryd plugs into netio: frames
-// in, frames out, with a per-shard LRU cache of rendered responses and
+// in, frames out, with a per-shard slot cache of rendered responses and
 // lock-free request metrics.
 //
 //  * The index is published as an epoch/RCU-style snapshot
@@ -13,27 +13,36 @@
 //    (an untouched certificate renders to identical bytes in both epochs,
 //    so its cached response stays correct). An epoch guard on the insert
 //    path keeps a render that raced a swap from re-entering stale bytes.
-//  * The cache is memory-bounded (cache_bytes split evenly over the
-//    index's shards) and caches only the *rendered* text of an immutable
-//    entry, so responses are byte-identical with the cache on or off.
+//  * The cache is memory-bounded and allocation-free at steady state:
+//    each shard owns one fixed ring arena of rendered bytes plus a flat
+//    open-addressing slot table, so a hit is a table probe and a memcpy
+//    out of the arena — no lists, no node allocations, no refcounts. The
+//    budget (cache_bytes) is split over the shards the index actually
+//    populates (a fingerprint-prefix slice reaches only a few of the 64),
+//    and the cache holds only the *rendered* text of immutable entries,
+//    so responses are byte-identical with the cache on or off.
+//  * handle_into() appends the complete response frame — header, payload,
+//    CRC — straight into a caller-supplied buffer (the connection outbuf),
+//    so a cache-hit query performs zero heap allocations and exactly one
+//    copy (arena -> outbuf). handle() wraps it for callers that want a
+//    decoded Frame.
 //  * Metrics are relaxed atomics (request counts, cache hit/miss,
 //    malformed requests, swap/invalidation totals) plus a power-of-two-
 //    bucket latency histogram with p50/p99 estimates — all dumped on
 //    demand by a kStats request.
-//  * handle() is safe to call from any number of server workers,
-//    concurrently with publish().
+//  * handle()/handle_into() are safe to call from any number of server
+//    workers, concurrently with publish().
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "netio/frame.h"
 #include "notary/index.h"
@@ -119,8 +128,17 @@ class NotaryService {
   explicit NotaryService(std::shared_ptr<const NotaryIndex> index,
                          NotaryServiceConfig config = {});
 
-  /// Handles one well-formed frame; thread-safe. Query payloads are the
-  /// 16-byte archive fingerprint or a full 32-byte SHA-256 (truncated).
+  /// Handles one well-formed frame, appending the complete response frame
+  /// (type byte, u32le size, payload, CRC32) to `out`; thread-safe. This
+  /// is the hot path: a cache-hit query allocates nothing (given `out`
+  /// has capacity) and copies the rendered bytes exactly once, arena to
+  /// `out`. Query payloads are the 16-byte archive fingerprint or a full
+  /// 32-byte SHA-256 (truncated).
+  void handle_into(netio::FrameType type, std::string_view payload,
+                   std::string& out);
+
+  /// Convenience wrapper decoding the response into a Frame (extra
+  /// allocation + copy; tests and non-hot callers only).
   netio::Frame handle(netio::FrameType type, std::string_view payload);
 
   /// Swaps in a new index epoch and drops exactly the cached renders of
@@ -136,9 +154,16 @@ class NotaryService {
 
   /// The kStatsText body: counters, hit rate, latency percentiles.
   std::string render_stats() const;
+  void render_stats_into(std::string& out) const;
 
   /// The kSnapshotInfo body for the currently published epoch.
   std::string render_snapshot_info() const;
+  void render_snapshot_info_into(std::string& out) const;
+
+  /// Arena bytes budgeted to cache shard `s` (0 when the shard is
+  /// unreachable under the current index) — exposed for tests pinning the
+  /// reachable-shard split.
+  std::size_t cache_shard_capacity(std::size_t s) const;
 
   /// The currently published index. The reference is guaranteed stable
   /// only while no publish() runs; live-pipeline callers should hold the
@@ -156,22 +181,63 @@ class NotaryService {
     std::uint64_t epoch = 0;
   };
 
-  // One LRU shard: most-recent at the front of `order`.
+  /// Sentinel cert id marking an unused cache slot.
+  static constexpr scan::CertId kEmptyCacheSlot = 0xffffffff;
+
+  /// One cached render: `len` body bytes at ring position `start %
+  /// capacity` of the shard arena, plus the CRC32 of the standalone
+  /// kCertInfo frame carrying that body (deterministic given the bytes),
+  /// so a single-query hit appends header + body + cached CRC without
+  /// re-running the checksum. `start` is the arena's monotonic write
+  /// position at insert time; the entry is live iff no later write has
+  /// lapped it: shard.total <= start + shard.capacity.
+  struct CacheSlot {
+    std::uint64_t start = 0;
+    scan::CertId id = kEmptyCacheSlot;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+  };
+
+  /// One cache shard: a fixed ring arena of rendered body bytes and a
+  /// power-of-two open-addressing table over it. Writes never straddle
+  /// the ring edge (the tail is padded instead), so every live entry is
+  /// contiguous in memory. Eviction is implicit — the ring lapping an
+  /// entry stales it — which is FIFO-by-render-time rather than LRU, a
+  /// deliberate trade: no per-hit bookkeeping, no allocation, ever.
   struct CacheShard {
-    std::mutex mutex;
-    std::list<std::pair<scan::CertId, std::string>> order;
-    std::unordered_map<scan::CertId, decltype(order)::iterator> map;
-    std::size_t bytes = 0;
-    std::size_t capacity = 0;
+    mutable std::mutex mutex;
+    std::unique_ptr<char[]> arena;
+    std::size_t capacity = 0;  ///< arena bytes (0 = shard uncached)
+    std::uint64_t total = 0;   ///< monotonic write position
+    std::vector<CacheSlot> slots;
+    std::size_t slot_mask = 0;
   };
 
   std::shared_ptr<const Snapshot> snapshot() const {
     return snapshot_.load(std::memory_order_acquire);
   }
 
-  std::string rendered_response(const scan::CertFingerprint& fp,
-                                scan::CertId id, const CertKnowledge& k,
-                                std::uint64_t epoch);
+  /// Splits cache_bytes over the shards `index` populates, (re)allocating
+  /// only shards whose budget changed (a reset drops that shard's cached
+  /// renders). Called at construction and on publish().
+  void resize_cache(const NotaryIndex& index);
+
+  /// Probes for a live entry; nullptr on miss. Caller holds shard.mutex.
+  static const CacheSlot* cache_find(const CacheShard& shard,
+                                     scan::CertId id);
+
+  /// Writes `body` into the ring and claims a slot for it. Caller holds
+  /// shard.mutex and has checked len <= capacity.
+  static void cache_insert(CacheShard& shard, scan::CertId id,
+                           const char* body, std::uint32_t len,
+                           std::uint32_t crc);
+
+  /// Appends the kCertInfo response for one certificate: the full frame
+  /// when `as_frame` (single-query path), body bytes only otherwise (the
+  /// batch-entry path, which wraps them in a batch entry header).
+  void append_knowledge(const scan::CertFingerprint& fp, scan::CertId id,
+                        const CertKnowledge& k, std::uint64_t epoch,
+                        bool as_frame, std::string& out);
 
   NotaryServiceConfig config_;
   std::array<CacheShard, NotaryIndex::kShards> cache_;

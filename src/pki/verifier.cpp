@@ -10,7 +10,7 @@
 
 namespace sm::pki {
 
-std::string to_string(InvalidReason reason) {
+const char* reason_cstr(InvalidReason reason) {
   switch (reason) {
     case InvalidReason::kNone:
       return "none";
@@ -31,6 +31,8 @@ std::string to_string(InvalidReason reason) {
   }
   return "unknown";
 }
+
+std::string to_string(InvalidReason reason) { return reason_cstr(reason); }
 
 bool is_self_signature(const x509::Certificate& cert) {
   return crypto::verify(cert.spki, cert.tbs_der, cert.signature);

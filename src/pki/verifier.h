@@ -53,6 +53,10 @@ enum class InvalidReason : std::uint8_t {
 /// Human-readable reason label.
 std::string to_string(InvalidReason reason);
 
+/// Same label as a static string — for render paths that append into a
+/// caller-supplied buffer without allocating.
+const char* reason_cstr(InvalidReason reason);
+
 /// Outcome of verifying one certificate.
 struct ValidationResult {
   bool valid = false;

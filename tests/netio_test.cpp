@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "loopback_client.h"
+#include "netio/client_pool.h"
 #include "netio/frame.h"
 #include "netio/server.h"
 
@@ -197,6 +198,71 @@ TEST_F(EchoServerTest, ServesSequentialRequests) {
   EXPECT_EQ(counters.connections_accepted, 1u);
   EXPECT_EQ(counters.frames_handled, 20u);
   EXPECT_EQ(counters.malformed_frames, 0u);
+}
+
+TEST_F(EchoServerTest, StreamHandlerAppendsFramesDirectlyToOutput) {
+  // The stream-handler form writes encoded frames straight into the
+  // connection's output buffer — including several frames per request.
+  TcpServer server(config_, [](FrameType type, std::string_view payload,
+                               std::string& out) {
+    if (type == FrameType::kPing) {
+      encode_frame_into(out, FrameType::kPong, payload);
+      encode_frame_into(out, FrameType::kPong, "tail");
+    } else {
+      encode_frame_into(out, FrameType::kError, "ping only");
+    }
+  });
+  ASSERT_TRUE(server.start());
+
+  LoopbackClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  Frame response;
+  for (int i = 0; i < 8; ++i) {
+    const std::string payload = "stream-" + std::to_string(i);
+    ASSERT_TRUE(client.send_frame(FrameType::kPing, payload));
+    ASSERT_TRUE(client.read_frame(response));
+    EXPECT_EQ(response.type, FrameType::kPong);
+    EXPECT_EQ(response.payload, payload);
+    ASSERT_TRUE(client.read_frame(response));
+    EXPECT_EQ(response.type, FrameType::kPong);
+    EXPECT_EQ(response.payload, "tail");
+  }
+  client.close();
+  server.shutdown();
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.frames_handled, 8u);
+  // Every flushed response costs at least one sendmsg; the counter is
+  // how bench_check tracks the vectored-write savings.
+  EXPECT_GE(counters.send_syscalls, 1u);
+  EXPECT_LE(counters.send_syscalls, 16u);
+}
+
+TEST_F(EchoServerTest, CallManyPipelinesABatchOverOneConnection) {
+  TcpServer server(config_, echo);
+  ASSERT_TRUE(server.start());
+
+  ClientPoolConfig pool_config;
+  pool_config.connections_per_backend = 1;
+  pool_config.ping_interval_ms = 0;
+  ClientPool pool({{"127.0.0.1", server.port()}}, pool_config);
+
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 32; ++i) {
+    payloads.push_back("batch-" + std::to_string(i));
+  }
+  std::vector<std::string_view> views(payloads.begin(), payloads.end());
+  auto futures = pool.call_many(0, FrameType::kPing, views);
+  ASSERT_EQ(futures.size(), payloads.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    CallResult result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << "call " << i;
+    EXPECT_EQ(result.response.type, FrameType::kPong);
+    EXPECT_EQ(result.response.payload, payloads[i]);
+  }
+  const BackendCounters counters = pool.counters(0);
+  EXPECT_EQ(counters.requests, payloads.size());
+  EXPECT_EQ(counters.ok, payloads.size());
+  server.shutdown();
 }
 
 TEST_F(EchoServerTest, ServesPipelinedBurstInOrder) {

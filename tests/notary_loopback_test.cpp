@@ -59,8 +59,9 @@ class NotaryLoopbackTest : public ::testing::Test {
     config.workers = workers;
     config.idle_timeout_ms = idle_timeout_ms;
     auto server = std::make_unique<netio::TcpServer>(
-        config, [&service](netio::FrameType type, std::string_view payload) {
-          return service.handle(type, payload);
+        config, [&service](netio::FrameType type, std::string_view payload,
+                           std::string& out) {
+          service.handle_into(type, payload, out);
         });
     std::string error;
     EXPECT_TRUE(server->start(&error)) << error;

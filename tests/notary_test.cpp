@@ -181,7 +181,6 @@ TEST(NotaryIndex, DeviceGroupsAssignLinkedIds) {
 }
 
 TEST(NotaryIndex, RenderKnowledgeContainsEveryField) {
-  const auto& world = micro_world();
   const NotaryIndex index(micro_spine());
   const std::string body = render_knowledge(index.knowledge(0));
   for (const char* key :
@@ -239,7 +238,6 @@ TEST(NotaryService, AcceptsFull32ByteFingerprintPayloads) {
 }
 
 TEST(NotaryService, UnknownFingerprintAnswersNotFound) {
-  const auto& world = micro_world();
   const NotaryIndex index(micro_spine());
   NotaryService service(index);
   scan::CertFingerprint unknown{};
@@ -255,7 +253,6 @@ TEST(NotaryService, UnknownFingerprintAnswersNotFound) {
 }
 
 TEST(NotaryService, BadPayloadSizesAnswerError) {
-  const auto& world = micro_world();
   const NotaryIndex index(micro_spine());
   NotaryService service(index);
   for (const std::size_t size : {0u, 1u, 15u, 17u, 31u, 33u}) {
@@ -283,12 +280,17 @@ TEST(NotaryService, LruEvictsWithinShardUnderTinyCapacity) {
   const std::string a = fp_payload(world.archive.cert(same_shard[0]).fingerprint);
   const std::string b = fp_payload(world.archive.cert(same_shard[1]).fingerprint);
 
-  // Capacity: one rendered response per shard (plus slack), so A and B
-  // evict each other.
+  // Capacity: one rendered response per populated shard (plus slack), so
+  // A and B evict each other.  The cache splits its budget across
+  // populated shards only, so size the total by that count.
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < NotaryIndex::kShards; ++s) {
+    if (index.shard_population(s) > 0) ++populated;
+  }
   const std::size_t one_entry =
       render_knowledge(index.knowledge(same_shard[0])).size() + 64;
   NotaryServiceConfig config;
-  config.cache_bytes = one_entry * NotaryIndex::kShards;
+  config.cache_bytes = one_entry * populated;
   NotaryService service(index, config);
 
   auto query = [&](const std::string& payload) {
@@ -307,6 +309,29 @@ TEST(NotaryService, LruEvictsWithinShardUnderTinyCapacity) {
   // Responses stay correct throughout the thrash.
   const netio::Frame r = service.handle(netio::FrameType::kQuery, a);
   EXPECT_EQ(r.payload, render_knowledge(index.knowledge(same_shard[0])));
+}
+
+TEST(NotaryService, CacheBudgetSplitsAcrossPopulatedShardsOnly) {
+  const NotaryIndex index(micro_spine());
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < NotaryIndex::kShards; ++s) {
+    if (index.shard_population(s) > 0) ++populated;
+  }
+  ASSERT_GT(populated, 0u);
+
+  NotaryServiceConfig config;
+  config.cache_bytes = 1 << 20;
+  const NotaryService service(index, config);
+
+  const std::size_t per = config.cache_bytes / populated;
+  for (std::size_t s = 0; s < NotaryIndex::kShards; ++s) {
+    if (index.shard_population(s) > 0) {
+      EXPECT_EQ(service.cache_shard_capacity(s), per) << "shard " << s;
+    } else {
+      EXPECT_EQ(service.cache_shard_capacity(s), 0u)
+          << "empty shard " << s << " should get no cache budget";
+    }
+  }
 }
 
 TEST(NotaryService, MetricsAndStatsTextTrackTraffic) {

@@ -180,8 +180,9 @@ int main(int argc, char** argv) {
   server_config.idle_timeout_ms = opts->idle_ms;
   netio::TcpServer server(server_config,
                           [&router](netio::FrameType type,
-                                    std::string_view payload) {
-                            return router.handle(type, payload);
+                                    std::string_view payload,
+                                    std::string& out) {
+                            router.handle_into(type, payload, out);
                           });
   std::string error;
   if (!server.start(&error)) {

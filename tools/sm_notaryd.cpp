@@ -399,8 +399,9 @@ int run_bench(const Options& opts, notary::NotaryService& service,
   config.workers = opts.threads;
   config.idle_timeout_ms = opts.idle_ms;
   netio::TcpServer server(config, [&service](netio::FrameType type,
-                                             std::string_view payload) {
-    return service.handle(type, payload);
+                                             std::string_view payload,
+                                             std::string& out) {
+    service.handle_into(type, payload, out);
   });
   std::string error;
   if (!server.start(&error)) {
@@ -723,8 +724,9 @@ int run_ingest_server(const Options& opts, tools::LoadedCorpus corpus) {
   config.workers = opts.threads;
   config.idle_timeout_ms = opts.idle_ms;
   netio::TcpServer server(config, [&service](netio::FrameType type,
-                                             std::string_view payload) {
-    return service.handle(type, payload);
+                                             std::string_view payload,
+                                             std::string& out) {
+    service.handle_into(type, payload, out);
   });
   std::string error;
   if (!server.start(&error)) {
@@ -794,8 +796,9 @@ int run_ingest_bench(const Options& opts, tools::LoadedCorpus corpus) {
   config.workers = opts.threads;
   config.idle_timeout_ms = opts.idle_ms;
   netio::TcpServer server(config, [&service](netio::FrameType type,
-                                             std::string_view payload) {
-    return service.handle(type, payload);
+                                             std::string_view payload,
+                                             std::string& out) {
+    service.handle_into(type, payload, out);
   });
   std::string error;
   if (!server.start(&error)) {
@@ -928,8 +931,9 @@ int run_server(const Options& opts, notary::NotaryService& service) {
   config.workers = opts.threads;
   config.idle_timeout_ms = opts.idle_ms;
   netio::TcpServer server(config, [&service](netio::FrameType type,
-                                             std::string_view payload) {
-    return service.handle(type, payload);
+                                             std::string_view payload,
+                                             std::string& out) {
+    service.handle_into(type, payload, out);
   });
   std::string error;
   if (!server.start(&error)) {
