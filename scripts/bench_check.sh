@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regression gate for the notary serving benchmarks: re-runs bench_notary
-# and bench_router and compares each benchmark family against the
-# committed baselines in bench-results/BENCH_notary.json and
-# BENCH_router.json.
+# Regression gate for the notary serving benchmarks: re-runs
+# bench_notary, bench_router, bench_revocation and bench_live, and
+# compares each benchmark family against the committed baselines in
+# bench-results/BENCH_<name>.json.
 #
 # Tolerances by metric class:
 #   * items_per_second — one-sided lower bound. Wall-clock throughput on
@@ -35,13 +35,14 @@ while [[ $# -gt 0 ]]; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_notary bench_router >/dev/null
+cmake --build build -j --target bench_notary bench_router \
+    bench_revocation bench_live >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 status=0
-for name in notary router; do
+for name in notary router revocation live; do
   baseline="bench-results/BENCH_${name}.json"
   if [[ ! -f "$baseline" ]]; then
     echo "MISSING baseline $baseline" >&2

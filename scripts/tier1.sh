@@ -41,7 +41,7 @@ tsan_tests=(thread_pool_test corpus_test linking_parallel_test linking_test
             analysis_test tracking_test util_test
             simworld_parallel_test batch_verifier_test
             netio_test notary_test notary_loopback_test live_ingest_test
-            router_test)
+            router_test revocation_test)
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tier 1: TSan build (thread pool + linking/analysis/tracking + world/verify + notary) =="
   cmake -B build-tsan -S . -DSM_SANITIZE=thread >/dev/null
@@ -57,7 +57,7 @@ fi
 
 asan_tests=(archive_corruption_test archive_io_test simworld_parallel_test
             corpus_test netio_test notary_loopback_test live_ingest_test
-            router_test)
+            router_test revocation_test)
 if [[ "$run_asan" == 1 ]]; then
   echo "== tier 1: ASan build (archive I/O + notary-frame corruption harnesses + world determinism) =="
   cmake -B build-asan -S . -DSM_SANITIZE=address >/dev/null

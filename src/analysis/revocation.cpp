@@ -1,0 +1,81 @@
+#include "analysis/revocation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/stats.h"
+
+namespace sm::analysis {
+
+RevocationBreakdown compute_revocation_breakdown(
+    const scan::ScanArchive& archive,
+    const std::unordered_map<scan::CertFingerprint, pki::RevocationStatus,
+                             scan::FingerprintHash>& statuses,
+    std::size_t top_issuers) {
+  RevocationBreakdown out;
+  // Ordered map so the tie-break (equal revoked counts) is deterministic
+  // by issuer name, independent of hash iteration order.
+  std::map<std::string, std::uint64_t> revoked_by_issuer;
+  for (const scan::CertRecord& cert : archive.certs()) {
+    auto status = pki::RevocationStatus::kUnknown;
+    const auto it = statuses.find(cert.fingerprint);
+    if (it != statuses.end()) status = it->second;
+    const auto i = static_cast<std::size_t>(status);
+    if (cert.valid) {
+      ++out.valid[i];
+      ++out.valid_total;
+    } else {
+      ++out.invalid[i];
+      ++out.invalid_total;
+    }
+    if (status == pki::RevocationStatus::kRevoked) {
+      ++revoked_by_issuer[cert.issuer_cn];
+    }
+  }
+  out.top_revoked_issuers.reserve(revoked_by_issuer.size());
+  for (const auto& [issuer, revoked] : revoked_by_issuer) {
+    out.top_revoked_issuers.push_back({issuer, revoked});
+  }
+  std::stable_sort(out.top_revoked_issuers.begin(),
+                   out.top_revoked_issuers.end(),
+                   [](const RevocationBreakdown::IssuerRow& a,
+                      const RevocationBreakdown::IssuerRow& b) {
+                     return a.revoked > b.revoked;
+                   });
+  if (out.top_revoked_issuers.size() > top_issuers) {
+    out.top_revoked_issuers.resize(top_issuers);
+  }
+  return out;
+}
+
+std::string render_revocation_table(const RevocationBreakdown& b) {
+  std::string out = "revocation statuses: invalid vs. valid certs\n";
+  char buf[160];
+  for (std::size_t i = 0; i < RevocationBreakdown::kStatuses; ++i) {
+    const auto status = static_cast<pki::RevocationStatus>(i);
+    const auto share = [](std::uint64_t n, std::uint64_t total) {
+      return total == 0 ? 0.0
+                        : static_cast<double>(n) / static_cast<double>(total);
+    };
+    std::snprintf(
+        buf, sizeof buf, "  %-12s invalid %8llu (%s) | valid %8llu (%s)\n",
+        pki::revocation_status_cstr(status),
+        static_cast<unsigned long long>(b.invalid[i]),
+        util::percent(share(b.invalid[i], b.invalid_total)).c_str(),
+        static_cast<unsigned long long>(b.valid[i]),
+        util::percent(share(b.valid[i], b.valid_total)).c_str());
+    out += buf;
+  }
+  if (!b.top_revoked_issuers.empty()) {
+    out += "  top revoked issuers:\n";
+    for (const RevocationBreakdown::IssuerRow& row : b.top_revoked_issuers) {
+      std::snprintf(buf, sizeof buf, "    %-40s %llu\n", row.issuer_cn.c_str(),
+                    static_cast<unsigned long long>(row.revoked));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::analysis

@@ -1,0 +1,60 @@
+// Revocation-status analysis: how the CRL/OCSP ecosystem's verdicts
+// distribute over the §4.2 validity split. The paper's population argument
+// gets a revocation-era footnote here: invalid certificates are almost
+// never revocable in practice (no reachable distribution point — the CAs
+// behind them are devices, not businesses), while the valid population
+// carries the whole weight of a mass-revocation event.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pki/verifier.h"
+#include "scan/archive.h"
+
+namespace sm::analysis {
+
+/// The "revocation statuses: invalid vs. valid certs" table, plus the
+/// per-issuer revoked counts that make a mass-revocation event visible.
+struct RevocationBreakdown {
+  /// Counts per pki::RevocationStatus (indexed by the enum's underlying
+  /// value: good, revoked, stale-crl, unreachable, unknown), split by the
+  /// §4.2 validity verdict.
+  static constexpr std::size_t kStatuses = 5;
+  std::array<std::uint64_t, kStatuses> valid{};
+  std::array<std::uint64_t, kStatuses> invalid{};
+  std::uint64_t valid_total = 0;
+  std::uint64_t invalid_total = 0;
+
+  /// Issuers ranked by revoked-certificate count, descending (ties broken
+  /// by name). A Heartbleed-style mass event puts its victim CA on top by
+  /// an order of magnitude.
+  struct IssuerRow {
+    std::string issuer_cn;
+    std::uint64_t revoked = 0;
+  };
+  std::vector<IssuerRow> top_revoked_issuers;
+
+  std::uint64_t count(bool is_valid, pki::RevocationStatus s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return is_valid ? valid[i] : invalid[i];
+  }
+};
+
+/// Tallies the breakdown over every archived certificate. `statuses` is
+/// fingerprint-keyed (simworld::WorldResult::revocation.statuses or a
+/// notary export); certificates missing from it count as kUnknown, so an
+/// archive analyzed without a revocation pass degrades gracefully.
+RevocationBreakdown compute_revocation_breakdown(
+    const scan::ScanArchive& archive,
+    const std::unordered_map<scan::CertFingerprint, pki::RevocationStatus,
+                             scan::FingerprintHash>& statuses,
+    std::size_t top_issuers = 5);
+
+/// Renders the breakdown as the report's plain-text table.
+std::string render_revocation_table(const RevocationBreakdown& breakdown);
+
+}  // namespace sm::analysis

@@ -27,12 +27,14 @@ bool is_known_frame_type(std::uint8_t value) {
     case FrameType::kPing:
     case FrameType::kSnapshot:
     case FrameType::kBatchQuery:
+    case FrameType::kRevocationQuery:
     case FrameType::kCertInfo:
     case FrameType::kNotFound:
     case FrameType::kStatsText:
     case FrameType::kPong:
     case FrameType::kSnapshotInfo:
     case FrameType::kBatchInfo:
+    case FrameType::kRevocationInfo:
     case FrameType::kError:
       return true;
   }
@@ -88,12 +90,14 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   if (available < kFrameHeaderSize) return DecodeStatus::kNeedMore;
   const char* frame = buffer_.data() + consumed_;
 
+  // The type byte is deliberately NOT validated here: a frame whose length
+  // and CRC check out is structurally sound even when the type is from a
+  // protocol revision this decoder predates, and handlers answer such
+  // frames with kError while the connection stays healthy (forward
+  // compatibility). Garbage streams are still caught — a random type byte
+  // comes with a random length (caught below) or a broken CRC, since the
+  // checksum covers the type byte.
   const std::uint8_t type = static_cast<std::uint8_t>(frame[0]);
-  if (!is_known_frame_type(type)) {
-    poisoned_ = true;
-    error_ = "unknown frame type";
-    return DecodeStatus::kMalformed;
-  }
   const std::uint32_t size = get_u32le(frame + 1);
   if (size > max_payload_) {
     poisoned_ = true;

@@ -15,14 +15,21 @@
 // certificate fingerprint; 32-byte SHA-256 inputs are truncated to the
 // archive's 128-bit intern key), kBatchQuery (u32le count + count 16-byte
 // fingerprints — one frame, many lookups, amortizing framing cost on the
-// hot path), kStats (empty payload), kPing (arbitrary payload, echoed),
-// kSnapshot (empty payload; asks which index epoch is serving). The server
-// answers kCertInfo / kNotFound / kBatchInfo / kStatsText / kPong /
-// kSnapshotInfo, or kError with a human-readable reason. A frame that cannot be
-// parsed at all (unknown type, oversized length, checksum mismatch) gets
-// one kError response and the connection is closed — framing is lost, so
-// the stream cannot be resynchronized — but the worker and every other
-// connection keep running.
+// hot path), kRevocationQuery (same payload shapes as kQuery/kBatchQuery;
+// asks for revocation status instead of full knowledge), kStats (empty
+// payload), kPing (arbitrary payload, echoed), kSnapshot (empty payload;
+// asks which index epoch is serving). The server answers kCertInfo /
+// kNotFound / kBatchInfo / kRevocationInfo / kStatsText / kPong /
+// kSnapshotInfo, or kError with a human-readable reason.
+//
+// A frame that cannot be parsed at all (oversized length, checksum
+// mismatch) gets one kError response and the connection is closed —
+// framing is lost, so the stream cannot be resynchronized — but the
+// worker and every other connection keep running. A well-framed frame of
+// an *unknown type*, by contrast, decodes cleanly: framing is intact, so
+// the handler answers kError ("unsupported request frame") and the
+// connection stays healthy. That forward-compatibility rule is what let
+// kRevocationQuery roll out against fleets of older daemons.
 #pragma once
 
 #include <cstddef>
@@ -48,17 +55,21 @@ enum class FrameType : std::uint8_t {
   kPing = 0x03,       ///< liveness probe; payload echoed back
   kSnapshot = 0x04,   ///< which index epoch is serving? (empty payload)
   kBatchQuery = 0x05,  ///< many fingerprint lookups in one frame
+  kRevocationQuery = 0x06,  ///< revocation status lookup (single or batch)
   kCertInfo = 0x81,   ///< rendered certificate knowledge
   kNotFound = 0x82,   ///< fingerprint unknown to the notary
   kStatsText = 0x83,  ///< rendered metrics
   kPong = 0x84,       ///< ping echo
   kSnapshotInfo = 0x85,  ///< snapshot staleness bound ("as of scan N")
   kBatchInfo = 0x86,  ///< per-entry answers to a kBatchQuery
+  kRevocationInfo = 0x87,  ///< rendered revocation status
   kError = 0xee,      ///< malformed/unsupported request; payload = reason
 };
 
-/// True for the byte values enumerated above (anything else on the wire is
-/// a framing error).
+/// True for the byte values enumerated above. NOT consulted by the frame
+/// decoder — an unknown type with intact framing decodes and is answered
+/// kError by the handler (forward compatibility) — but handlers use it to
+/// classify, and batch-entry statuses are validated against it.
 bool is_known_frame_type(std::uint8_t value);
 
 /// Little-endian u32 helpers, shared by the frame codec and the batch
@@ -128,9 +139,11 @@ enum class DecodeStatus {
 
 /// Incremental frame parser over a connection's receive buffer. Feed bytes
 /// as they arrive, then drain complete frames with next(). Any framing
-/// violation (unknown type byte, oversized length, CRC mismatch) poisons
-/// the decoder permanently — after a bad frame the stream offsets are
-/// meaningless, so the only safe recovery is closing the connection.
+/// violation (oversized length, CRC mismatch) poisons the decoder
+/// permanently — after a bad frame the stream offsets are meaningless, so
+/// the only safe recovery is closing the connection. An unknown type byte
+/// is NOT a framing violation: if length and CRC check out the frame
+/// decodes, and the receiver decides what to do with it.
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload)

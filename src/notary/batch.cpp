@@ -11,6 +11,7 @@ bool is_response_status(std::uint8_t value) {
   switch (static_cast<netio::FrameType>(value)) {
     case netio::FrameType::kCertInfo:
     case netio::FrameType::kNotFound:
+    case netio::FrameType::kRevocationInfo:
     case netio::FrameType::kError:
       return true;
     default:

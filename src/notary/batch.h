@@ -11,8 +11,9 @@
 //
 //   offset  size   field
 //   0       1      status (a response FrameType byte: kCertInfo,
-//                  kNotFound, or kError — exactly the type the same
-//                  fingerprint would get as a standalone kQuery)
+//                  kNotFound, kRevocationInfo, or kError — exactly the
+//                  type the same fingerprint would get as a standalone
+//                  kQuery/kRevocationQuery)
 //   1       4      length of body
 //   5       len    body (byte-identical to the standalone response
 //                  payload)

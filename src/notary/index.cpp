@@ -57,6 +57,12 @@ NotaryIndex::NotaryIndex(const corpus::CorpusIndex& corpus,
       k.not_before = record.not_before;
       k.not_after = record.not_after;
       k.key_sharing = key_counts->at(record.key_fingerprint);
+      if (options.revocation_statuses != nullptr) {
+        const auto rev = options.revocation_statuses->find(record.fingerprint);
+        if (rev != options.revocation_statuses->end()) {
+          k.revocation = rev->second;
+        }
+      }
 
       const auto id = static_cast<scan::CertId>(i);
       const std::span<const corpus::Obs> obs = corpus.observations(id);
@@ -232,6 +238,14 @@ std::string render_knowledge(const CertKnowledge& k) {
   out.reserve(512);
   render_knowledge_into(k, out);
   return out;
+}
+
+void render_revocation_into(const CertKnowledge& k, std::string& out) {
+  out += "fingerprint: ";
+  append_hex_fingerprint(out, k.fingerprint);
+  out += "\nrevocation: ";
+  out += pki::revocation_status_cstr(k.revocation);
+  out += '\n';
 }
 
 }  // namespace sm::notary

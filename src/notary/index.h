@@ -49,6 +49,11 @@ struct CertKnowledge {
   bool transvalid = false;
   pki::InvalidReason reason = pki::InvalidReason::kNone;
 
+  // Revocation status (orthogonal to the validity taxonomy), injected at
+  // build time from a BatchVerifier revocation pass; kUnknown when the
+  // index was built without one.
+  pki::RevocationStatus revocation = pki::RevocationStatus::kUnknown;
+
   // Identity fields a client can cross-check against the presented cert.
   std::string subject_cn;
   std::string issuer_cn;
@@ -91,6 +96,14 @@ struct NotaryIndexOptions {
   /// keys whose other holders live on other shards. Null = count over
   /// the archive being indexed (the single-process case).
   const std::unordered_map<scan::KeyFingerprint, std::uint32_t>* key_counts =
+      nullptr;
+  /// Revocation statuses per certificate fingerprint (borrowed; e.g.
+  /// simworld::WorldResult::revocation.statuses). Fingerprint-keyed for
+  /// the same reason as key_counts: prefix slices re-intern with
+  /// different cert ids, and a fingerprint survives the slicing.
+  /// Fingerprints absent from the map (or a null map) read kUnknown.
+  const std::unordered_map<scan::CertFingerprint, pki::RevocationStatus,
+                           scan::FingerprintHash>* revocation_statuses =
       nullptr;
 };
 
@@ -187,5 +200,11 @@ void render_knowledge_into(const CertKnowledge& knowledge, std::string& out);
 /// Appends the lowercase-hex fingerprint (the kNotFound body) without
 /// allocating — byte-identical to util::hex_encode over the same bytes.
 void append_hex_fingerprint(std::string& out, const scan::CertFingerprint& fp);
+
+/// Renders the kRevocationInfo response body — two lines
+/// ("fingerprint: <hex>\n" "revocation: <status>\n") appended without
+/// heap allocation beyond growing `out`. Kept separate from the kCertInfo
+/// rendering so existing clients' parsers never see a new line appear.
+void render_revocation_into(const CertKnowledge& knowledge, std::string& out);
 
 }  // namespace sm::notary

@@ -37,6 +37,7 @@ struct RouterService::Impl {
   std::atomic<std::uint64_t> batch_queries{0};
   std::atomic<std::uint64_t> batch_entries{0};
   std::atomic<std::uint64_t> batch_entry_errors{0};
+  std::atomic<std::uint64_t> revocation_queries{0};
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> pings{0};
   std::atomic<std::uint64_t> stats_requests{0};
@@ -95,7 +96,10 @@ struct RouterService::Impl {
     return false;
   }
 
-  netio::Frame handle_query(std::string_view payload) {
+  /// Routes one single-fingerprint request (kQuery or kRevocationQuery —
+  /// the forwarded frame carries `type` through verbatim) to the shard
+  /// owning the fingerprint's first byte.
+  netio::Frame handle_query(netio::FrameType type, std::string_view payload) {
     queries.fetch_add(1, std::memory_order_relaxed);
     if (payload.empty()) {
       bad_requests.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +110,7 @@ struct RouterService::Impl {
     const std::size_t s =
         shard_of(static_cast<std::uint8_t>(payload[0]));
     netio::Frame response;
-    if (!forward(s, netio::FrameType::kQuery, payload, response)) {
+    if (!forward(s, type, payload, response)) {
       query_errors.fetch_add(1, std::memory_order_relaxed);
       return {netio::FrameType::kError,
               unavailable_reason(s, shard_range(s))};
@@ -114,7 +118,10 @@ struct RouterService::Impl {
     return response;  // backend bytes pass through verbatim
   }
 
-  netio::Frame handle_batch(std::string_view payload) {
+  /// Scatter/gathers one batch request. `type` is the sub-frame request
+  /// type sent to each shard (kBatchQuery or kRevocationQuery); both
+  /// answer kBatchInfo, so the gather path is shared.
+  netio::Frame handle_batch(netio::FrameType type, std::string_view payload) {
     batch_queries.fetch_add(1, std::memory_order_relaxed);
     std::vector<scan::CertFingerprint> fps;
     if (!parse_batch_query(payload, fps)) {
@@ -149,8 +156,7 @@ struct RouterService::Impl {
       sub.shard = s;
       sub.request = encode_batch_query(groups[s]);
       const std::size_t backend = replica_order(*shards[s]).front();
-      sub.first_attempt =
-          pool->call(backend, netio::FrameType::kBatchQuery, sub.request);
+      sub.first_attempt = pool->call(backend, type, sub.request);
       subs.push_back(std::move(sub));
     }
 
@@ -168,8 +174,7 @@ struct RouterService::Impl {
       } else {
         // First replica failed (or answered garbage): walk the rest.
         netio::Frame response;
-        if (forward(sub.shard, netio::FrameType::kBatchQuery, sub.request,
-                    response) &&
+        if (forward(sub.shard, type, sub.request, response) &&
             response.type == netio::FrameType::kBatchInfo &&
             parse_batch_info(response.payload, shard_entries) &&
             shard_entries.size() == count) {
@@ -231,6 +236,7 @@ struct RouterService::Impl {
         "queries: %" PRIu64 " (failed %" PRIu64 ")\n"
         "batch-queries: %" PRIu64 " (entries %" PRIu64 ", entry-errors %"
         PRIu64 ")\n"
+        "revocation-queries: %" PRIu64 "\n"
         "retries: %" PRIu64 "\n"
         "pings: %" PRIu64 "\n"
         "stats-requests: %" PRIu64 "\n"
@@ -242,6 +248,7 @@ struct RouterService::Impl {
         batch_queries.load(std::memory_order_relaxed),
         batch_entries.load(std::memory_order_relaxed),
         batch_entry_errors.load(std::memory_order_relaxed),
+        revocation_queries.load(std::memory_order_relaxed),
         retries.load(std::memory_order_relaxed),
         pings.load(std::memory_order_relaxed),
         stats_requests.load(std::memory_order_relaxed),
@@ -297,12 +304,32 @@ void RouterService::handle_into(netio::FrameType type,
   impl_->requests.fetch_add(1, std::memory_order_relaxed);
   switch (type) {
     case netio::FrameType::kQuery: {
-      const netio::Frame r = impl_->handle_query(payload);
+      const netio::Frame r =
+          impl_->handle_query(netio::FrameType::kQuery, payload);
       netio::encode_frame_into(out, r.type, r.payload);
       return;
     }
     case netio::FrameType::kBatchQuery: {
-      const netio::Frame r = impl_->handle_batch(payload);
+      const netio::Frame r =
+          impl_->handle_batch(netio::FrameType::kBatchQuery, payload);
+      netio::encode_frame_into(out, r.type, r.payload);
+      return;
+    }
+    case netio::FrameType::kRevocationQuery: {
+      impl_->revocation_queries.fetch_add(1, std::memory_order_relaxed);
+      // Same length dispatch as the backend: 16/32 bytes is the single
+      // form (routed like kQuery on the fingerprint's first byte), any
+      // other length is the batch form (scattered with kRevocationQuery
+      // sub-frames; each shard answers kBatchInfo). The forwarded request
+      // type stays kRevocationQuery either way, so backend bytes — and
+      // therefore the gathered response — match an unsharded notary's.
+      const netio::Frame r =
+          payload.size() == std::tuple_size_v<scan::CertFingerprint> ||
+                  payload.size() == 32
+              ? impl_->handle_query(netio::FrameType::kRevocationQuery,
+                                    payload)
+              : impl_->handle_batch(netio::FrameType::kRevocationQuery,
+                                    payload);
       netio::encode_frame_into(out, r.type, r.payload);
       return;
     }

@@ -395,6 +395,68 @@ void NotaryService::handle_into(netio::FrameType type,
       frame.finish();
       break;
     }
+    case netio::FrameType::kRevocationQuery: {
+      revocation_queries_.fetch_add(1, std::memory_order_relaxed);
+      constexpr std::size_t kFpSize = std::tuple_size_v<scan::CertFingerprint>;
+      // The payload length disambiguates the two forms: singles are 16 or
+      // 32 bytes (0 mod 16), batches are 4 + 16n (4 mod 16) — the shapes
+      // never collide.
+      if (payload.size() == kFpSize || payload.size() == 32) {
+        scan::CertFingerprint fp{};
+        std::memcpy(fp.data(), payload.data(), fp.size());
+        const std::shared_ptr<const Snapshot> snap = snapshot();
+        const CertKnowledge* k = snap->index->lookup(fp);
+        if (k == nullptr) {
+          not_found_.fetch_add(1, std::memory_order_relaxed);
+          netio::FrameWriter frame(out, netio::FrameType::kNotFound);
+          append_hex_fingerprint(out, fp);
+          frame.finish();
+        } else {
+          found_.fetch_add(1, std::memory_order_relaxed);
+          // The two-line revocation body is rendered directly — no trip
+          // through the kCertInfo response cache (whose slots are keyed by
+          // cert id alone and hold the full knowledge render). Still
+          // allocation-free on a capacity-retaining outbuf.
+          netio::FrameWriter frame(out, netio::FrameType::kRevocationInfo);
+          render_revocation_into(*k, out);
+          frame.finish();
+        }
+        break;
+      }
+      BatchQueryView view;
+      if (!view.parse(payload)) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        netio::encode_frame_into(
+            out, netio::FrameType::kError,
+            "revocation query payload must be a 16-byte fingerprint, a "
+            "32-byte SHA-256, or a u32le count followed by that many "
+            "16-byte fingerprints");
+        break;
+      }
+      batch_entries_.fetch_add(view.size(), std::memory_order_relaxed);
+      const std::shared_ptr<const Snapshot> snap = snapshot();
+      netio::FrameWriter frame(out, netio::FrameType::kBatchInfo);
+      netio::put_u32le(out, view.size());
+      for (std::uint32_t i = 0; i < view.size(); ++i) {
+        const scan::CertFingerprint fp = view.fingerprint(i);
+        const CertKnowledge* k = snap->index->lookup(fp);
+        if (k == nullptr) {
+          not_found_.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t body =
+              begin_batch_entry(out, netio::FrameType::kNotFound);
+          append_hex_fingerprint(out, fp);
+          end_batch_entry(out, body);
+        } else {
+          found_.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t body =
+              begin_batch_entry(out, netio::FrameType::kRevocationInfo);
+          render_revocation_into(*k, out);
+          end_batch_entry(out, body);
+        }
+      }
+      frame.finish();
+      break;
+    }
     case netio::FrameType::kStats: {
       stats_requests_.fetch_add(1, std::memory_order_relaxed);
       netio::FrameWriter frame(out, netio::FrameType::kStatsText);
@@ -445,6 +507,8 @@ NotaryMetricsSnapshot NotaryService::metrics() const {
   out.queries = queries_.load(std::memory_order_relaxed);
   out.batch_queries = batch_queries_.load(std::memory_order_relaxed);
   out.batch_entries = batch_entries_.load(std::memory_order_relaxed);
+  out.revocation_queries =
+      revocation_queries_.load(std::memory_order_relaxed);
   out.found = found_.load(std::memory_order_relaxed);
   out.not_found = not_found_.load(std::memory_order_relaxed);
   out.stats_requests = stats_requests_.load(std::memory_order_relaxed);
@@ -500,6 +564,7 @@ void NotaryService::render_stats_into(std::string& out) const {
       "requests: %" PRIu64 "\n"
       "queries: %" PRIu64 " (found %" PRIu64 ", unknown %" PRIu64 ")\n"
       "batch-queries: %" PRIu64 " (entries %" PRIu64 ")\n"
+      "revocation-queries: %" PRIu64 "\n"
       "pings: %" PRIu64 "\n"
       "stats-requests: %" PRIu64 "\n"
       "bad-requests: %" PRIu64 "\n"
@@ -513,7 +578,8 @@ void NotaryService::render_stats_into(std::string& out) const {
       "snapshot-requests: %" PRIu64 "\n"
       "cache-invalidations: %" PRIu64 "\n",
       snap->index->size(), m.requests, m.queries, m.found, m.not_found,
-      m.batch_queries, m.batch_entries, m.pings, m.stats_requests,
+      m.batch_queries, m.batch_entries, m.revocation_queries, m.pings,
+      m.stats_requests,
       m.bad_requests, m.cache_hits, m.cache_misses,
       util::percent(m.cache_hit_rate()).c_str(), m.latency.p50_us,
       m.latency.p99_us, m.latency.max_us, m.latency.overflow,

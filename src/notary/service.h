@@ -89,6 +89,8 @@ struct NotaryMetricsSnapshot {
   std::uint64_t queries = 0;        ///< kQuery frames
   std::uint64_t batch_queries = 0;  ///< kBatchQuery frames
   std::uint64_t batch_entries = 0;  ///< fingerprints across all batches
+  /// kRevocationQuery frames (single and batch forms both count once).
+  std::uint64_t revocation_queries = 0;
   /// Lookups answered kCertInfo / kNotFound — single queries and batch
   /// entries both count, so found + not_found can exceed queries.
   std::uint64_t found = 0;
@@ -133,7 +135,11 @@ class NotaryService {
   /// is the hot path: a cache-hit query allocates nothing (given `out`
   /// has capacity) and copies the rendered bytes exactly once, arena to
   /// `out`. Query payloads are the 16-byte archive fingerprint or a full
-  /// 32-byte SHA-256 (truncated).
+  /// 32-byte SHA-256 (truncated). kRevocationQuery takes the same single
+  /// payload, or a batch-query payload (u32le count + 16-byte
+  /// fingerprints) answered as one kBatchInfo of kRevocationInfo /
+  /// kNotFound entries; the tiny revocation render bypasses the response
+  /// cache and is itself allocation-free into a warm buffer.
   void handle_into(netio::FrameType type, std::string_view payload,
                    std::string& out);
 
@@ -254,6 +260,7 @@ class NotaryService {
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> batch_queries_{0};
   std::atomic<std::uint64_t> batch_entries_{0};
+  std::atomic<std::uint64_t> revocation_queries_{0};
   std::atomic<std::uint64_t> found_{0};
   std::atomic<std::uint64_t> not_found_{0};
   std::atomic<std::uint64_t> stats_requests_{0};

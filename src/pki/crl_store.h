@@ -13,7 +13,9 @@
 namespace sm::pki {
 
 /// Issuer-indexed CRLs; keeps the freshest (largest thisUpdate) CRL per
-/// issuer.
+/// issuer. CRLs whose nextUpdate precedes thisUpdate are malformed and
+/// rejected outright (by add and add_unverified both) — a validity window
+/// that ends before it starts cannot be reasoned about.
 class CrlStore {
  public:
   /// Verifies the CRL's signature under `issuer`'s key and that the names
@@ -21,8 +23,9 @@ class CrlStore {
   /// issuer) and returns true.
   bool add(x509::Crl crl, const x509::Certificate& issuer);
 
-  /// Stores without verification.
-  void add_unverified(x509::Crl crl);
+  /// Stores without signature verification. Returns false when the CRL is
+  /// malformed (nextUpdate < thisUpdate) or older than the stored one.
+  bool add_unverified(x509::Crl crl);
 
   /// The freshest CRL for `issuer`, or nullptr.
   const x509::Crl* find(const x509::Name& issuer) const;
@@ -30,6 +33,12 @@ class CrlStore {
   /// True when `issuer` has a CRL listing `serial`.
   bool is_revoked(const x509::Name& issuer,
                   const bignum::BigUint& serial) const;
+
+  /// True when the stored CRL for `issuer` has gone stale at `now`
+  /// (nextUpdate < now). False when there is no CRL or it carries no
+  /// nextUpdate — absence of a deadline is not staleness; callers should
+  /// treat a missing CRL as unknown/unreachable, not stale.
+  bool is_stale(const x509::Name& issuer, util::UnixTime now) const;
 
   std::size_t size() const { return by_issuer_.size(); }
 

@@ -1,12 +1,15 @@
 #include "pki/verifier.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "util/thread_pool.h"
+#include "x509/crl.h"
 
 namespace sm::pki {
 
@@ -33,6 +36,26 @@ const char* reason_cstr(InvalidReason reason) {
 }
 
 std::string to_string(InvalidReason reason) { return reason_cstr(reason); }
+
+const char* revocation_status_cstr(RevocationStatus status) {
+  switch (status) {
+    case RevocationStatus::kGood:
+      return "good";
+    case RevocationStatus::kRevoked:
+      return "revoked";
+    case RevocationStatus::kStaleCrl:
+      return "stale-crl";
+    case RevocationStatus::kUnreachable:
+      return "unreachable";
+    case RevocationStatus::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string to_string(RevocationStatus status) {
+  return revocation_status_cstr(status);
+}
 
 bool is_self_signature(const x509::Certificate& cert) {
   return crypto::verify(cert.spki, cert.tbs_der, cert.signature);
@@ -316,6 +339,151 @@ std::vector<ValidationResult> BatchVerifier::verify_all(
                          for (std::size_t i = begin; i < end; ++i) {
                            results[i] = base_.verify_impl(leaves[i], {},
                                                           memo_.get());
+                         }
+                       });
+  return results;
+}
+
+namespace {
+
+// Everything a revocation pass learns about one issuer's CRL: computed
+// once per issuer per check_revocation_all call and shared by every
+// certificate naming that issuer. The entry is a pure function of
+// (source, issuer_key, now, stores), so racing threads that compute it
+// twice produce identical values and the emplace winner is
+// indistinguishable from the loser — same determinism argument as
+// VerifierMemo.
+struct CrlVerdict {
+  bool reachable = false;  ///< the distribution point answered
+  bool verified = false;   ///< parsed + issuer signature checked + sane dates
+  bool stale = false;      ///< nextUpdate < now
+  std::vector<std::string> revoked_hex;  ///< revoked serials, sorted hex
+};
+
+struct CrlMemo {
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const CrlVerdict>> map;
+  };
+  Shard shard[kShards];
+
+  Shard& shard_for(std::string_view issuer_key) {
+    return shard[std::hash<std::string_view>{}(issuer_key) % kShards];
+  }
+};
+
+}  // namespace
+
+std::vector<RevocationStatus> BatchVerifier::check_revocation_all(
+    std::span<const RevocationQuery> queries, const RevocationSource& source,
+    util::UnixTime now, util::ThreadPool* pool) const {
+  const RootStore& roots = base_.roots_;
+  const IntermediatePool& intermediates = base_.intermediates_;
+
+  // The memo is per call, not per verifier: `source` and `now` vary
+  // between calls, and tying the cache to their values would just re-grow
+  // it anyway. Within one batch every certificate of an issuer shares one
+  // fetch + parse + signature check.
+  CrlMemo memo;
+
+  const auto compute_verdict = [&](std::string_view issuer_key) {
+    auto verdict = std::make_shared<CrlVerdict>();
+    util::Bytes der;
+    if (!source.fetch_crl(issuer_key, der)) return verdict;
+    verdict->reachable = true;
+    std::optional<x509::Crl> crl = x509::parse_crl(der);
+    if (!crl.has_value()) return verdict;
+    // A CRL whose nextUpdate precedes thisUpdate is malformed, not merely
+    // stale — same rule CrlStore::add enforces.
+    if (crl->next_update.has_value() &&
+        *crl->next_update < crl->this_update) {
+      return verdict;
+    }
+    // The CRL is only trusted when a store-resident certificate with the
+    // CRL's issuer name verifies its signature — the same stores the
+    // chain walk trusts.
+    const SubjectKey key = subject_lookup_key(crl->issuer);
+    bool signed_by_issuer = false;
+    const auto try_issuer = [&](const x509::Certificate& cand) {
+      if (signed_by_issuer) return;
+      if (!(cand.subject == crl->issuer)) return;
+      if (crypto::verify(cand.spki, crl->tbs_der, crl->signature)) {
+        signed_by_issuer = true;
+      }
+    };
+    for (const std::size_t index : roots.matches(key)) {
+      try_issuer(roots.at(index));
+    }
+    for (const std::size_t index : intermediates.matches(key)) {
+      try_issuer(intermediates.at(index));
+    }
+    if (!signed_by_issuer) return verdict;
+    verdict->verified = true;
+    verdict->stale = crl->next_update.has_value() && *crl->next_update < now;
+    verdict->revoked_hex.reserve(crl->revoked.size());
+    for (const x509::RevokedEntry& entry : crl->revoked) {
+      verdict->revoked_hex.push_back(entry.serial.to_hex());
+    }
+    std::sort(verdict->revoked_hex.begin(), verdict->revoked_hex.end());
+    return verdict;
+  };
+
+  const auto crl_verdict = [&](const std::string& issuer_key) {
+    CrlMemo::Shard& shard = memo.shard_for(issuer_key);
+    {
+      std::lock_guard lock(shard.mutex);
+      if (const auto it = shard.map.find(issuer_key);
+          it != shard.map.end()) {
+        return it->second;
+      }
+    }
+    // Computed outside the lock; a racing duplicate is pure and identical.
+    std::shared_ptr<const CrlVerdict> verdict = compute_verdict(issuer_key);
+    std::lock_guard lock(shard.mutex);
+    return shard.map.emplace(issuer_key, std::move(verdict)).first->second;
+  };
+
+  const auto status_of = [&](const RevocationQuery& q) {
+    if (q.has_ocsp) {
+      switch (source.ocsp(q.issuer_key, q.serial_hex)) {
+        case RevocationSource::OcspAnswer::kGood:
+          return RevocationStatus::kGood;
+        case RevocationSource::OcspAnswer::kRevoked:
+          return RevocationStatus::kRevoked;
+        case RevocationSource::OcspAnswer::kUnknown:
+          return RevocationStatus::kUnknown;
+        case RevocationSource::OcspAnswer::kUnreachable:
+          // Fall back to the CRL when one is advertised; otherwise every
+          // advertised endpoint failed.
+          if (!q.has_crl) return RevocationStatus::kUnreachable;
+          break;
+      }
+    }
+    if (!q.has_crl) return RevocationStatus::kUnknown;
+    const std::shared_ptr<const CrlVerdict> verdict =
+        crl_verdict(q.issuer_key);
+    if (!verdict->reachable) return RevocationStatus::kUnreachable;
+    if (!verdict->verified) return RevocationStatus::kUnknown;
+    // A revoked entry outranks staleness: even an expired CRL is positive
+    // evidence of revocation.
+    if (std::binary_search(verdict->revoked_hex.begin(),
+                           verdict->revoked_hex.end(), q.serial_hex)) {
+      return RevocationStatus::kRevoked;
+    }
+    if (verdict->stale) return RevocationStatus::kStaleCrl;
+    return RevocationStatus::kGood;
+  };
+
+  std::vector<RevocationStatus> results(queries.size(),
+                                        RevocationStatus::kUnknown);
+  util::ThreadPool& workers =
+      pool != nullptr ? *pool : util::ThreadPool::global();
+  workers.parallel_for(queries.size(), 32,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           results[i] = status_of(queries[i]);
                          }
                        });
   return results;

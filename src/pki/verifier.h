@@ -25,10 +25,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pki/crl_store.h"
 #include "pki/root_store.h"
+#include "util/bytes.h"
 #include "x509/certificate.h"
 
 namespace sm::util {
@@ -56,6 +58,67 @@ std::string to_string(InvalidReason reason);
 /// Same label as a static string — for render paths that append into a
 /// caller-supplied buffer without allocating.
 const char* reason_cstr(InvalidReason reason);
+
+/// Revocation status of one certificate, orthogonal to InvalidReason: a
+/// chain-valid certificate may be revoked, and an invalid one may still
+/// have a perfectly fresh CRL. Mirrors the taxonomy of "Revocation
+/// Statuses on the Internet" (Korzhitskii & Carlsson): many certificates
+/// are unclassifiable because their distribution points are stale or
+/// unreachable, not because they were checked and found good.
+enum class RevocationStatus : std::uint8_t {
+  kGood = 0,      ///< authoritative fresh answer: not revoked
+  kRevoked,       ///< listed by its issuer (CRL entry or OCSP revoked)
+  kStaleCrl,      ///< only evidence is a CRL whose nextUpdate has passed
+  kUnreachable,   ///< every advertised distribution point failed
+  kUnknown,       ///< no distribution points, or responder answered unknown
+};
+
+/// Human-readable status label.
+std::string to_string(RevocationStatus status);
+
+/// Same label as a static string — for render paths that append into a
+/// caller-supplied buffer without allocating.
+const char* revocation_status_cstr(RevocationStatus status);
+
+/// Where CRLs and OCSP answers come from during a revocation pass. In
+/// production this would wrap HTTP fetches; in the simulated world
+/// revocation::Ecosystem implements it in-process. Implementations must be
+/// safe to call concurrently and pure (same inputs, same answer) — the
+/// batch pass memoizes per-issuer results and fans out on a thread pool.
+class RevocationSource {
+ public:
+  /// OCSP-style answer for one (issuer, serial) pair.
+  enum class OcspAnswer : std::uint8_t {
+    kGood = 0,
+    kRevoked,
+    kUnknown,      ///< responder is up but has no status for the serial
+    kUnreachable,  ///< responder did not answer
+  };
+
+  virtual ~RevocationSource() = default;
+
+  /// Fetches the current CRL published by `issuer_key` (an issuer DN
+  /// rendering, scan::CertRecord::issuer_dn). Returns false when the
+  /// distribution point is unreachable; on success appends the DER
+  /// CertificateList to `der`.
+  virtual bool fetch_crl(std::string_view issuer_key,
+                         util::Bytes& der) const = 0;
+
+  /// Asks `issuer_key`'s responder about `serial_hex`
+  /// (scan::CertRecord::serial_hex, i.e. bignum::BigUint::to_hex).
+  virtual OcspAnswer ocsp(std::string_view issuer_key,
+                          std::string_view serial_hex) const = 0;
+};
+
+/// One certificate's revocation-check inputs, derived from archive fields
+/// (the corpus keeps no DER, so the pass is keyed by the issuer DN
+/// rendering and hex serial the scanner recorded).
+struct RevocationQuery {
+  std::string issuer_key;   ///< scan::CertRecord::issuer_dn
+  std::string serial_hex;   ///< scan::CertRecord::serial_hex
+  bool has_crl = false;     ///< certificate advertised a CRL-DP URL
+  bool has_ocsp = false;    ///< certificate advertised an OCSP URL
+};
 
 /// Outcome of verifying one certificate.
 struct ValidationResult {
@@ -150,6 +213,19 @@ class BatchVerifier {
   std::vector<ValidationResult> verify_all(
       std::span<const x509::Certificate> leaves,
       util::ThreadPool* pool = nullptr) const;
+
+  /// Revocation pass over a batch of certificates: per-issuer CRL
+  /// fetch/parse/signature-check is done once (sharded memo, like the
+  /// per-CA chain checks) and shared by every certificate of that issuer.
+  /// CRL signatures are verified against the root store / intermediate
+  /// pool this verifier was built over; an unverifiable CRL yields
+  /// kUnknown, never kGood. `now` is the staleness instant for
+  /// nextUpdate. results[i] corresponds to queries[i] and is bit-identical
+  /// for every thread count. The memo lives for this call only, so
+  /// `source` need not outlive it.
+  std::vector<RevocationStatus> check_revocation_all(
+      std::span<const RevocationQuery> queries, const RevocationSource& source,
+      util::UnixTime now, util::ThreadPool* pool = nullptr) const;
 
   /// Lifetime counters (call when no verification is in flight).
   BatchVerifyStats stats() const;

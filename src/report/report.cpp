@@ -6,6 +6,7 @@
 
 #include "analysis/diversity.h"
 #include "analysis/longevity.h"
+#include "analysis/revocation.h"
 
 namespace sm::report {
 
@@ -94,6 +95,13 @@ std::string render_report(const analysis::DatasetIndex& index,
       appendf(out, "  %-46s %llu\n", row.label.c_str(),
               static_cast<unsigned long long>(row.certs));
     }
+  }
+
+  if (options.revocation_statuses != nullptr) {
+    const RevocationBreakdown rb = compute_revocation_breakdown(
+        archive, *options.revocation_statuses, options.top_n);
+    out += "\n-- revocation (CRL/OCSP ecosystem) --\n";
+    out += render_revocation_table(rb);
   }
 
   if (options.linking || options.tracking) {

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 
 #include "analysis/dataset.h"
 #include "linking/linker.h"
 #include "net/as_database.h"
+#include "pki/verifier.h"
 #include "tracking/tracker.h"
 
 namespace sm::report {
@@ -21,6 +23,12 @@ struct ReportOptions {
   bool linking = false;    ///< Tables 5-6, §6.4 (runs the linker)
   bool tracking = false;   ///< §7 (runs linker + tracker)
   std::size_t top_n = 5;   ///< rows in top-issuer / top-AS tables
+  /// Revocation statuses per fingerprint (borrowed; e.g.
+  /// simworld::WorldResult::revocation.statuses). Non-null adds the
+  /// "revocation statuses: invalid vs. valid certs" table.
+  const std::unordered_map<scan::CertFingerprint, pki::RevocationStatus,
+                           scan::FingerprintHash>* revocation_statuses =
+      nullptr;
 };
 
 /// Renders the selected sections for `archive`/`index` into one string.

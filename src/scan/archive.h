@@ -78,16 +78,6 @@ class ScanArchive {
   std::size_t observation_count() const { return observation_count_; }
 
  private:
-  struct FingerprintHash {
-    std::size_t operator()(const CertFingerprint& fp) const {
-      // The fingerprint is already uniformly-random hash output — its
-      // first 8 bytes ARE a perfectly good hash value; no mixing needed.
-      std::uint64_t h = 0;
-      std::memcpy(&h, fp.data(), sizeof h);
-      return static_cast<std::size_t>(h);
-    }
-  };
-
   std::vector<CertRecord> certs_;
   std::unordered_map<CertFingerprint, CertId, FingerprintHash> by_fingerprint_;
   std::vector<ScanData> scans_;

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,18 @@ namespace sm::scan {
 /// 128-bit truncation of the SHA-256 certificate fingerprint — the
 /// certificate identity used for interning/deduplication.
 using CertFingerprint = std::array<std::uint8_t, 16>;
+
+/// Hash functor for fingerprint-keyed maps (the archive's intern table,
+/// the simworld revocation-status map, notary option injections). The
+/// fingerprint is already uniformly-random hash output — its first 8
+/// bytes ARE a perfectly good hash value; no mixing needed.
+struct FingerprintHash {
+  std::size_t operator()(const CertFingerprint& fp) const {
+    std::uint64_t h = 0;
+    std::memcpy(&h, fp.data(), sizeof h);
+    return static_cast<std::size_t>(h);
+  }
+};
 
 /// 64-bit truncation of the SPKI fingerprint — the public-key identity used
 /// by the key-sharing analysis and the Public Key linking feature.

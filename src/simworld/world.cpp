@@ -197,6 +197,7 @@ class World::Impl {
   void build_pki();
   void build_population();
   void build_blacklists();
+  void build_revocation();
   void maybe_move_devices();
   void run_scan(std::size_t scan_index, const scan::ScanEvent& event);
 
@@ -245,6 +246,7 @@ class World::Impl {
     crypto::SigningKey key;
     x509::Certificate cert;
   };
+  std::vector<CaEntry> root_cas_;  // retained: roots sign CRLs too
   std::map<std::string, CaEntry> trusted_intermediates_;
   std::map<std::string, CaEntry> vendor_cas_;
 
@@ -311,20 +313,21 @@ void World::Impl::build_pki() {
     return entry;
   };
 
-  // Trusted roots.
-  std::vector<CaEntry> roots;
+  // Trusted roots (retained in root_cas_: they sign the revocation
+  // ecosystem's CRLs after the campaigns).
   for (int i = 0; i < 3; ++i) {
-    roots.push_back(
+    root_cas_.push_back(
         make_ca("SM Research Root CA " + std::to_string(i + 1), nullptr,
                 static_cast<std::uint64_t>(100 + i)));
-    result_.roots.add(roots.back().cert);
+    result_.roots.add(root_cas_.back().cert);
   }
 
   // One trusted intermediate per distinct website issuer name.
   std::uint64_t serial = 1000;
   for (const VendorProfile& profile : website_profiles_) {
     if (trusted_intermediates_.contains(profile.fixed_issuer)) continue;
-    const CaEntry& parent = roots[trusted_intermediates_.size() % roots.size()];
+    const CaEntry& parent =
+        root_cas_[trusted_intermediates_.size() % root_cas_.size()];
     CaEntry entry = make_ca(profile.fixed_issuer, &parent, ++serial);
     intermediates_.add(entry.cert);
     trusted_intermediates_.emplace(profile.fixed_issuer, std::move(entry));
@@ -892,6 +895,69 @@ void World::Impl::run_scan(std::size_t scan_index,
   }
 }
 
+// --- revocation ecosystem ---------------------------------------------------
+
+void World::Impl::build_revocation() {
+  const WorldConfig::RevocationKnobs& knobs = config_.revocation;
+
+  revocation::EcosystemConfig eco;
+  eco.seed = mix3(config_.seed, 0x4e0c, 0);
+  // Clients check one day after the last scan starts, so "fresh" CRLs
+  // published the day before are still inside their validity window.
+  eco.check_time = study_end_ + kDay;
+  eco.stale_fraction = knobs.stale_fraction;
+  eco.unreachable_fraction = knobs.unreachable_fraction;
+  eco.ocsp_unknown_fraction = knobs.ocsp_unknown_fraction;
+  eco.ocsp_unreachable_fraction = knobs.ocsp_unreachable_fraction;
+  eco.baseline_revoked_fraction = knobs.baseline_revoked_fraction;
+  eco.mass_event_enabled = knobs.mass_event_enabled;
+  eco.mass_event_issuer =
+      x509::Name::with_common_name(knobs.mass_event_ca).to_string();
+  eco.mass_event_fraction = knobs.mass_event_fraction;
+  eco.mass_event_time = study_start_ + (study_end_ - study_start_) / 2;
+
+  auto ecosystem = std::make_shared<revocation::Ecosystem>(eco);
+  // Every CA is a publisher, and every CA certificate is store-resident
+  // (roots in the root store, intermediates and vendor CAs in the
+  // intermediate pool), so clients can verify every CRL signature.
+  for (const CaEntry& root : root_cas_) {
+    ecosystem->add_authority(root.cert.subject.to_string(), root.cert,
+                             root.key, /*trusted=*/true);
+  }
+  for (const auto& [name, entry] : trusted_intermediates_) {
+    ecosystem->add_authority(entry.cert.subject.to_string(), entry.cert,
+                             entry.key, /*trusted=*/true);
+  }
+  for (const auto& [name, entry] : vendor_cas_) {
+    ecosystem->add_authority(entry.cert.subject.to_string(), entry.cert,
+                             entry.key, /*trusted=*/true);
+  }
+  const std::vector<scan::CertRecord>& certs = result_.archive.certs();
+  for (const scan::CertRecord& rec : certs) {
+    ecosystem->add_certificate(rec.issuer_dn, rec.serial_hex, rec.not_before);
+  }
+  ecosystem->publish();
+
+  // Mechanism pass: the same BatchVerifier that classified every issued
+  // certificate now fetches, parses and signature-checks the published
+  // CRLs — per issuer once, shared by every certificate of that issuer.
+  std::vector<pki::RevocationQuery> queries;
+  queries.reserve(certs.size());
+  for (const scan::CertRecord& rec : certs) {
+    queries.push_back({rec.issuer_dn, rec.serial_hex, !rec.crl_url.empty(),
+                       !rec.ocsp_url.empty()});
+  }
+  const std::vector<pki::RevocationStatus> statuses =
+      verifier_->check_revocation_all(queries, *ecosystem, eco.check_time,
+                                      &workers_);
+  result_.revocation.statuses.reserve(certs.size());
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    result_.revocation.statuses.emplace(certs[i].fingerprint, statuses[i]);
+  }
+  result_.revocation.ecosystem = std::move(ecosystem);
+  result_.revocation.check_time = eco.check_time;
+}
+
 WorldResult World::Impl::run() {
   util::Rng schedule_rng = rng_at(0x5c4ed, 0, 0);
   result_.schedule = scan::make_paper_schedule(config_.schedule, schedule_rng);
@@ -917,6 +983,7 @@ WorldResult World::Impl::run() {
         result_.archive.begin_scan(result_.schedule[i]);
     run_scan(scan_index, result_.schedule[i]);
   }
+  if (config_.revocation.enabled) build_revocation();
   result_.verify_stats = verifier_->stats();
   return std::move(result_);
 }

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/signature.h"
@@ -22,6 +24,7 @@
 #include "net/route_table.h"
 #include "pki/root_store.h"
 #include "pki/verifier.h"
+#include "revocation/ecosystem.h"
 #include "scan/archive.h"
 #include "scan/prefix_set.h"
 #include "scan/schedule.h"
@@ -70,6 +73,26 @@ struct WorldConfig {
   /// RSA modulus bits when scheme == kRsaSha256.
   std::size_t rsa_bits = 512;
 
+  /// Revocation-ecosystem knobs. After the scan campaigns finish, every CA
+  /// publishes CRL editions and answers OCSP in-process
+  /// (revocation::Ecosystem), and the BatchVerifier's revocation pass
+  /// classifies every archived certificate as of one day past the last
+  /// scan. The mass-revocation event (a Heartbleed analog) strikes
+  /// `mass_event_ca` at the campaign midpoint.
+  struct RevocationKnobs {
+    bool enabled = true;
+    double stale_fraction = 0.15;
+    double unreachable_fraction = 0.10;
+    double ocsp_unknown_fraction = 0.10;
+    double ocsp_unreachable_fraction = 0.10;
+    double baseline_revoked_fraction = 0.02;
+    bool mass_event_enabled = true;
+    /// Common name of the victim CA (a website issuer archetype).
+    std::string mass_event_ca = "Go Daddy Secure Certification Authority";
+    double mass_event_fraction = 0.5;
+  };
+  RevocationKnobs revocation;
+
   /// A small, fast world for unit tests.
   static WorldConfig tiny();
 
@@ -104,6 +127,24 @@ struct WorldResult {
   /// issued certificate (all zero when the result was loaded from a bundle
   /// rather than simulated).
   pki::BatchVerifyStats verify_stats;
+
+  /// Revocation pass output. The statuses live *outside* the archive
+  /// (keyed by fingerprint, like the notary's key-count injection) so the
+  /// archive bytes — and every golden hash over them — are untouched by
+  /// the revocation subsystem. Empty/null when the pass was disabled or
+  /// the result was loaded from a bundle.
+  struct RevocationOutcome {
+    /// The publishers; kept alive for analysis ground truth, notary
+    /// serving, and benches. Shared because WorldResult is moved around.
+    std::shared_ptr<const revocation::Ecosystem> ecosystem;
+    /// Mechanism-path status per archived certificate
+    /// (BatchVerifier::check_revocation_all against the ecosystem).
+    std::unordered_map<scan::CertFingerprint, pki::RevocationStatus,
+                       scan::FingerprintHash> statuses;
+    /// The instant the pass evaluated staleness at.
+    util::UnixTime check_time = 0;
+  };
+  RevocationOutcome revocation;
 };
 
 /// The simulator. Construct with a config, call run() once.

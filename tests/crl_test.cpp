@@ -216,10 +216,77 @@ TEST(CrlStore, KeepsFreshestCrl) {
                           .sign(ca_key);
   pki::CrlStore store;
   EXPECT_TRUE(store.add(new_crl, ca));
-  EXPECT_TRUE(store.add(old_crl, ca));  // accepted but not kept
+  // A well-signed but older edition is not kept — and says so.
+  EXPECT_FALSE(store.add(old_crl, ca));
   EXPECT_EQ(store.size(), 1u);
   EXPECT_FALSE(store.is_revoked(ca.subject, bignum::BigUint(1)));
   EXPECT_TRUE(store.is_revoked(ca.subject, bignum::BigUint(2)));
+}
+
+TEST(CrlStore, RejectsNextUpdateBeforeThisUpdate) {
+  const auto ca_key = sim_key(30);
+  const auto ca = make_ca("Backwards CA", ca_key);
+  // nextUpdate earlier than thisUpdate: a malformed validity window the
+  // store refuses even though the signature verifies.
+  const Crl backwards = CrlBuilder()
+                            .set_issuer(ca.subject)
+                            .set_this_update(util::make_date(2014, 6, 1))
+                            .set_next_update(util::make_date(2014, 5, 1))
+                            .add_revoked(bignum::BigUint(5), 0)
+                            .sign(ca_key);
+  pki::CrlStore store;
+  EXPECT_FALSE(store.add(backwards, ca));
+  EXPECT_FALSE(store.add_unverified(backwards));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.is_revoked(ca.subject, bignum::BigUint(5)));
+
+  // The degenerate-but-legal equal-boundary window is accepted.
+  const Crl instant = CrlBuilder()
+                          .set_issuer(ca.subject)
+                          .set_this_update(util::make_date(2014, 6, 1))
+                          .set_next_update(util::make_date(2014, 6, 1))
+                          .sign(ca_key);
+  EXPECT_TRUE(store.add(instant, ca));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CrlStore, StalenessEdges) {
+  const auto ca_key = sim_key(31);
+  const auto ca = make_ca("Stale CA", ca_key);
+  const util::UnixTime next = util::make_date(2014, 7, 1);
+  const Crl dated = CrlBuilder()
+                        .set_issuer(ca.subject)
+                        .set_this_update(util::make_date(2014, 6, 1))
+                        .set_next_update(next)
+                        .sign(ca_key);
+  pki::CrlStore store;
+  // No CRL for the issuer: not stale (there is nothing to be stale).
+  EXPECT_FALSE(store.is_stale(ca.subject, next + 1));
+  ASSERT_TRUE(store.add(dated, ca));
+  EXPECT_FALSE(store.is_stale(ca.subject, next - 1));
+  EXPECT_FALSE(store.is_stale(ca.subject, next));  // deadline instant: fresh
+  EXPECT_TRUE(store.is_stale(ca.subject, next + 1));
+
+  // A replacement edition pushes the deadline out again.
+  const Crl fresher = CrlBuilder()
+                          .set_issuer(ca.subject)
+                          .set_this_update(util::make_date(2014, 7, 15))
+                          .set_next_update(util::make_date(2014, 8, 15))
+                          .sign(ca_key);
+  ASSERT_TRUE(store.add(fresher, ca));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.is_stale(ca.subject, next + 1));
+  EXPECT_TRUE(store.is_stale(ca.subject, util::make_date(2014, 9, 1)));
+
+  // Absence of a nextUpdate deadline is not staleness.
+  const auto quiet_key = sim_key(32);
+  const auto quiet = make_ca("No Deadline CA", quiet_key);
+  const Crl open_ended = CrlBuilder()
+                             .set_issuer(quiet.subject)
+                             .set_this_update(util::make_date(2010, 1, 1))
+                             .sign(quiet_key);
+  ASSERT_TRUE(store.add(open_ended, quiet));
+  EXPECT_FALSE(store.is_stale(quiet.subject, util::make_date(2030, 1, 1)));
 }
 
 // --- verifier integration ------------------------------------------------------------

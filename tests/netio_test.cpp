@@ -89,18 +89,37 @@ TEST(FrameCodec, DrainsPipelinedFramesInOrder) {
   EXPECT_EQ(decoder.next(out), DecodeStatus::kNeedMore);
 }
 
-TEST(FrameCodec, RejectsUnknownType) {
+TEST(FrameCodec, DecodesUnknownTypeWhenWellFramed) {
+  // Forward compatibility: a type byte this build does not know is NOT a
+  // framing violation — a newer peer may legitimately send it, and the
+  // handler answers kError without dropping the connection. The decoder
+  // surfaces the frame; only the length limit and the CRC police garbage.
+  const auto future_type = static_cast<FrameType>(0x7f);
+  ASSERT_FALSE(is_known_frame_type(0x7f));
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(future_type, "from the future"));
+  Frame out;
+  ASSERT_EQ(decoder.next(out), DecodeStatus::kFrame);
+  EXPECT_EQ(out.type, future_type);
+  EXPECT_EQ(out.payload, "from the future");
+  EXPECT_FALSE(decoder.poisoned());
+  // The stream stays healthy: a known frame decodes right after it.
+  decoder.feed(encode_frame(FrameType::kPing, "y"));
+  ASSERT_EQ(decoder.next(out), DecodeStatus::kFrame);
+  EXPECT_EQ(out.type, FrameType::kPing);
+}
+
+TEST(FrameCodec, TypeByteIsChecksummed) {
+  // Flipping the type byte on the wire without re-running the CRC is
+  // corruption, not a future protocol — the checksum covers the type.
   std::string wire = encode_frame(FrameType::kPing, "x");
-  wire[0] = 0x7f;  // not a FrameType
+  wire[0] = 0x7f;
   FrameDecoder decoder;
   decoder.feed(wire);
   Frame out;
   EXPECT_EQ(decoder.next(out), DecodeStatus::kMalformed);
   EXPECT_TRUE(decoder.poisoned());
-  EXPECT_NE(decoder.error().find("unknown"), std::string::npos);
-  // Poisoning is sticky: more (valid) bytes do not revive the stream.
-  decoder.feed(encode_frame(FrameType::kPing, "y"));
-  EXPECT_EQ(decoder.next(out), DecodeStatus::kMalformed);
+  EXPECT_NE(decoder.error().find("checksum"), std::string::npos);
 }
 
 TEST(FrameCodec, RejectsOversizedLengthBeforeBuffering) {

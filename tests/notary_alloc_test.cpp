@@ -164,6 +164,49 @@ TEST_F(NotaryAllocTest, BatchHitPathIsAllocationFree) {
   EXPECT_EQ(service.metrics().cache_hits, 8u * fps.size());
 }
 
+TEST_F(NotaryAllocTest, RevocationQueryPathIsAllocationFree) {
+  const auto& world = micro_world();
+  NotaryIndexOptions options;
+  options.revocation_statuses = &world.revocation.statuses;
+  const NotaryIndex index(micro_spine(), options);
+  NotaryServiceConfig config;
+  config.cache_bytes = 16 << 20;
+  NotaryService service(index, config);
+
+  const std::string known = fp_payload(world.archive.cert(0).fingerprint);
+  scan::CertFingerprint missing{};
+  missing.fill(0xfe);
+  const std::string unknown = fp_payload(missing);
+  std::string out;
+  out.reserve(64 << 10);
+
+  // Warm once: the revocation render bypasses the response cache — the
+  // status byte lives in the flat knowledge row — so after the buffer is
+  // warm EVERY revocation query is allocation-free, not just repeats.
+  out.clear();
+  service.handle_into(netio::FrameType::kRevocationQuery, known, out);
+
+  for (int i = 0; i < 8; ++i) {
+    out.clear();
+    EXPECT_EQ(allocs_during([&] {
+                service.handle_into(netio::FrameType::kRevocationQuery,
+                                    known, out);
+              }),
+              0u)
+        << "hit iteration " << i;
+    out.clear();
+    EXPECT_EQ(allocs_during([&] {
+                service.handle_into(netio::FrameType::kRevocationQuery,
+                                    unknown, out);
+              }),
+              0u)
+        << "miss iteration " << i;
+  }
+  EXPECT_EQ(static_cast<std::uint8_t>(out[0]),
+            static_cast<std::uint8_t>(netio::FrameType::kNotFound));
+  EXPECT_EQ(service.metrics().revocation_queries, 17u);
+}
+
 TEST_F(NotaryAllocTest, CacheMissStaysWithinFixedAllocationBound) {
   const auto& world = micro_world();
   const NotaryIndex index(micro_spine());

@@ -85,7 +85,9 @@ class RouterWorldTest : public ::testing::Test {
 
     oracle_spine_ = new corpus::CorpusIndex(
         full, corpus::CorpusOptions{&world_->routing, nullptr});
-    oracle_index_ = new NotaryIndex(*oracle_spine_);
+    NotaryIndexOptions oracle_options;
+    oracle_options.revocation_statuses = &world_->revocation.statuses;
+    oracle_index_ = new NotaryIndex(*oracle_spine_, oracle_options);
     oracle_ = new NotaryService(*oracle_index_);
 
     backends_ = new std::array<Backend, kShardCount>();
@@ -100,6 +102,8 @@ class RouterWorldTest : public ::testing::Test {
                             corpus::CorpusOptions{&world_->routing, nullptr});
       NotaryIndexOptions options;
       options.key_counts = key_counts_;
+      // Fingerprint-keyed, so each slice picks out its own subset.
+      options.revocation_statuses = &world_->revocation.statuses;
       backend.index.emplace(*backend.spine, options);
       backend.service.emplace(*backend.index);
       backend.serve();
@@ -249,6 +253,81 @@ TEST_F(RouterWorldTest, BatchEqualsSequenceOfSingles) {
     EXPECT_EQ(entries[i].status, single.type) << "entry " << i;
     EXPECT_EQ(entries[i].body, single.payload) << "entry " << i;
   }
+}
+
+// Revocation queries route exactly like certificate queries: every
+// corpus fingerprint plus fuzzed misses, singles and one all-shard
+// batch, each byte-identical to the unsharded oracle.
+TEST_F(RouterWorldTest, RevocationRoutingMatchesSingleProcessOracle) {
+  LoopbackClient client(router_port());
+  ASSERT_TRUE(client.connected());
+
+  std::vector<scan::CertFingerprint> probes;
+  for (const scan::CertRecord& cert : world_->archive.certs()) {
+    probes.push_back(cert.fingerprint);
+  }
+  std::mt19937_64 rng(0x5eed);
+  for (int i = 0; i < 100; ++i) {
+    scan::CertFingerprint fp;
+    for (auto& b : fp) b = static_cast<std::uint8_t>(rng());
+    probes.push_back(fp);
+  }
+
+  bool saw_revoked = false;
+  netio::Frame routed;
+  for (const scan::CertFingerprint& fp : probes) {
+    const std::string payload = fp_payload(fp);
+    ASSERT_TRUE(
+        client.send_frame(netio::FrameType::kRevocationQuery, payload));
+    ASSERT_TRUE(client.read_frame(routed));
+    const netio::Frame direct =
+        oracle_->handle(netio::FrameType::kRevocationQuery, payload);
+    ASSERT_EQ(routed.type, direct.type);
+    ASSERT_EQ(routed.payload, direct.payload);
+    saw_revoked |= routed.payload.find("revocation: revoked") !=
+                   std::string::npos;
+  }
+  // The injected world statuses actually flow through the shards — the
+  // suite must not pass vacuously on all-unknown.
+  EXPECT_TRUE(saw_revoked);
+
+  const std::string request = encode_batch_query(probes);
+  const netio::Frame batched =
+      ask_router(netio::FrameType::kRevocationQuery, request);
+  ASSERT_EQ(batched.type, netio::FrameType::kBatchInfo);
+  const netio::Frame direct =
+      oracle_->handle(netio::FrameType::kRevocationQuery, request);
+  EXPECT_EQ(batched.payload, direct.payload);
+}
+
+// Protocol forward compatibility, end to end over real sockets: a
+// well-framed frame of a type this build does not know must be answered
+// kError — and the connection must stay healthy for the next request.
+TEST_F(RouterWorldTest, UnknownTypeAnswersErrorAndConnectionSurvives) {
+  LoopbackClient client(router_port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(static_cast<netio::FrameType>(0x7f),
+                                "from the future"));
+  netio::Frame response;
+  ASSERT_TRUE(client.read_frame(response));
+  EXPECT_EQ(response.type, netio::FrameType::kError);
+
+  // Same connection, normal service.
+  const scan::CertFingerprint fp = world_->archive.certs().front().fingerprint;
+  ASSERT_TRUE(client.send_frame(netio::FrameType::kQuery, fp_payload(fp)));
+  ASSERT_TRUE(client.read_frame(response));
+  EXPECT_EQ(response.type, netio::FrameType::kCertInfo);
+
+  // And straight against a backend daemon shape, bypassing the router.
+  LoopbackClient direct((*backends_)[0].port);
+  ASSERT_TRUE(direct.connected());
+  ASSERT_TRUE(direct.send_frame(static_cast<netio::FrameType>(0x70), ""));
+  ASSERT_TRUE(direct.read_frame(response));
+  EXPECT_EQ(response.type, netio::FrameType::kError);
+  ASSERT_TRUE(direct.send_frame(netio::FrameType::kPing, "still here"));
+  ASSERT_TRUE(direct.read_frame(response));
+  EXPECT_EQ(response.type, netio::FrameType::kPong);
+  EXPECT_EQ(response.payload, "still here");
 }
 
 TEST_F(RouterWorldTest, StatsAndSnapshotAggregateAcrossShards) {

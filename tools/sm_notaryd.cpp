@@ -163,7 +163,10 @@ void usage() {
       "                 (S > 0, e.g. 0.99) instead of a uniform sweep\n"
       "  --bench-open-loop R  open-loop arrivals at R requests/s: sends\n"
       "                 are scheduled, latency includes queue delay\n"
-      "  --query HEX    one-shot client query against a running daemon\n"
+      "  --query HEX    one-shot client query against a running daemon:\n"
+      "                 prints the knowledge render plus the revocation\n"
+      "                 status line; exits 0 found, 3 not in the index,\n"
+      "                 2 bad hex, 1 connect/transport failure\n"
       "  --host ADDR    server address for --query (default 127.0.0.1)\n"
       "  --ingest DIR   live mode: poll DIR for new .smar segments and\n"
       "                 publish each as a fresh index epoch (no --link)\n"
@@ -370,14 +373,17 @@ int run_query_client(const Options& opts) {
                  opts.port);
     return 1;
   }
+  // Both requests ride one connection: the knowledge render, then the
+  // revocation verdict. Exit codes stay distinct so scripts can branch:
+  // 0 found, 3 not in the index, 2 bad hex, 1 transport/protocol failure.
   const std::string payload(bytes->begin(), bytes->end());
   netio::FrameDecoder decoder;
   netio::Frame response;
   const bool ok =
       send_all(fd, netio::encode_frame(netio::FrameType::kQuery, payload)) &&
       read_frame(fd, decoder, response);
-  ::close(fd);
   if (!ok) {
+    ::close(fd);
     std::fprintf(stderr, "no response from %s:%u\n", opts.host.c_str(),
                  opts.port);
     return 1;
@@ -386,9 +392,33 @@ int run_query_client(const Options& opts) {
   if (!response.payload.empty() && response.payload.back() != '\n') {
     std::fputc('\n', stdout);
   }
-  if (response.type == netio::FrameType::kCertInfo) return 0;
-  if (response.type == netio::FrameType::kNotFound) return 3;
-  return 1;
+  if (response.type == netio::FrameType::kNotFound) {
+    ::close(fd);
+    return 3;
+  }
+  if (response.type != netio::FrameType::kCertInfo) {
+    ::close(fd);
+    return 1;
+  }
+  netio::Frame revocation;
+  const bool rev_ok =
+      send_all(fd, netio::encode_frame(netio::FrameType::kRevocationQuery,
+                                       payload)) &&
+      read_frame(fd, decoder, revocation);
+  ::close(fd);
+  if (!rev_ok) {
+    std::fprintf(stderr, "no revocation response from %s:%u\n",
+                 opts.host.c_str(), opts.port);
+    return 1;
+  }
+  if (revocation.type != netio::FrameType::kRevocationInfo) return 1;
+  // The kRevocationInfo body repeats the fingerprint line already printed
+  // above; emit only its "revocation: <status>" line.
+  const std::size_t line = revocation.payload.find("revocation: ");
+  std::fputs(line == std::string::npos ? revocation.payload.c_str()
+                                       : revocation.payload.c_str() + line,
+             stdout);
+  return 0;
 }
 
 int run_bench(const Options& opts, notary::NotaryService& service,
@@ -1082,6 +1112,13 @@ int main(int argc, char** argv) {
   }
   if (opts->has_shard) {
     index_options.key_counts = &full_key_counts;
+  }
+  // Revocation verdicts ride along when the corpus carries them (a
+  // simulated world; bundles and bare archives serve kUnknown). The map
+  // is fingerprint-keyed, so a prefix slice picks up its subset for free.
+  if (corpus.world.has_value() &&
+      !corpus.world->revocation.statuses.empty()) {
+    index_options.revocation_statuses = &corpus.world->revocation.statuses;
   }
   const notary::NotaryIndex index(spine, index_options);
   std::fprintf(stderr, "notary index: %zu certificates in %.2fs\n",

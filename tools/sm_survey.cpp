@@ -270,7 +270,14 @@ int cmd_stat(const Options& opts) {
 int cmd_report(const Options& opts) {
   const simworld::WorldResult world = obtain_world(opts);
   const analysis::DatasetIndex index(world.archive, world.routing);
-  const std::string rendered = report::render_report(index, world.as_db);
+  report::ReportOptions report_options;
+  // Simulated worlds carry the revocation pass output; bundles do not
+  // (statuses live outside the archive), so the table is conditional.
+  if (!world.revocation.statuses.empty()) {
+    report_options.revocation_statuses = &world.revocation.statuses;
+  }
+  const std::string rendered =
+      report::render_report(index, world.as_db, report_options);
   std::fputs(rendered.c_str(), stdout);
   // Validation-work counters (zero when --in loaded a prebuilt bundle —
   // classifications are baked into its CertRecords, nothing re-verifies).
