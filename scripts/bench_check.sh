@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regression gate for the notary serving benchmarks: re-runs
-# bench_notary, bench_router, bench_revocation and bench_live, and
+# bench_notary, bench_router, bench_revocation, bench_live and
+# bench_reshard, and
 # compares each benchmark family against the committed baselines in
 # bench-results/BENCH_<name>.json.
 #
@@ -36,13 +37,13 @@ done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_notary bench_router \
-    bench_revocation bench_live >/dev/null
+    bench_revocation bench_live bench_reshard >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 status=0
-for name in notary router revocation live; do
+for name in notary router revocation live reshard; do
   baseline="bench-results/BENCH_${name}.json"
   if [[ ! -f "$baseline" ]]; then
     echo "MISSING baseline $baseline" >&2

@@ -7,27 +7,99 @@
 #include "scan/archive_io.h"
 
 namespace sm::corpus {
+namespace {
+
+constexpr scan::CertId kUnmapped = scan::CertId{0xffffffff};
+
+bool strictly_increasing(const std::vector<scan::ScanData>& scans) {
+  for (std::size_t i = 1; i < scans.size(); ++i) {
+    if (scans[i].event.start <= scans[i - 1].event.start) return false;
+  }
+  return true;
+}
+
+/// Parses one SMAR stream into cert/scan vectors without touching any
+/// corpus state; the error string is set on failure. Shared by
+/// append_segment and merge_slice so both keep the parse-everything-
+/// before-mutating discipline.
+bool parse_smar(std::istream& in, const char* what,
+                std::vector<scan::CertRecord>& certs,
+                std::vector<scan::ScanData>& scans, std::string& error) {
+  scan::ArchiveReader reader(in);
+  if (!reader.ok()) {
+    error = std::string(what) + ": bad archive header";
+    return false;
+  }
+  certs.reserve(reader.cert_count());
+  if (!reader.for_each_cert(
+          [&](scan::CertId, const scan::CertRecord& cert) {
+            certs.push_back(cert);
+          })) {
+    error = std::string(what) + ": corrupt certificate section";
+    return false;
+  }
+  if (!reader.for_each_scan(
+          [&](const scan::ScanData& scan) { scans.push_back(scan); })) {
+    error = std::string(what) + ": corrupt scan section";
+    return false;
+  }
+  for (const scan::ScanData& scan : scans) {
+    for (const scan::Observation& obs : scan.observations) {
+      if (obs.cert >= certs.size()) {
+        error = std::string(what) + ": observation references unknown cert";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+struct LiveCorpus::PendingPublish {
+  std::shared_ptr<scan::ScanArchive> archive;
+  std::vector<scan::CertId> delta;
+};
+
+void LiveCorpus::publish(PendingPublish&& pending) {
+  const std::shared_ptr<const LiveSnapshot> cur = snapshot();
+  auto snap = std::make_shared<LiveSnapshot>();
+  snap->epoch = cur ? cur->epoch + 1 : 0;
+  // Build the new spine (the expensive part — readers keep serving the
+  // old epoch throughout) and publish. The release store pairs with
+  // snapshot()'s acquire load.
+  snap->spine = std::make_shared<const CorpusIndex>(
+      *pending.archive, CorpusOptions{routing_, pool_});
+  snap->archive = std::move(pending.archive);
+  snap->delta = std::move(pending.delta);
+  snap->statuses = statuses_;
+  snap->key_counts = key_counts_;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
 
 LiveCorpus::LiveCorpus(scan::ScanArchive initial,
                        const net::RoutingHistory* routing,
-                       util::ThreadPool* pool)
+                       util::ThreadPool* pool, RevocationStatusMap statuses,
+                       KeyCountMap key_counts)
     : routing_(routing), pool_(pool) {
-  auto archive =
-      std::make_shared<const scan::ScanArchive>(std::move(initial));
+  if (!statuses.empty()) {
+    statuses_ =
+        std::make_shared<const RevocationStatusMap>(std::move(statuses));
+  }
+  if (!key_counts.empty()) {
+    key_counts_ = std::make_shared<const KeyCountMap>(std::move(key_counts));
+  }
+  auto archive = std::make_shared<scan::ScanArchive>(std::move(initial));
   keys_.reserve(archive->certs().size());
   for (std::size_t i = 0; i < archive->certs().size(); ++i) {
     keys_[archive->certs()[i].key_fingerprint].push_back(
         static_cast<scan::CertId>(i));
   }
-  auto snap = std::make_shared<LiveSnapshot>();
-  snap->epoch = 0;
-  snap->spine = std::make_shared<const CorpusIndex>(
-      *archive, CorpusOptions{routing_, pool_});
-  snap->archive = std::move(archive);
-  snapshot_.store(std::move(snap), std::memory_order_release);
+  publish(PendingPublish{std::move(archive), {}});
 }
 
-AppendResult LiveCorpus::append_segment(std::istream& in) {
+AppendResult LiveCorpus::append_segment(std::istream& in,
+                                        const RevocationStatusMap* statuses) {
   std::lock_guard lock(append_mutex_);
   AppendResult result;
   const std::shared_ptr<const LiveSnapshot> cur = snapshot();
@@ -35,25 +107,10 @@ AppendResult LiveCorpus::append_segment(std::istream& in) {
   // Parse the whole segment up front: any framing/checksum/ordering
   // failure must leave the published snapshot untouched, so nothing is
   // interned until the reader has validated every byte.
-  scan::ArchiveReader reader(in);
-  if (!reader.ok()) {
-    result.error = "segment: bad archive header";
-    return result;
-  }
   std::vector<scan::CertRecord> segment_certs;
-  segment_certs.reserve(reader.cert_count());
-  if (!reader.for_each_cert(
-          [&](scan::CertId, const scan::CertRecord& cert) {
-            segment_certs.push_back(cert);
-          })) {
-    result.error = "segment: corrupt certificate section";
-    return result;
-  }
   std::vector<scan::ScanData> segment_scans;
-  if (!reader.for_each_scan([&](const scan::ScanData& scan) {
-        segment_scans.push_back(scan);
-      })) {
-    result.error = "segment: corrupt scan section";
+  if (!parse_smar(in, "segment", segment_certs, segment_scans,
+                  result.error)) {
     return result;
   }
   if (segment_scans.empty()) {
@@ -68,14 +125,6 @@ AppendResult LiveCorpus::append_segment(std::istream& in) {
           cur->archive->scans().back().event.start) {
     result.error = "segment: scans predate the current corpus";
     return result;
-  }
-  for (const scan::ScanData& scan : segment_scans) {
-    for (const scan::Observation& obs : scan.observations) {
-      if (obs.cert >= segment_certs.size()) {
-        result.error = "segment: observation references unknown cert";
-        return result;
-      }
-    }
   }
 
   // Copy-on-append: the new epoch gets its own archive; every snapshot
@@ -116,6 +165,32 @@ AppendResult LiveCorpus::append_segment(std::istream& in) {
     ++result.scans_appended;
   }
 
+  // Sidecar statuses: a changed status alters a certificate's rendered
+  // knowledge, so already-known certs whose status moved join the delta
+  // exactly like certs the scans re-observed.
+  if (statuses != nullptr && !statuses->empty()) {
+    auto next_statuses =
+        statuses_ ? std::make_shared<RevocationStatusMap>(*statuses_)
+                  : std::make_shared<RevocationStatusMap>();
+    bool dirty = false;
+    for (const auto& [fp, status] : *statuses) {
+      const auto it = next_statuses->find(fp);
+      if (it != next_statuses->end() && it->second == status) continue;
+      (*next_statuses)[fp] = status;
+      dirty = true;
+      scan::CertId id = 0;
+      if (next->find(fp, id) && id < old_cert_count) changed[id] = 1;
+    }
+    if (dirty) statuses_ = std::move(next_statuses);
+  }
+  // Injected full-corpus degrees: every newly interned certificate is a
+  // new holder of its key corpus-wide.
+  if (key_counts_ != nullptr && !new_keys.empty()) {
+    auto next_counts = std::make_shared<KeyCountMap>(*key_counts_);
+    for (const auto& [key, id] : new_keys) ++(*next_counts)[key];
+    key_counts_ = std::move(next_counts);
+  }
+
   // The delta: every pre-existing cert marked above plus every new one.
   std::vector<scan::CertId> delta;
   for (std::size_t i = 0; i < old_cert_count; ++i) {
@@ -126,19 +201,209 @@ AppendResult LiveCorpus::append_segment(std::istream& in) {
   }
   result.delta_size = delta.size();
 
-  // Build the new spine (the expensive part — readers keep serving the
-  // old epoch throughout) and publish. The release store pairs with
-  // snapshot()'s acquire load.
-  auto snap = std::make_shared<LiveSnapshot>();
-  snap->epoch = cur->epoch + 1;
-  snap->spine = std::make_shared<const CorpusIndex>(
-      *next, CorpusOptions{routing_, pool_});
-  snap->archive = std::move(next);
-  snap->delta = std::move(delta);
-
   // Commit the append-side key map only now that nothing can fail.
   for (const auto& [key, id] : new_keys) keys_[key].push_back(id);
-  snapshot_.store(std::move(snap), std::memory_order_release);
+  publish(PendingPublish{std::move(next), std::move(delta)});
+  result.ok = true;
+  return result;
+}
+
+AppendResult LiveCorpus::merge_slice(std::istream& in,
+                                     const KeyCountMap* key_counts,
+                                     const RevocationStatusMap* statuses) {
+  std::lock_guard lock(append_mutex_);
+  AppendResult result;
+  const std::shared_ptr<const LiveSnapshot> cur = snapshot();
+
+  std::vector<scan::CertRecord> slice_certs;
+  std::vector<scan::ScanData> slice_scans;
+  if (!parse_smar(in, "slice", slice_certs, slice_scans, result.error)) {
+    return result;
+  }
+  // Scans merge by start time, so starts must identify scans uniquely on
+  // both sides of the merge.
+  if (!strictly_increasing(slice_scans)) {
+    result.error = "slice: scan start times are not strictly increasing";
+    return result;
+  }
+  if (!strictly_increasing(cur->archive->scans())) {
+    result.error =
+        "corpus: scan start times are not strictly increasing; cannot "
+        "merge by timeline";
+    return result;
+  }
+
+  // Rebuild rather than copy: merging appends observations into existing
+  // scans, which the archive's append-only API cannot express in place.
+  // Interning the current certs first, in id order, keeps every existing
+  // id stable; slice certs follow (duplicates dedup, new ones append).
+  auto next = std::make_shared<scan::ScanArchive>();
+  next->reserve_certs(cur->archive->certs().size() + slice_certs.size());
+  for (const scan::CertRecord& cert : cur->archive->certs()) {
+    next->intern(cert);
+  }
+  const std::size_t old_cert_count = next->certs().size();
+  std::vector<char> changed(old_cert_count, 0);
+  std::vector<scan::CertId> global_id(slice_certs.size());
+  std::vector<std::pair<scan::KeyFingerprint, scan::CertId>> new_keys;
+  for (std::size_t i = 0; i < slice_certs.size(); ++i) {
+    const scan::KeyFingerprint key = slice_certs[i].key_fingerprint;
+    const scan::CertId id = next->intern(std::move(slice_certs[i]));
+    global_id[i] = id;
+    if (id >= old_cert_count) {
+      ++result.new_certs;
+      new_keys.emplace_back(key, id);
+      const auto it = keys_.find(key);
+      if (it != keys_.end()) {
+        for (const scan::CertId peer : it->second) changed[peer] = 1;
+      }
+    }
+  }
+
+  // Two-pointer walk over both timelines in start order. A start present
+  // on both sides is the same scan: local observations first, then the
+  // slice's (remapped) — every per-cert aggregate downstream is
+  // order-independent, so concatenation preserves byte-identical
+  // renders. A start only the slice knows becomes a new scan.
+  const std::vector<scan::ScanData>& cur_scans = cur->archive->scans();
+  std::size_t ci = 0;
+  std::size_t si = 0;
+  while (ci < cur_scans.size() || si < slice_scans.size()) {
+    const bool have_cur = ci < cur_scans.size();
+    const bool have_slice = si < slice_scans.size();
+    const bool take_cur =
+        have_cur && (!have_slice || cur_scans[ci].event.start <=
+                                        slice_scans[si].event.start);
+    const bool take_slice =
+        have_slice && (!have_cur || slice_scans[si].event.start <=
+                                        cur_scans[ci].event.start);
+    scan::ScanData merged;
+    if (take_cur) {
+      merged.event = cur_scans[ci].event;
+      merged.observations = cur_scans[ci].observations;
+      ++ci;
+    } else {
+      merged.event = slice_scans[si].event;
+      ++result.scans_appended;
+    }
+    if (take_slice) {
+      merged.observations.reserve(merged.observations.size() +
+                                  slice_scans[si].observations.size());
+      for (const scan::Observation& obs : slice_scans[si].observations) {
+        const scan::CertId id = global_id[obs.cert];
+        merged.observations.push_back({id, obs.ip, obs.device});
+        if (id < old_cert_count) changed[id] = 1;
+        ++result.observations;
+      }
+      ++si;
+    }
+    next->add_scan(std::move(merged));
+  }
+
+  // Sidecars: statuses overwrite (the sender's are authoritative for its
+  // certs), degrees take the larger value — both sides derive from the
+  // same full corpus, so the larger one is the fresher count. A degree
+  // change re-renders every local holder of that key.
+  if (statuses != nullptr && !statuses->empty()) {
+    auto next_statuses =
+        statuses_ ? std::make_shared<RevocationStatusMap>(*statuses_)
+                  : std::make_shared<RevocationStatusMap>();
+    bool dirty = false;
+    for (const auto& [fp, status] : *statuses) {
+      const auto it = next_statuses->find(fp);
+      if (it != next_statuses->end() && it->second == status) continue;
+      (*next_statuses)[fp] = status;
+      dirty = true;
+      scan::CertId id = 0;
+      if (next->find(fp, id) && id < old_cert_count) changed[id] = 1;
+    }
+    if (dirty) statuses_ = std::move(next_statuses);
+  }
+  if (key_counts != nullptr && !key_counts->empty()) {
+    auto next_counts = key_counts_
+                           ? std::make_shared<KeyCountMap>(*key_counts_)
+                           : std::make_shared<KeyCountMap>();
+    for (const auto& [key, count] : *key_counts) {
+      std::uint32_t& slot = (*next_counts)[key];
+      if (count > slot) {
+        slot = count;
+        const auto it = keys_.find(key);
+        if (it != keys_.end()) {
+          for (const scan::CertId peer : it->second) changed[peer] = 1;
+        }
+      }
+    }
+    key_counts_ = std::move(next_counts);
+  }
+
+  std::vector<scan::CertId> delta;
+  for (std::size_t i = 0; i < old_cert_count; ++i) {
+    if (changed[i] != 0) delta.push_back(static_cast<scan::CertId>(i));
+  }
+  for (std::size_t i = old_cert_count; i < next->certs().size(); ++i) {
+    delta.push_back(static_cast<scan::CertId>(i));
+  }
+  result.delta_size = delta.size();
+
+  for (const auto& [key, id] : new_keys) keys_[key].push_back(id);
+  publish(PendingPublish{std::move(next), std::move(delta)});
+  result.ok = true;
+  return result;
+}
+
+AppendResult LiveCorpus::retire_prefix(std::uint8_t lo, std::uint8_t hi) {
+  std::lock_guard lock(append_mutex_);
+  AppendResult result;
+  const std::shared_ptr<const LiveSnapshot> cur = snapshot();
+  const scan::ScanArchive& full = *cur->archive;
+
+  auto next = std::make_shared<scan::ScanArchive>();
+  std::vector<scan::CertId> local(full.certs().size(), kUnmapped);
+  for (std::size_t id = 0; id < full.certs().size(); ++id) {
+    const scan::CertRecord& cert = full.cert(static_cast<scan::CertId>(id));
+    if (cert.fingerprint[0] >= lo && cert.fingerprint[0] <= hi) continue;
+    local[id] = next->intern(cert);
+  }
+  for (const scan::ScanData& scan : full.scans()) {
+    scan::ScanData copy;
+    copy.event = scan.event;
+    for (const scan::Observation& obs : scan.observations) {
+      if (local[obs.cert] == kUnmapped) continue;
+      copy.observations.push_back({local[obs.cert], obs.ip, obs.device});
+    }
+    next->add_scan(std::move(copy));
+  }
+
+  // Ids were remapped: rebuild the key map and invalidate everything —
+  // the delta spans every id either epoch ever used, so no stale render
+  // survives under a reused id.
+  keys_.clear();
+  keys_.reserve(next->certs().size());
+  for (std::size_t i = 0; i < next->certs().size(); ++i) {
+    keys_[next->certs()[i].key_fingerprint].push_back(
+        static_cast<scan::CertId>(i));
+  }
+  if (statuses_) {
+    auto next_statuses = std::make_shared<RevocationStatusMap>();
+    next_statuses->reserve(statuses_->size());
+    for (const auto& [fp, status] : *statuses_) {
+      if (fp[0] >= lo && fp[0] <= hi) continue;
+      next_statuses->emplace(fp, status);
+    }
+    statuses_ = next_statuses->empty() ? nullptr : std::move(next_statuses);
+  }
+  // key_counts_ stays: full-corpus degrees are true regardless of which
+  // slice this daemon serves.
+
+  const std::size_t span =
+      std::max(full.certs().size(), next->certs().size());
+  std::vector<scan::CertId> delta(span);
+  for (std::size_t i = 0; i < span; ++i) {
+    delta[i] = static_cast<scan::CertId>(i);
+  }
+  result.delta_size = delta.size();
+
+  publish(PendingPublish{std::move(next), std::move(delta)});
   result.ok = true;
   return result;
 }
@@ -149,15 +414,14 @@ scan::ScanArchive extract_segment(const scan::ScanArchive& full,
   last = std::min(last, full.scans().size());
   // Dense re-intern: only the certificates these scans observe, in
   // first-observation order.
-  std::vector<scan::CertId> local(full.certs().size(),
-                                  scan::CertId{0xffffffff});
+  std::vector<scan::CertId> local(full.certs().size(), kUnmapped);
   for (std::size_t s = first; s < last; ++s) {
     const scan::ScanData& scan = full.scans()[s];
     scan::ScanData copy;
     copy.event = scan.event;
     copy.observations.reserve(scan.observations.size());
     for (const scan::Observation& obs : scan.observations) {
-      if (local[obs.cert] == scan::CertId{0xffffffff}) {
+      if (local[obs.cert] == kUnmapped) {
         local[obs.cert] = segment.intern(full.cert(obs.cert));
       }
       copy.observations.push_back({local[obs.cert], obs.ip, obs.device});
@@ -168,22 +432,23 @@ scan::ScanArchive extract_segment(const scan::ScanArchive& full,
 }
 
 scan::ScanArchive extract_prefix_slice(const scan::ScanArchive& full,
-                                       std::uint8_t lo, std::uint8_t hi) {
+                                       std::uint8_t lo, std::uint8_t hi,
+                                       std::size_t first_scan) {
   scan::ScanArchive slice;
   // Intern pass first, in original id order: a shard must know every
   // in-range certificate the full corpus interned, observed or not.
-  std::vector<scan::CertId> local(full.certs().size(),
-                                  scan::CertId{0xffffffff});
+  std::vector<scan::CertId> local(full.certs().size(), kUnmapped);
   for (std::size_t id = 0; id < full.certs().size(); ++id) {
     const scan::CertRecord& cert = full.cert(static_cast<scan::CertId>(id));
     if (cert.fingerprint[0] < lo || cert.fingerprint[0] > hi) continue;
     local[id] = slice.intern(cert);
   }
-  for (const scan::ScanData& scan : full.scans()) {
+  for (std::size_t s = first_scan; s < full.scans().size(); ++s) {
+    const scan::ScanData& scan = full.scans()[s];
     scan::ScanData copy;
     copy.event = scan.event;
     for (const scan::Observation& obs : scan.observations) {
-      if (local[obs.cert] == scan::CertId{0xffffffff}) continue;
+      if (local[obs.cert] == kUnmapped) continue;
       copy.observations.push_back({local[obs.cert], obs.ip, obs.device});
     }
     slice.add_scan(std::move(copy));

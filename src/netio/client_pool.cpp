@@ -199,12 +199,27 @@ struct ClientPool::Impl {
     std::atomic<std::uint64_t> reconnects{0};
   };
 
+  // The backend list is immutable once published: add_backend copies it,
+  // appends, and release-stores the new list (RCU). Readers (call paths,
+  // the prober, counters) acquire-load a snapshot and index into it;
+  // Backend objects themselves are shared_ptr-owned, so a snapshot taken
+  // before an add keeps working unchanged. Backends are never removed —
+  // a retired shard's backend just stops being named by any routing
+  // table, its counters still visible in ROUTER-STATS.
+  using BackendList = std::vector<std::shared_ptr<Backend>>;
+
   ClientPoolConfig config;
-  std::vector<std::unique_ptr<Backend>> backends;
+  std::atomic<std::shared_ptr<const BackendList>> backends{nullptr};
+  std::mutex grow_mutex;  // serializes add_backend; shutdown takes it to
+                          // pin the final list before joining threads
   std::atomic<bool> stop{false};
   std::thread prober;
   std::mutex prober_mutex;
   std::condition_variable prober_cv;
+
+  std::shared_ptr<const BackendList> list() const {
+    return backends.load(std::memory_order_acquire);
+  }
 
   static void mark_down(Backend& b) {
     if (b.healthy.exchange(false, std::memory_order_relaxed)) {
@@ -387,7 +402,10 @@ struct ClientPool::Impl {
           [&] { return stop.load(std::memory_order_acquire); });
       if (stop.load(std::memory_order_acquire)) break;
       lock.unlock();
-      for (auto& backend : backends) {
+      // Per-round snapshot: a backend added mid-round is probed from the
+      // next round on.
+      const std::shared_ptr<const BackendList> snapshot = list();
+      for (const auto& backend : *snapshot) {
         if (stop.load(std::memory_order_acquire)) break;
         std::future<CallResult> future =
             call_on_conn(*backend, *backend->probe, FrameType::kPing, "hp");
@@ -404,15 +422,28 @@ struct ClientPool::Impl {
     }
   }
 
-  void start() {
-    for (auto& backend : backends) {
-      for (auto& conn : backend->conns) {
-        conn->reader = std::thread(
-            [this, b = backend.get(), c = conn.get()] { reader_loop(*b, *c); });
-      }
-      backend->probe->reader = std::thread(
-          [this, b = backend.get()] { reader_loop(*b, *b->probe); });
+  std::shared_ptr<Backend> make_backend(Endpoint endpoint) {
+    auto backend = std::make_shared<Backend>();
+    backend->endpoint = std::move(endpoint);
+    for (std::size_t i = 0; i < config.connections_per_backend; ++i) {
+      backend->conns.push_back(std::make_unique<Conn>());
     }
+    backend->probe = std::make_unique<Conn>();
+    backend->probe->is_probe = true;
+    return backend;
+  }
+
+  void start_backend(Backend& backend) {
+    for (auto& conn : backend.conns) {
+      conn->reader = std::thread(
+          [this, b = &backend, c = conn.get()] { reader_loop(*b, *c); });
+    }
+    backend.probe->reader = std::thread(
+        [this, b = &backend] { reader_loop(*b, *b->probe); });
+  }
+
+  void start() {
+    for (const auto& backend : *list()) start_backend(*backend);
     if (config.ping_interval_ms > 0) {
       prober = std::thread([this] { probe_loop(); });
     }
@@ -421,16 +452,25 @@ struct ClientPool::Impl {
   void shutdown() {
     stop.store(true, std::memory_order_release);
     prober_cv.notify_all();
+    // Pin the final list under grow_mutex: any add_backend that won the
+    // lock before us is fully in the list (threads included); any that
+    // loses it observes `stop` and refuses, so no thread escapes the
+    // joins below.
+    std::shared_ptr<const BackendList> final_list;
+    {
+      std::lock_guard grow(grow_mutex);
+      final_list = list();
+    }
     const auto poke = [](Conn& conn) {
       std::lock_guard lock(conn.mutex);
       if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
       conn.cv.notify_all();
     };
-    for (auto& backend : backends) {
+    for (const auto& backend : *final_list) {
       for (auto& conn : backend->conns) poke(*conn);
       poke(*backend->probe);
     }
-    for (auto& backend : backends) {
+    for (const auto& backend : *final_list) {
       for (auto& conn : backend->conns) {
         if (conn->reader.joinable()) conn->reader.join();
       }
@@ -447,33 +487,47 @@ ClientPool::ClientPool(std::vector<Endpoint> backends,
   if (impl_->config.connections_per_backend == 0) {
     impl_->config.connections_per_backend = 1;
   }
+  auto initial = std::make_shared<Impl::BackendList>();
   for (Endpoint& endpoint : backends) {
-    auto backend = std::make_unique<Impl::Backend>();
-    backend->endpoint = std::move(endpoint);
-    for (std::size_t i = 0; i < impl_->config.connections_per_backend; ++i) {
-      backend->conns.push_back(std::make_unique<Impl::Conn>());
-    }
-    backend->probe = std::make_unique<Impl::Conn>();
-    backend->probe->is_probe = true;
-    impl_->backends.push_back(std::move(backend));
+    initial->push_back(impl_->make_backend(std::move(endpoint)));
   }
+  impl_->backends.store(std::move(initial), std::memory_order_release);
   impl_->start();
 }
 
 ClientPool::~ClientPool() { impl_->shutdown(); }
 
 std::size_t ClientPool::backend_count() const {
-  return impl_->backends.size();
+  return impl_->list()->size();
 }
 
 const Endpoint& ClientPool::backend(std::size_t index) const {
-  return impl_->backends[index]->endpoint;
+  return (*impl_->list())[index]->endpoint;
+}
+
+std::size_t ClientPool::add_backend(const Endpoint& endpoint) {
+  std::lock_guard grow(impl_->grow_mutex);
+  const std::shared_ptr<const Impl::BackendList> cur = impl_->list();
+  for (std::size_t i = 0; i < cur->size(); ++i) {
+    const Endpoint& existing = (*cur)[i]->endpoint;
+    if (existing.host == endpoint.host && existing.port == endpoint.port) {
+      return i;
+    }
+  }
+  if (impl_->stop.load(std::memory_order_acquire)) return kNoBackend;
+  std::shared_ptr<Impl::Backend> backend = impl_->make_backend(endpoint);
+  impl_->start_backend(*backend);
+  auto next = std::make_shared<Impl::BackendList>(*cur);
+  next->push_back(std::move(backend));
+  impl_->backends.store(std::move(next), std::memory_order_release);
+  return cur->size();
 }
 
 std::future<CallResult> ClientPool::call(std::size_t backend,
                                          FrameType type,
                                          std::string_view payload) {
-  Impl::Backend& b = *impl_->backends[backend];
+  const std::shared_ptr<const Impl::BackendList> list = impl_->list();
+  Impl::Backend& b = *(*list)[backend];
   b.requests.fetch_add(1, std::memory_order_relaxed);
   Impl::Conn& conn =
       *b.conns[b.next.fetch_add(1, std::memory_order_relaxed) %
@@ -486,7 +540,8 @@ std::vector<std::future<CallResult>> ClientPool::call_many(
     std::span<const std::string_view> payloads) {
   std::vector<std::future<CallResult>> out;
   if (payloads.empty()) return out;
-  Impl::Backend& b = *impl_->backends[backend];
+  const std::shared_ptr<const Impl::BackendList> list = impl_->list();
+  Impl::Backend& b = *(*list)[backend];
   b.requests.fetch_add(payloads.size(), std::memory_order_relaxed);
   Impl::Conn& conn =
       *b.conns[b.next.fetch_add(1, std::memory_order_relaxed) %
@@ -496,11 +551,11 @@ std::vector<std::future<CallResult>> ClientPool::call_many(
 }
 
 bool ClientPool::healthy(std::size_t backend) const {
-  return impl_->backends[backend]->healthy.load(std::memory_order_relaxed);
+  return (*impl_->list())[backend]->healthy.load(std::memory_order_relaxed);
 }
 
 BackendCounters ClientPool::counters(std::size_t backend) const {
-  const Impl::Backend& b = *impl_->backends[backend];
+  const Impl::Backend& b = *(*impl_->list())[backend];
   BackendCounters out;
   out.requests = b.requests.load(std::memory_order_relaxed);
   out.ok = b.ok.load(std::memory_order_relaxed);

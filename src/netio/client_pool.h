@@ -89,10 +89,16 @@ struct BackendCounters {
 };
 
 /// The pool. Construct with the backend list, then call() from any
-/// thread. Destruction fails outstanding calls with kShutdown and joins
-/// every reader/prober thread.
+/// thread. Backends can be added while the pool is live (resharding
+/// brings up successors at runtime) but never removed — indices handed
+/// out stay valid for the pool's lifetime, which is what lets the router
+/// publish routing tables that name backends by index. Destruction fails
+/// outstanding calls with kShutdown and joins every reader/prober thread.
 class ClientPool {
  public:
+  /// add_backend's failure value (pool already shutting down).
+  static constexpr std::size_t kNoBackend = static_cast<std::size_t>(-1);
+
   ClientPool(std::vector<Endpoint> backends, ClientPoolConfig config = {});
   ~ClientPool();
 
@@ -101,6 +107,15 @@ class ClientPool {
 
   std::size_t backend_count() const;
   const Endpoint& backend(std::size_t index) const;
+
+  /// Registers `endpoint` and returns its pool index, starting its
+  /// connections and enrolling it with the health prober. Idempotent: an
+  /// endpoint already in the pool (same host:port) returns its existing
+  /// index. Thread-safe against calls, probes, and other add_backend
+  /// invocations (the backend list is copy-on-add behind an atomic
+  /// shared_ptr, the same RCU pattern as the router's prefix map).
+  /// Returns kNoBackend if the pool is already shutting down.
+  std::size_t add_backend(const Endpoint& endpoint);
 
   /// Sends one request frame to `backend` and resolves the future when
   /// its response arrives (or the call fails). Thread-safe; returns

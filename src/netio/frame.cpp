@@ -28,6 +28,12 @@ bool is_known_frame_type(std::uint8_t value) {
     case FrameType::kSnapshot:
     case FrameType::kBatchQuery:
     case FrameType::kRevocationQuery:
+    case FrameType::kMapUpdate:
+    case FrameType::kSliceBegin:
+    case FrameType::kSliceSegment:
+    case FrameType::kSliceDone:
+    case FrameType::kSliceSend:
+    case FrameType::kSliceRetire:
     case FrameType::kCertInfo:
     case FrameType::kNotFound:
     case FrameType::kStatsText:
@@ -35,6 +41,8 @@ bool is_known_frame_type(std::uint8_t value) {
     case FrameType::kSnapshotInfo:
     case FrameType::kBatchInfo:
     case FrameType::kRevocationInfo:
+    case FrameType::kMapInfo:
+    case FrameType::kSliceInfo:
     case FrameType::kError:
       return true;
   }

@@ -22,6 +22,14 @@
 // kNotFound / kBatchInfo / kRevocationInfo / kStatsText / kPong /
 // kSnapshotInfo, or kError with a human-readable reason.
 //
+// The resharding control plane rides the same framing: kMapUpdate /
+// kMapInfo move the router's serialized prefix map (notary/prefix_map.h),
+// and kSliceBegin / kSliceSegment / kSliceDone / kSliceSend / kSliceRetire
+// move a backend's prefix slice to a successor daemon (notary/reshard.h).
+// Daemons and routers that predate these types answer them kError under
+// the forward-compatibility rule below, which is what makes a mixed-epoch
+// fleet safe during rollout.
+//
 // A frame that cannot be parsed at all (oversized length, checksum
 // mismatch) gets one kError response and the connection is closed —
 // framing is lost, so the stream cannot be resynchronized — but the
@@ -56,6 +64,12 @@ enum class FrameType : std::uint8_t {
   kSnapshot = 0x04,   ///< which index epoch is serving? (empty payload)
   kBatchQuery = 0x05,  ///< many fingerprint lookups in one frame
   kRevocationQuery = 0x06,  ///< revocation status lookup (single or batch)
+  kMapUpdate = 0x07,  ///< routing map: empty payload fetches, else applies
+  kSliceBegin = 0x08,    ///< start of a prefix-slice transfer (lo, hi, aux)
+  kSliceSegment = 0x09,  ///< one chunk of a slice stream (stream id + bytes)
+  kSliceDone = 0x0a,     ///< end of transfer; receiver merges and publishes
+  kSliceSend = 0x0b,  ///< tell a backend to stream [lo,hi] to a successor
+  kSliceRetire = 0x0c,   ///< tell a backend to drop its [lo,hi] slice
   kCertInfo = 0x81,   ///< rendered certificate knowledge
   kNotFound = 0x82,   ///< fingerprint unknown to the notary
   kStatsText = 0x83,  ///< rendered metrics
@@ -63,6 +77,8 @@ enum class FrameType : std::uint8_t {
   kSnapshotInfo = 0x85,  ///< snapshot staleness bound ("as of scan N")
   kBatchInfo = 0x86,  ///< per-entry answers to a kBatchQuery
   kRevocationInfo = 0x87,  ///< rendered revocation status
+  kMapInfo = 0x88,    ///< serialized routing map now in effect
+  kSliceInfo = 0x89,  ///< progress/summary answer to a slice-control frame
   kError = 0xee,      ///< malformed/unsupported request; payload = reason
 };
 

@@ -390,6 +390,65 @@ TEST_F(LiveIngestTest, QueriesRacingPublishesAreNeverTorn) {
   EXPECT_EQ(metrics.snapshot_swaps, kSegments);
 }
 
+// Regression: a certificate revoked mid-ingestion — its new status
+// arriving in a segment's status sidecar, not in the scans themselves —
+// must join the delta, evict the stale cached render, and flip both
+// query forms to "revoked" after the publish.
+TEST_F(LiveIngestTest, RevocationLearnedMidIngestionInvalidatesCache) {
+  const auto live = make_live();
+  const auto snap0 = live->snapshot();
+  EXPECT_EQ(snap0->statuses, nullptr);
+
+  NotaryServiceConfig config;
+  config.cache_bytes = 8u << 20;
+  NotaryService service(index_of(*snap0), config);
+
+  const scan::CertId victim = 0;  // interned by the base corpus
+  const auto& fp = snap0->archive->cert(victim).fingerprint;
+  const std::string payload = fp_payload(*snap0->archive, victim);
+
+  // Warm the kCertInfo cache; with no status map the revocation render
+  // says "unknown".
+  netio::Frame frame = service.handle(netio::FrameType::kQuery, payload);
+  ASSERT_EQ(frame.type, netio::FrameType::kCertInfo);
+  frame = service.handle(netio::FrameType::kRevocationQuery, payload);
+  ASSERT_EQ(frame.type, netio::FrameType::kRevocationInfo);
+  EXPECT_NE(frame.payload.find("revocation: unknown"), std::string::npos);
+  service.handle(netio::FrameType::kQuery, payload);
+  ASSERT_GE(service.metrics().cache_hits, 1u);
+
+  // The next segment's sidecar carries the revocation.
+  RevocationStatusMap learned;
+  learned[fp] = pki::RevocationStatus::kRevoked;
+  std::istringstream in((*segments_)[0]);
+  const AppendResult result = live->append_segment(in, &learned);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const auto snap1 = live->snapshot();
+  ASSERT_NE(snap1->statuses, nullptr);
+  EXPECT_EQ(snap1->statuses->at(fp), pki::RevocationStatus::kRevoked);
+  // The status change alone — no new observation of it — puts the
+  // already-known certificate in the delta.
+  EXPECT_TRUE(
+      std::binary_search(snap1->delta.begin(), snap1->delta.end(), victim));
+
+  notary::NotaryIndexOptions options;
+  options.revocation_statuses = snap1->statuses.get();
+  service.publish(
+      std::make_shared<const NotaryIndex>(*snap1->spine, options),
+      snap1->delta);
+
+  // The publish dropped the victim's cached full render (it was in the
+  // delta) and the revocation render flipped.
+  EXPECT_GE(service.metrics().cache_invalidations, 1u);
+  frame = service.handle(netio::FrameType::kQuery, payload);
+  ASSERT_EQ(frame.type, netio::FrameType::kCertInfo);
+  frame = service.handle(netio::FrameType::kRevocationQuery, payload);
+  ASSERT_EQ(frame.type, netio::FrameType::kRevocationInfo);
+  EXPECT_NE(frame.payload.find("revocation: revoked"), std::string::npos)
+      << frame.payload;
+}
+
 // The kSnapshot request reports the live epoch and its scan horizon over
 // the wire, advancing with each publish — the staleness bound a polling
 // client keys off.

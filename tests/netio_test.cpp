@@ -284,6 +284,87 @@ TEST_F(EchoServerTest, CallManyPipelinesABatchOverOneConnection) {
   server.shutdown();
 }
 
+// kRevocationQuery batches ride the same call_many pipelining as every
+// other frame type. When the backend stalls mid-batch, correlation is
+// positional, so the whole in-flight pipeline fails with kTimeout, the
+// backend is marked down, and the connection resets — after which the
+// next batch reconnects and succeeds (the health bit is advisory routing
+// state, not a gate; with probing off nothing marks it back up).
+TEST_F(EchoServerTest, CallManyRevocationBatchAndMidBatchMarkDown) {
+  constexpr int kBatch = 12;
+  std::atomic<int> handled{0};
+  std::atomic<int> stall_at{-1};  // handler index that sleeps past timeout
+  TcpServer server(config_, [&](FrameType type, std::string_view payload) {
+    if (type != FrameType::kRevocationQuery) {
+      return Frame{FrameType::kError, "revocation only"};
+    }
+    if (handled.fetch_add(1, std::memory_order_relaxed) ==
+        stall_at.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    }
+    return Frame{FrameType::kRevocationInfo,
+                 "revocation: revoked " + std::string(payload)};
+  });
+  ASSERT_TRUE(server.start());
+
+  ClientPoolConfig pool_config;
+  pool_config.connections_per_backend = 1;  // one pipeline, strict order
+  pool_config.request_timeout_ms = 150;
+  pool_config.ping_interval_ms = 0;  // nobody marks it back up
+  ClientPool pool({{"127.0.0.1", server.port()}}, pool_config);
+
+  std::vector<std::string> payloads;
+  for (int i = 0; i < kBatch; ++i) {
+    payloads.push_back("fp-" + std::to_string(i));
+  }
+  std::vector<std::string_view> views(payloads.begin(), payloads.end());
+
+  // A healthy batch pipelines in order over the one connection.
+  auto futures = pool.call_many(0, FrameType::kRevocationQuery, views);
+  ASSERT_EQ(futures.size(), payloads.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    CallResult result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << "call " << i;
+    EXPECT_EQ(result.response.type, FrameType::kRevocationInfo);
+    EXPECT_EQ(result.response.payload, "revocation: revoked " + payloads[i]);
+  }
+  EXPECT_TRUE(pool.healthy(0));
+  EXPECT_EQ(pool.counters(0).ok, static_cast<std::uint64_t>(kBatch));
+
+  // Now the backend stalls mid-batch: the oldest answer goes overdue,
+  // and everything behind it on the pipeline is unidentifiable — the
+  // whole flight fails and the backend is marked down.
+  stall_at.store(kBatch + 4, std::memory_order_relaxed);
+  auto stalled = pool.call_many(0, FrameType::kRevocationQuery, views);
+  int failed = 0;
+  for (auto& future : stalled) {
+    const CallResult result = future.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status, CallStatus::kTimeout);
+      ++failed;
+    }
+  }
+  EXPECT_GE(failed, kBatch - 4);
+  EXPECT_FALSE(pool.healthy(0));
+  const BackendCounters counters = pool.counters(0);
+  EXPECT_GE(counters.timeouts, 1u);
+  EXPECT_GE(counters.mark_downs, 1u);
+
+  // Marked down is not gated off: the next batch reconnects the reset
+  // connection and pipelines normally.
+  stall_at.store(-1, std::memory_order_relaxed);
+  auto retry = pool.call_many(0, FrameType::kRevocationQuery, views);
+  for (std::size_t i = 0; i < retry.size(); ++i) {
+    CallResult result = retry[i].get();
+    ASSERT_TRUE(result.ok()) << "retry call " << i;
+    EXPECT_EQ(result.response.payload, "revocation: revoked " + payloads[i]);
+  }
+  EXPECT_GE(pool.counters(0).reconnects, 2u);
+  // Only a successful probe flips the health bit back, and probing is off.
+  EXPECT_FALSE(pool.healthy(0));
+  server.shutdown();
+}
+
 TEST_F(EchoServerTest, ServesPipelinedBurstInOrder) {
   TcpServer server(config_, echo);
   ASSERT_TRUE(server.start());

@@ -67,6 +67,7 @@ std::uint64_t parse_u64_or_die(const char* flag, const char* text,
   const unsigned long long value = std::strtoull(text, &end, 10);
   if (end == text || *end != '\0' || value > max) {
     std::fprintf(stderr, "bad value for %s: %s\n", flag, text);
+    usage();
     std::exit(2);
   }
   return value;

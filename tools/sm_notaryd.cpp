@@ -17,7 +17,18 @@
 //       n-way split). N such processes behind sm_notary_router
 //       partition the corpus; key-sharing degrees are still computed over
 //       the full corpus before slicing, so every shard's responses are
-//       byte-identical to an unsharded daemon's.
+//       byte-identical to an unsharded daemon's. Shards are live: they
+//       mount a notary::ReshardHost, so a running shard can stream a
+//       prefix slice to a successor (kSliceSend), absorb one
+//       (kSliceBegin/Segment/Done), and retire a handed-off range
+//       (kSliceRetire) — the backend side of tools/sm_reshard.
+//
+//   sm_notaryd --empty ...
+//       Successor mode: serve an EMPTY corpus (the loaded or simulated
+//       world contributes only its routing history, for AS resolution)
+//       and wait for a reshard driver to stream a slice in. Key-sharing
+//       degrees and revocation statuses arrive in the slice sidecar, so
+//       the successor answers byte-identically to the shard it relieves.
 //
 //   sm_notaryd --bench N [--clients C] ...
 //       Load-generator mode: serve on an ephemeral loopback port, drive N
@@ -39,7 +50,19 @@
 //       published as a new epoch/RCU snapshot; queries keep flowing
 //       lock-free throughout, and only cached renders of certificates
 //       the segment touched are invalidated. kSnapshot requests report
-//       the staleness bound ("index as of scan N").
+//       the staleness bound ("index as of scan N"). A `SEG.smar.rev`
+//       sidecar next to a segment carries revocation statuses learned
+//       with it (the slice-sidecar binary format); a status change for an
+//       already-known certificate invalidates its cached render like any
+//       other delta member.
+//
+//   sm_notaryd --probe N --port P [--host ADDR] [--oracle HOST:PORT] ...
+//       Probe client: drive N kQuery + kRevocationQuery lookups over the
+//       corpus's fingerprints against a running daemon or router and
+//       count failures. With --oracle, every response is also fetched
+//       from the oracle daemon and compared byte-for-byte — the
+//       resharding e2e check (exit 0 only on zero failures and zero
+//       mismatches).
 //
 //   sm_notaryd --split-segments K DIR ...
 //       Segment producer: write DIR/base.smar (all but the last K scans
@@ -90,6 +113,7 @@
 #include "netio/server.h"
 #include "notary/batch.h"
 #include "notary/index.h"
+#include "notary/reshard.h"
 #include "notary/service.h"
 #include "scan/archive_io.h"
 #include "simworld/world.h"
@@ -124,6 +148,9 @@ struct Options {
   bool has_shard = false;        // --shard-prefix LO-HI
   std::uint8_t shard_lo = 0;
   std::uint8_t shard_hi = 255;
+  bool empty_corpus = false;     // --empty: successor awaiting a slice
+  std::uint64_t probe = 0;       // --probe N: e2e probe client
+  std::string oracle;            // --oracle HOST:PORT for --probe
   std::string query_hex;
   std::string ingest_dir;
   int ingest_poll_ms = 500;
@@ -155,7 +182,15 @@ void usage() {
       "                 first byte is in [LO, HI] (decimal 0-255; i/n\n"
       "                 means shard i's range under an n-way split) —\n"
       "                 the backend side of sm_notary_router; key-sharing\n"
-      "                 degrees still reflect the full corpus\n"
+      "                 degrees still reflect the full corpus; the shard\n"
+      "                 accepts the kSlice* reshard frames (sm_reshard)\n"
+      "  --empty        successor mode: serve an empty corpus (routing\n"
+      "                 history only) and wait for a reshard slice\n"
+      "  --probe N      probe client: N kQuery+kRevocationQuery lookups\n"
+      "                 against --host/--port; exits 0 only on zero\n"
+      "                 failures (and zero oracle mismatches)\n"
+      "  --oracle H:P   also fetch every --probe response from this\n"
+      "                 unsharded daemon and require byte-identity\n"
       "  --bench N      loopback load generator: N queries, then exit\n"
       "  --clients C    concurrent bench connections (default 4)\n"
       "  --bench-batch M      group M fingerprints per kBatchQuery frame\n"
@@ -221,8 +256,9 @@ std::pair<std::uint8_t, std::uint8_t> parse_prefix_range_or_die(
   }
   std::fprintf(stderr,
                "--shard-prefix wants LO-HI (first-byte range) or i/n "
-               "(shard i of n), got \"%s\"\n",
+               "(shard i of n, i < n, n in 1..256), got \"%s\"\n",
                text);
+  usage();
   std::exit(2);
 }
 
@@ -275,6 +311,13 @@ std::optional<Options> parse(int argc, char** argv) {
       std::tie(opts.shard_lo, opts.shard_hi) =
           parse_prefix_range_or_die(value());
       opts.has_shard = true;
+    } else if (arg == "--empty") {
+      opts.empty_corpus = true;
+    } else if (arg == "--probe") {
+      opts.probe = parse_u64_or_die("--probe", value(), ~std::uint64_t{0});
+      if (opts.probe == 0) opts.probe = 1;
+    } else if (arg == "--oracle") {
+      opts.oracle = value();
     } else if (arg == "--query") {
       opts.query_hex = value();
     } else if (arg == "--ingest") {
@@ -594,10 +637,15 @@ int run_bench(const Options& opts, notary::NotaryService& service,
 
 // Builds the notary index over one published corpus epoch (no linking:
 // the iterative linker is corpus-global, so live mode serves observation
-// history without linked-device ids).
+// history without linked-device ids). The snapshot's sidecar maps —
+// revocation statuses and injected full-corpus key-sharing degrees —
+// ride into every epoch's index, not just the first.
 std::shared_ptr<const notary::NotaryIndex> build_epoch_index(
     const corpus::LiveSnapshot& snap) {
-  return std::make_shared<const notary::NotaryIndex>(*snap.spine);
+  notary::NotaryIndexOptions options;
+  if (snap.key_counts) options.key_counts = snap.key_counts.get();
+  if (snap.statuses) options.revocation_statuses = snap.statuses.get();
+  return std::make_shared<const notary::NotaryIndex>(*snap.spine, options);
 }
 
 // Moves the archive out of a loaded corpus (the routing history, when
@@ -639,8 +687,29 @@ void poll_ingest_dir(const Options& opts, corpus::LiveCorpus& live,
         std::fprintf(stderr, "ingest: cannot open %s\n", path.c_str());
         continue;
       }
+      // An optional SEG.smar.rev sidecar carries revocation statuses
+      // learned with the segment (slice-sidecar binary format; the key
+      // count section is unused here).
+      corpus::RevocationStatusMap segment_statuses;
+      const corpus::RevocationStatusMap* statuses_arg = nullptr;
+      std::error_code rev_ec;
+      const std::string rev_path = path + ".rev";
+      if (std::filesystem::is_regular_file(rev_path, rev_ec)) {
+        std::ifstream rev(rev_path, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << rev.rdbuf();
+        corpus::KeyCountMap unused_counts;
+        std::string rev_error;
+        if (rev && notary::parse_slice_sidecar(bytes.view(), unused_counts,
+                                               segment_statuses, rev_error)) {
+          statuses_arg = &segment_statuses;
+        } else {
+          std::fprintf(stderr, "ingest: ignoring bad sidecar %s: %s\n",
+                       rev_path.c_str(), rev_error.c_str());
+        }
+      }
       const auto begin = std::chrono::steady_clock::now();
-      const corpus::AppendResult result = live.append_segment(in);
+      const corpus::AppendResult result = live.append_segment(in, statuses_arg);
       if (!result.ok) {
         std::fprintf(stderr, "ingest: %s rejected: %s\n", path.c_str(),
                      result.error.c_str());
@@ -691,9 +760,33 @@ int run_split_segments(const Options& opts, tools::LoadedCorpus corpus) {
   }
   const std::size_t base_count =
       total - static_cast<std::size_t>(opts.split_count);
+  const corpus::RevocationStatusMap* statuses =
+      corpus.world.has_value() && !corpus.world->revocation.statuses.empty()
+          ? &corpus.world->revocation.statuses
+          : nullptr;
   const auto write = [&](const scan::ScanArchive& archive,
                          const std::string& name) {
     const auto path = std::filesystem::path(opts.split_dir) / name;
+    // Revocation sidecar first: the ingest poller keys on the .smar
+    // appearing, so NAME.smar.rev must already be in place by then.
+    if (statuses != nullptr) {
+      corpus::RevocationStatusMap subset;
+      for (const scan::CertRecord& cert : archive.certs()) {
+        const auto it = statuses->find(cert.fingerprint);
+        if (it != statuses->end()) subset.emplace(it->first, it->second);
+      }
+      if (!subset.empty()) {
+        std::ofstream rev(path.string() + ".rev",
+                          std::ios::binary | std::ios::trunc);
+        const std::string blob =
+            notary::serialize_slice_sidecar({}, subset);
+        if (!rev.write(blob.data(),
+                       static_cast<std::streamsize>(blob.size()))) {
+          std::fprintf(stderr, "cannot write %s.rev\n", path.c_str());
+          return false;
+        }
+      }
+    }
     const std::string tmp = path.string() + ".tmp";
     if (!scan::save_archive_file(archive, tmp)) {
       std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
@@ -735,7 +828,14 @@ int run_ingest_server(const Options& opts, tools::LoadedCorpus corpus) {
   }
   const net::RoutingHistory* routing = corpus.routing();
   const auto begin = std::chrono::steady_clock::now();
-  corpus::LiveCorpus live(take_archive(corpus), routing, nullptr);
+  // Seed the revocation sidecar from the world when it carries one; the
+  // .smar.rev segment sidecars update it epoch over epoch.
+  corpus::RevocationStatusMap initial_statuses;
+  if (corpus.world.has_value()) {
+    initial_statuses = corpus.world->revocation.statuses;
+  }
+  corpus::LiveCorpus live(take_archive(corpus), routing, nullptr,
+                          std::move(initial_statuses));
   const auto snap0 = live.snapshot();
   std::fprintf(stderr, "live corpus: epoch 0 over %zu scans, %zu "
                "certificates in %.2fs\n",
@@ -954,6 +1054,210 @@ int run_ingest_bench(const Options& opts, tools::LoadedCorpus corpus) {
              : 1;
 }
 
+// --shard-prefix / --empty: a live, reshardable backend. The slice lives
+// in a LiveCorpus (so kSliceBegin/Segment/Done merges and kSliceRetire
+// publish fresh epochs) and a notary::ReshardHost intercepts the reshard
+// control frames in front of the NotaryService.
+int run_live_server(const Options& opts, tools::LoadedCorpus corpus) {
+  const net::RoutingHistory* routing = corpus.routing();
+  scan::ScanArchive initial;
+  corpus::RevocationStatusMap statuses;
+  corpus::KeyCountMap key_counts;
+  if (opts.empty_corpus) {
+    std::fprintf(stderr,
+                 "successor: empty corpus, awaiting a reshard slice\n");
+  } else {
+    const scan::ScanArchive& full = corpus.archive_ref();
+    // Key-sharing degree is a property of the FULL corpus (an SPKI's
+    // other holders live on other shards): count before slicing and
+    // carry the counts as this slice's sidecar, so they survive merges
+    // and retires.
+    key_counts.reserve(full.certs().size());
+    for (const scan::CertRecord& cert : full.certs()) {
+      ++key_counts[cert.key_fingerprint];
+    }
+    if (corpus.world.has_value()) {
+      statuses = corpus.world->revocation.statuses;
+    }
+    initial =
+        corpus::extract_prefix_slice(full, opts.shard_lo, opts.shard_hi);
+    std::fprintf(stderr, "shard: prefix %u-%u, %zu of %zu certificates\n",
+                 static_cast<unsigned>(opts.shard_lo),
+                 static_cast<unsigned>(opts.shard_hi),
+                 initial.certs().size(), full.certs().size());
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  corpus::LiveCorpus live(std::move(initial), routing, nullptr,
+                          std::move(statuses), std::move(key_counts));
+  const auto snap0 = live.snapshot();
+  std::fprintf(stderr,
+               "live corpus: epoch 0 over %zu scans, %zu certificates in "
+               "%.2fs\n",
+               snap0->spine->scan_count(), snap0->spine->cert_count(),
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count());
+
+  notary::NotaryServiceConfig service_config;
+  service_config.cache_bytes = opts.cache_mb << 20;
+  notary::NotaryService service(build_epoch_index(*snap0), service_config);
+  notary::ReshardHost reshard(live, service);
+
+  if (opts.bench > 0) return run_bench(opts, service, *snap0->archive);
+
+  netio::ServerConfig config;
+  config.bind_address = opts.bind_address;
+  config.port = opts.port;
+  config.workers = opts.threads;
+  config.idle_timeout_ms = opts.idle_ms;
+  netio::TcpServer server(
+      config, [&service, &reshard](netio::FrameType type,
+                                   std::string_view payload,
+                                   std::string& out) {
+        if (!reshard.handle(type, payload, out)) {
+          service.handle_into(type, payload, out);
+        }
+      });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::fprintf(stderr,
+               "sm_notaryd listening on %s:%u (%zu certificates, "
+               "reshard-capable)\n",
+               opts.bind_address.c_str(), server.port(),
+               service.index().size());
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "signal received, draining...\n");
+  server.shutdown();
+  std::fputs(service.render_stats().c_str(), stderr);
+  std::fputs(service.render_snapshot_info().c_str(), stderr);
+  return 0;
+}
+
+// ---- probe client (--probe) ----------------------------------------------
+
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str() + colon + 1, &end,
+                                           10);
+  if (*end != '\0' || value == 0 || value > 65535) return false;
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+// The resharding e2e check: hammer a router (or daemon) with kQuery +
+// kRevocationQuery lookups and — with --oracle — require byte-identical
+// responses from an unsharded daemon. Any transport failure or mismatch
+// is fatal; a resharding deployment must mask the handoff completely.
+int run_probe_client(const Options& opts, const scan::ScanArchive& archive) {
+  const auto& certs = archive.certs();
+  if (certs.empty()) {
+    std::fprintf(stderr, "--probe: empty corpus, nothing to query\n");
+    return 2;
+  }
+  std::string oracle_host;
+  std::uint16_t oracle_port = 0;
+  if (!opts.oracle.empty() &&
+      !parse_host_port(opts.oracle, oracle_host, oracle_port)) {
+    std::fprintf(stderr, "--oracle wants HOST:PORT, got \"%s\"\n",
+                 opts.oracle.c_str());
+    return 2;
+  }
+
+  const int fd = connect_tcp(opts.host, opts.port);
+  if (fd < 0) {
+    std::fprintf(stderr, "--probe: cannot connect to %s:%u\n",
+                 opts.host.c_str(), opts.port);
+    return 1;
+  }
+  int oracle_fd = -1;
+  if (oracle_port != 0) {
+    oracle_fd = connect_tcp(oracle_host, oracle_port);
+    if (oracle_fd < 0) {
+      std::fprintf(stderr, "--probe: cannot connect to oracle %s:%u\n",
+                   oracle_host.c_str(), oracle_port);
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  netio::FrameDecoder decoder(32u << 20);
+  netio::FrameDecoder oracle_decoder(32u << 20);
+  netio::Frame response;
+  netio::Frame oracle_response;
+  std::uint64_t sent = 0;
+  std::uint64_t mismatches = 0;
+  const netio::FrameType kinds[2] = {netio::FrameType::kQuery,
+                                     netio::FrameType::kRevocationQuery};
+  for (std::uint64_t q = 0; q < opts.probe; ++q) {
+    const auto& fp = certs[q % certs.size()].fingerprint;
+    const std::string_view payload(
+        reinterpret_cast<const char*>(fp.data()), fp.size());
+    for (const netio::FrameType kind : kinds) {
+      ++sent;
+      if (!send_all(fd, netio::encode_frame(kind, payload)) ||
+          !read_frame(fd, decoder, response)) {
+        std::fprintf(stderr,
+                     "--probe: transport failure on query %llu of %llu\n",
+                     static_cast<unsigned long long>(sent),
+                     static_cast<unsigned long long>(opts.probe * 2));
+        ::close(fd);
+        if (oracle_fd >= 0) ::close(oracle_fd);
+        return 1;
+      }
+      if (response.type == netio::FrameType::kError) {
+        std::fprintf(stderr, "--probe: query %llu answered kError: %s\n",
+                     static_cast<unsigned long long>(sent),
+                     response.payload.c_str());
+        ::close(fd);
+        if (oracle_fd >= 0) ::close(oracle_fd);
+        return 1;
+      }
+      if (oracle_fd < 0) continue;
+      if (!send_all(oracle_fd, netio::encode_frame(kind, payload)) ||
+          !read_frame(oracle_fd, oracle_decoder, oracle_response)) {
+        std::fprintf(stderr, "--probe: oracle transport failure\n");
+        ::close(fd);
+        ::close(oracle_fd);
+        return 1;
+      }
+      if (response.type != oracle_response.type ||
+          response.payload != oracle_response.payload) {
+        if (++mismatches <= 3) {
+          std::fprintf(
+              stderr,
+              "--probe: MISMATCH on query %llu (type %u vs %u)\n--- "
+              "got ---\n%s\n--- oracle ---\n%s\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned>(response.type),
+              static_cast<unsigned>(oracle_response.type),
+              response.payload.c_str(), oracle_response.payload.c_str());
+        }
+      }
+    }
+  }
+  ::close(fd);
+  if (oracle_fd >= 0) ::close(oracle_fd);
+  std::printf("probe: %llu lookups, %llu mismatches%s\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(mismatches),
+              opts.oracle.empty() ? "" : " (oracle-checked)");
+  return mismatches == 0 ? 0 : 1;
+}
+
 int run_server(const Options& opts, notary::NotaryService& service) {
   netio::ServerConfig config;
   config.bind_address = opts.bind_address;
@@ -1017,12 +1321,12 @@ int main(int argc, char** argv) {
                  "maintained incrementally\n");
     return 2;
   }
-  if (opts->has_shard &&
+  if ((opts->has_shard || opts->empty_corpus) &&
       (opts->link || !opts->ingest_dir.empty() || opts->ingest_bench > 0 ||
        opts->split_count > 0)) {
     std::fprintf(stderr,
-                 "--shard-prefix serves a static slice; it is incompatible "
-                 "with --link, --ingest, --ingest-bench and "
+                 "--shard-prefix/--empty serve a live slice; they are "
+                 "incompatible with --link, --ingest, --ingest-bench and "
                  "--split-segments\n");
     return 2;
   }
@@ -1045,29 +1349,20 @@ int main(int argc, char** argv) {
   if (!opts->ingest_dir.empty()) {
     return run_ingest_server(*opts, std::move(corpus));
   }
-
-  // --shard-prefix: this process serves only its fingerprint slice, but
-  // the key-sharing degree is a property of the FULL corpus (an SPKI's
-  // other holders live on other shards), so count keys before slicing
-  // and inject the full-corpus degrees into the shard's index build.
-  std::unordered_map<scan::KeyFingerprint, std::uint32_t> full_key_counts;
-  std::optional<scan::ScanArchive> shard_slice;
-  if (opts->has_shard) {
-    const scan::ScanArchive& full = corpus.archive_ref();
-    full_key_counts.reserve(full.certs().size());
-    for (const scan::CertRecord& cert : full.certs()) {
-      ++full_key_counts[cert.key_fingerprint];
+  if (opts->probe > 0) {
+    if (!opts->port_given) {
+      std::fprintf(stderr, "--probe needs --port\n");
+      return 2;
     }
-    shard_slice.emplace(
-        corpus::extract_prefix_slice(full, opts->shard_lo, opts->shard_hi));
-    std::fprintf(stderr,
-                 "shard: prefix %u-%u, %zu of %zu certificates\n",
-                 static_cast<unsigned>(opts->shard_lo),
-                 static_cast<unsigned>(opts->shard_hi),
-                 shard_slice->certs().size(), full.certs().size());
+    return run_probe_client(*opts, corpus.archive_ref());
   }
-  const scan::ScanArchive& archive =
-      shard_slice.has_value() ? *shard_slice : corpus.archive_ref();
+  // --shard-prefix / --empty: the live, reshardable backend path (its
+  // LiveCorpus carries the full-corpus key-sharing degrees and the
+  // revocation statuses as sidecars).
+  if (opts->has_shard || opts->empty_corpus) {
+    return run_live_server(*opts, std::move(corpus));
+  }
+  const scan::ScanArchive& archive = corpus.archive_ref();
 
   // One columnar spine over the corpus: the linker (under --link) and the
   // notary index both consume it; nothing below re-derives observations.
@@ -1109,9 +1404,6 @@ int main(int argc, char** argv) {
   notary::NotaryIndexOptions index_options;
   if (!device_groups.empty()) {
     index_options.device_groups = &device_groups;
-  }
-  if (opts->has_shard) {
-    index_options.key_counts = &full_key_counts;
   }
   // Revocation verdicts ride along when the corpus carries them (a
   // simulated world; bundles and bare archives serve kUnknown). The map
